@@ -1,0 +1,333 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/psharp-go/psharp/lang"
+)
+
+// listManagerSrc is the paper's running example (Examples 4.1 and 4.2): a
+// machine managing a linked list. The %s hole optionally holds the repair
+// of Example 5.5 (resetting the field after the send).
+const listManagerSrc = `
+event eAdd;
+event eGet;
+event eReply;
+
+class elem {
+	var val: int;
+	var next: elem;
+	method get_val(): int { var ret: int; ret := this.val; return ret; }
+	method set_val(v: int) { this.val := v; }
+	method get_next(): elem { var ret: elem; ret := this.next; return ret; }
+	method set_next(n: elem) { this.next := n; }
+}
+
+machine list_manager {
+	var list: elem;
+	start state Init {
+		entry { this.list := null; }
+		on eAdd do add;
+		on eGet do get;
+	}
+	method add(payload: elem) {
+		var tmp: elem;
+		tmp := this.list;
+		payload.set_next(tmp);
+		this.list := payload;
+	}
+	method get(client: machine) {
+		var tmp: elem;
+		tmp := this.list;
+		send client, eReply, tmp;
+		%s
+	}
+}
+`
+
+func parse(t *testing.T, src string) *lang.Program {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := lang.Check(prog); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return prog
+}
+
+// TestListManagerRacy reproduces Example 5.4: the machine keeps a reference
+// to the list after sending it, so the analyzer must flag the send — with
+// and without xSA, since the race is real.
+func TestListManagerRacy(t *testing.T) {
+	src := strings.Replace(listManagerSrc, "%s", "", 1)
+	prog := parse(t, src)
+	res := Analyze(prog, Options{})
+	if len(res.Violations) == 0 {
+		t.Fatal("expected a violation on the racy list_manager (Example 5.4)")
+	}
+	resX := Analyze(prog, Options{XSA: true})
+	if len(resX.Violations) == 0 {
+		t.Fatal("xSA must keep the real race (the list field is never reset)")
+	}
+}
+
+// TestListManagerRepaired reproduces Example 5.5: after resetting the field
+// the program is race-free, but only xSA can prove it (the per-method
+// analysis cannot see across states).
+func TestListManagerRepaired(t *testing.T) {
+	src := strings.Replace(listManagerSrc, "%s", "this.list := null;", 1)
+	prog := parse(t, src)
+	res := Analyze(prog, Options{})
+	if len(res.BaseViolations) == 0 {
+		t.Fatal("the per-method analysis must flag the staged-field send (the paper's main FP class)")
+	}
+	resX := Analyze(prog, Options{XSA: true})
+	if len(resX.Violations) != 0 {
+		for _, v := range resX.Violations {
+			t.Logf("violation: %v", v)
+		}
+		t.Fatal("xSA must verify the repaired list_manager (Example 5.5)")
+	}
+}
+
+// TestGivesUp reproduces Example 5.3: add gives up nothing, but the variant
+// that forwards its payload gives it up; the give-up set propagates through
+// helper calls (Figure 5's interprocedural fixpoint).
+func TestGivesUp(t *testing.T) {
+	src := `
+event eFwd;
+class elem { var next: elem; method set_next(n: elem) { this.next := n; } }
+machine m {
+	var peer: machine;
+	start state S { entry {} on eFwd do fwd; on eKeep do keep; }
+	method fwd(payload: elem) {
+		this.relay(payload);
+	}
+	method relay(x: elem) {
+		var p: machine;
+		p := this.peer;
+		send p, eFwd, x;
+	}
+	method keep(payload: elem) {
+		var tmp: elem;
+		tmp := payload;
+		tmp.set_next(payload);
+	}
+}
+event eKeep;
+`
+	prog := parse(t, src)
+	gu := GivesUp(prog)
+	if got := gu["m.relay"]; len(got) != 1 || got[0] != "x" {
+		t.Errorf("gives_up(relay) = %v, want [x]", got)
+	}
+	if got := gu["m.fwd"]; len(got) != 1 || got[0] != "payload" {
+		t.Errorf("gives_up(fwd) = %v, want [payload] (must propagate through the call)", got)
+	}
+	if got := gu["m.keep"]; len(got) != 0 {
+		t.Errorf("gives_up(keep) = %v, want empty", got)
+	}
+}
+
+// TestCleanProgramVerifies checks that sending freshly built objects is
+// accepted without any violations.
+func TestCleanProgramVerifies(t *testing.T) {
+	src := `
+event eMsg;
+class box { var v: int; method set(v: int) { this.v := v; } }
+machine producer {
+	var peer: machine;
+	start state Run {
+		entry {
+			var b: box;
+			var p: machine;
+			b := new box;
+			b.set(42);
+			p := this.peer;
+			send p, eMsg, b;
+			b := new box;
+			b.set(43);
+			send p, eMsg, b;
+		}
+	}
+}
+machine consumer {
+	start state Run { on eMsg do handle; }
+	method handle(payload: box) {
+		payload.set(0);
+	}
+}
+`
+	prog := parse(t, src)
+	res := Analyze(prog, Options{XSA: true})
+	if len(res.BaseViolations) != 0 {
+		for _, v := range res.BaseViolations {
+			t.Logf("violation: %v", v)
+		}
+		t.Fatal("fresh-object sends must verify without xSA")
+	}
+	if !res.Verified() {
+		t.Fatal("fresh-object sends must verify")
+	}
+}
+
+// TestUseAfterGiveUp checks condition 3: using a payload after sending it.
+func TestUseAfterGiveUp(t *testing.T) {
+	src := `
+event eMsg;
+class box { var v: int; method set(v: int) { this.v := v; } }
+machine sender {
+	var peer: machine;
+	start state Run { on eMsg do handle; }
+	method handle(payload: box) {
+		var p: machine;
+		p := this.peer;
+		send p, eMsg, payload;
+		payload.set(1);
+	}
+}
+`
+	prog := parse(t, src)
+	res := Analyze(prog, Options{XSA: true})
+	if len(res.Violations) == 0 {
+		t.Fatal("expected a condition-3 violation (use after give-up)")
+	}
+	found := false
+	for _, v := range res.Violations {
+		for _, c := range v.Conditions {
+			if c == 3 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("expected condition 3 among %v", res.Violations)
+	}
+}
+
+// TestAliasAtGiveUp checks condition 2: a second variable aliasing the
+// payload at the send.
+func TestAliasAtGiveUp(t *testing.T) {
+	src := `
+event ePair;
+class box { var v: int; method get(): int { var r: int; r := this.v; return r; } }
+class pair {
+	var a: box;
+	method set_a(x: box) { this.a := x; }
+}
+machine sender {
+	var peer: machine;
+	start state Run { on ePair do handle; }
+	method handle(payload: box) {
+		var p: machine;
+		var holder: pair;
+		holder := new pair;
+		holder.set_a(payload);
+		p := this.peer;
+		send p, ePair, holder;
+		payload.get();
+	}
+}
+`
+	prog := parse(t, src)
+	res := Analyze(prog, Options{XSA: true})
+	if len(res.Violations) == 0 {
+		t.Fatal("expected a violation: payload is reachable from the sent holder")
+	}
+}
+
+// TestReadOnlySuppression checks the Section 8 extension: a violating send
+// whose receivers only read the payload is suppressed when the read-only
+// filter is on — the paper's remaining MultiPaxos/AsyncSystem FPs.
+func TestReadOnlySuppression(t *testing.T) {
+	src := `
+event eShare;
+class box { var v: int; method get(): int { var r: int; r := this.v; return r; } method set(v: int) { this.v := v; } }
+machine sender {
+	var data: box;
+	var p1: machine;
+	var p2: machine;
+	start state S1 {
+		entry {
+			var d: box;
+			var p: machine;
+			d := new box;
+			this.data := d;
+			p := this.p1;
+			send p, eShare, d;
+		}
+		on eNext goto S2;
+	}
+	state S2 {
+		entry {
+			var d: box;
+			var p: machine;
+			d := this.data;
+			p := this.p2;
+			send p, eShare, d;
+		}
+	}
+}
+machine reader {
+	start state R { on eShare do handle; }
+	method handle(payload: box) {
+		payload.get();
+	}
+}
+event eNext;
+`
+	prog := parse(t, src)
+	plain := Analyze(prog, Options{XSA: true})
+	if len(plain.Violations) == 0 {
+		t.Fatal("the double-send-without-reset pattern must survive xSA (the paper's residual FP class)")
+	}
+	ro := Analyze(prog, Options{XSA: true, ReadOnly: true})
+	if len(ro.Violations) != 0 {
+		for _, v := range ro.Violations {
+			t.Logf("violation: %v", v)
+		}
+		t.Fatal("read-only analysis must suppress the residual FPs")
+	}
+	if ro.ReadOnlySuppressed == 0 {
+		t.Fatal("expected suppressed violations to be counted")
+	}
+}
+
+// TestReadOnlyKeepsWriters checks that the read-only filter does not
+// suppress violations when some receiver writes the payload.
+func TestReadOnlyKeepsWriters(t *testing.T) {
+	src := `
+event eShare;
+class box { var v: int; method set(v: int) { this.v := v; } }
+machine sender {
+	var data: box;
+	var p1: machine;
+	start state S1 {
+		entry {
+			var d: box;
+			var p: machine;
+			d := new box;
+			this.data := d;
+			p := this.p1;
+			send p, eShare, d;
+			d := this.data;
+			send p, eShare, d;
+		}
+	}
+}
+machine writer {
+	start state R { on eShare do handle; }
+	method handle(payload: box) {
+		payload.set(7);
+	}
+}
+`
+	prog := parse(t, src)
+	ro := Analyze(prog, Options{XSA: true, ReadOnly: true})
+	if len(ro.Violations) == 0 {
+		t.Fatal("a writing receiver must keep the violation alive")
+	}
+}

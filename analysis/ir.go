@@ -1,0 +1,505 @@
+// Package analysis implements the paper's sound static data-race analysis
+// (Section 5): an ownership-based check built on a heap-overlap analysis.
+//
+// Methods are lowered to a 3-address intermediate form and a single-entry
+// single-exit control-flow graph (the paper's Assumptions). Heap overlap
+// (may_overlap, Section 5.1) is implemented as a flow-sensitive symbolic
+// reachability analysis over abstract objects — allocation sites, parameter
+// entry objects and the receiver — with member-insensitive containment
+// edges, made method-modular by summaries (the paper's taint summaries).
+// On top of it sit the gives-up interprocedural fixpoint (Figure 5), the
+// respects-ownership conditions 1-3 (Section 5.3), the cross-state analysis
+// xSA (Section 5.4), and the read-only extension (Section 8 future work).
+package analysis
+
+import (
+	"fmt"
+
+	"github.com/psharp-go/psharp/lang"
+)
+
+// Op enumerates IR instruction kinds. Scalar computation is collapsed into
+// OpConst (the analysis only tracks reference flow, as the paper's does),
+// but reference variables consumed by scalar expressions are retained in
+// Uses so the ownership conditions still see them as occurrences.
+type Op int
+
+// IR operations.
+const (
+	OpNop    Op = iota
+	OpAssign    // Dst := Src
+	OpConst     // Dst := <scalar or null>
+	OpLoad      // Dst := this.Field
+	OpStore     // this.Field := Src
+	OpNew       // Dst := new Class
+	OpCall      // Dst := Recv.Method(Args...)
+	OpSend      // send Target, Event, Payload?
+	OpCreate    // Dst := create MachineType(Payload?)
+	OpReturn    // return Src?
+	OpBranch    // branch on Src (scalar)
+)
+
+// Instr is one lowered instruction.
+type Instr struct {
+	Op     Op
+	Dst    string
+	Src    string
+	Field  string
+	Class  string
+	Event  string
+	Method string
+	Recv   string
+	Target string // send destination variable (machine-typed, scalar)
+	Args   []string
+	// Uses lists reference variables consumed by collapsed scalar
+	// computation (e.g. comparisons against references).
+	Uses []string
+	Pos  lang.Pos
+}
+
+// String renders the instruction for diagnostics.
+func (in Instr) String() string {
+	switch in.Op {
+	case OpAssign:
+		return fmt.Sprintf("%s := %s", in.Dst, in.Src)
+	case OpConst:
+		return fmt.Sprintf("%s := <const>", in.Dst)
+	case OpLoad:
+		return fmt.Sprintf("%s := this.%s", in.Dst, in.Field)
+	case OpStore:
+		return fmt.Sprintf("this.%s := %s", in.Field, in.Src)
+	case OpNew:
+		return fmt.Sprintf("%s := new %s", in.Dst, in.Class)
+	case OpCall:
+		return fmt.Sprintf("%s := %s.%s(%v)", in.Dst, in.Recv, in.Method, in.Args)
+	case OpSend:
+		return fmt.Sprintf("send %s, %s, %s", in.Target, in.Event, in.Src)
+	case OpCreate:
+		return fmt.Sprintf("%s := create %s(%s)", in.Dst, in.Class, in.Src)
+	case OpReturn:
+		return fmt.Sprintf("return %s", in.Src)
+	case OpBranch:
+		return fmt.Sprintf("branch %s", in.Src)
+	default:
+		return "nop"
+	}
+}
+
+// usedRefVars returns the reference-typed variables the instruction reads
+// (the paper's vars(N) restricted to reference variables, minus the pure
+// assignment target: overwriting a variable is a kill, not a use). The
+// receiver participates in loads and stores.
+func (in Instr) usedRefVars(isRef func(string) bool) []string {
+	var out []string
+	add := func(v string) {
+		if v != "" && isRef(v) {
+			out = append(out, v)
+		}
+	}
+	add(in.Src)
+	add(in.Recv)
+	for _, a := range in.Args {
+		add(a)
+	}
+	for _, u := range in.Uses {
+		add(u)
+	}
+	switch in.Op {
+	case OpLoad, OpStore:
+		add("this")
+	}
+	return out
+}
+
+// Node is a CFG node holding exactly one instruction.
+type Node struct {
+	ID    int
+	Instr Instr
+	Succs []*Node
+	Preds []*Node
+}
+
+// CFG is a single-entry single-exit control-flow graph.
+type CFG struct {
+	Entry, Exit *Node
+	Nodes       []*Node
+}
+
+// Method is the analyzable form of one method: its CFG plus variable
+// classification.
+type Method struct {
+	Holder string // enclosing class or machine name
+	Name   string
+	Params []string
+	// RefVar reports which variables (params, locals, temps) are
+	// reference-typed; "this" is always a reference.
+	RefVar map[string]bool
+	CFG    *CFG
+	Decl   *lang.MethodDecl
+}
+
+// QName returns Holder.Name.
+func (m *Method) QName() string { return m.Holder + "." + m.Name }
+
+// IsRef classifies a variable of the method.
+func (m *Method) IsRef(v string) bool {
+	if v == "this" {
+		return true
+	}
+	return m.RefVar[v]
+}
+
+// lowerer builds a Method from an AST method body.
+type lowerer struct {
+	prog   *lang.Program
+	method *Method
+	nodes  []*Node
+	nextID int
+	temps  int
+	// lifted enables xSA mode: field accesses become assignments to
+	// machine-level variables named "$<field>", with strong updates.
+	lifted bool
+	// prefix renames locals when inlining handler bodies into the
+	// machine-level CFG.
+	prefix string
+}
+
+func (lo *lowerer) newNode(in Instr) *Node {
+	n := &Node{ID: lo.nextID, Instr: in}
+	lo.nextID++
+	lo.nodes = append(lo.nodes, n)
+	return n
+}
+
+func link(from, to *Node) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+func (lo *lowerer) temp(ref bool) string {
+	lo.temps++
+	name := fmt.Sprintf("%%t%d", lo.temps)
+	if lo.prefix != "" {
+		name = lo.prefix + name
+	}
+	if ref {
+		lo.method.RefVar[name] = true
+	}
+	return name
+}
+
+func (lo *lowerer) local(name string) string {
+	if lo.prefix != "" {
+		return lo.prefix + name
+	}
+	return name
+}
+
+// fieldVar names the machine-level variable standing for a field in xSA
+// mode.
+func fieldVar(field string) string { return "$" + field }
+
+// chain is a partial CFG: a head node and the set of dangling exits.
+type chain struct {
+	head  *Node
+	tails []*Node
+}
+
+func (lo *lowerer) seq(c *chain, n *Node) {
+	if c.head == nil {
+		c.head = n
+		c.tails = []*Node{n}
+		return
+	}
+	for _, t := range c.tails {
+		link(t, n)
+	}
+	c.tails = []*Node{n}
+}
+
+func (lo *lowerer) append(c *chain, sub chain) {
+	if sub.head == nil {
+		return
+	}
+	if c.head == nil {
+		*c = sub
+		return
+	}
+	for _, t := range c.tails {
+		link(t, sub.head)
+	}
+	c.tails = sub.tails
+}
+
+func declareLocals(stmts []lang.Stmt, lo *lowerer) {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *lang.LocalDecl:
+			if st.Decl.Type.IsRef() {
+				lo.method.RefVar[lo.local(st.Decl.Name)] = true
+			}
+		case *lang.IfStmt:
+			declareLocals(st.Then, lo)
+			declareLocals(st.Else, lo)
+		case *lang.WhileStmt:
+			declareLocals(st.Body, lo)
+		}
+	}
+}
+
+func (lo *lowerer) lowerStmts(stmts []lang.Stmt) chain {
+	var c chain
+	for _, s := range stmts {
+		lo.append(&c, lo.lowerStmt(s))
+	}
+	return c
+}
+
+func (lo *lowerer) lowerStmt(s lang.Stmt) chain {
+	var c chain
+	switch st := s.(type) {
+	case *lang.LocalDecl:
+		// declaration only; no instruction
+	case *lang.AssignStmt:
+		v, sub := lo.lowerExpr(st.Value)
+		c = sub
+		if st.ToField != "" {
+			if lo.lifted {
+				lo.method.RefVar[fieldVar(st.ToField)] = refType(lo.prog, lo.fieldType(st.ToField))
+				lo.seq(&c, lo.newNode(Instr{Op: OpAssign, Dst: fieldVar(st.ToField), Src: v, Pos: st.Pos}))
+			} else {
+				lo.seq(&c, lo.newNode(Instr{Op: OpStore, Field: st.ToField, Src: v, Pos: st.Pos}))
+			}
+		} else {
+			lo.seq(&c, lo.newNode(Instr{Op: OpAssign, Dst: lo.local(st.Target), Src: v, Pos: st.Pos}))
+		}
+	case *lang.ExprStmt:
+		_, c = lo.lowerExpr(st.X)
+	case *lang.SendStmt:
+		dst, sub := lo.lowerExpr(st.Dst)
+		c = sub
+		payload := ""
+		if st.Payload != nil {
+			var psub chain
+			payload, psub = lo.lowerExpr(st.Payload)
+			lo.append(&c, psub)
+		}
+		lo.seq(&c, lo.newNode(Instr{Op: OpSend, Target: dst, Event: st.Event, Src: payload, Pos: st.Pos}))
+	case *lang.RaiseStmt:
+		// A raise delivers the payload to this machine itself; ownership is
+		// retained, so the analysis treats it as a no-op over references.
+		lo.seq(&c, lo.newNode(Instr{Op: OpNop, Pos: st.Pos}))
+	case *lang.ReturnStmt:
+		src := ""
+		if st.Value != nil {
+			var sub chain
+			src, sub = lo.lowerExpr(st.Value)
+			c = sub
+		}
+		lo.seq(&c, lo.newNode(Instr{Op: OpReturn, Src: src, Pos: st.Pos}))
+		// Statements after a return are unreachable; cut the chain.
+		c.tails = nil
+	case *lang.IfStmt:
+		cond, sub := lo.lowerExpr(st.Cond)
+		c = sub
+		branch := lo.newNode(Instr{Op: OpBranch, Src: cond, Uses: refUses(st.Cond, lo), Pos: st.Pos})
+		lo.seq(&c, branch)
+		then := lo.lowerStmts(st.Then)
+		els := lo.lowerStmts(st.Else)
+		join := lo.newNode(Instr{Op: OpNop, Pos: st.Pos})
+		if then.head != nil {
+			link(branch, then.head)
+			for _, t := range then.tails {
+				link(t, join)
+			}
+		} else {
+			link(branch, join)
+		}
+		if els.head != nil {
+			link(branch, els.head)
+			for _, t := range els.tails {
+				link(t, join)
+			}
+		} else {
+			link(branch, join)
+		}
+		c.tails = []*Node{join}
+	case *lang.WhileStmt:
+		cond, sub := lo.lowerExpr(st.Cond)
+		head := sub.head
+		branch := lo.newNode(Instr{Op: OpBranch, Src: cond, Uses: refUses(st.Cond, lo), Pos: st.Pos})
+		if head == nil {
+			head = branch
+			sub = chain{head: branch, tails: []*Node{branch}}
+		} else {
+			for _, t := range sub.tails {
+				link(t, branch)
+			}
+		}
+		body := lo.lowerStmts(st.Body)
+		exit := lo.newNode(Instr{Op: OpNop, Pos: st.Pos})
+		link(branch, exit)
+		if body.head != nil {
+			link(branch, body.head)
+			for _, t := range body.tails {
+				link(t, head)
+			}
+		} else {
+			link(branch, head)
+		}
+		c = chain{head: head, tails: []*Node{exit}}
+	case *lang.AssertStmt:
+		cond, sub := lo.lowerExpr(st.Cond)
+		c = sub
+		lo.seq(&c, lo.newNode(Instr{Op: OpBranch, Src: cond, Uses: refUses(st.Cond, lo), Pos: st.Pos}))
+	}
+	return c
+}
+
+// refUses collects reference-typed variable/field reads inside a collapsed
+// scalar expression, so ownership condition 3 still sees them as uses.
+func refUses(e lang.Expr, lo *lowerer) []string {
+	var out []string
+	var walk func(lang.Expr)
+	walk = func(e lang.Expr) {
+		switch x := e.(type) {
+		case *lang.VarRef:
+			if x.TypeOf().IsRef() {
+				out = append(out, lo.local(x.Name))
+			}
+		case *lang.UnaryExpr:
+			walk(x.X)
+		case *lang.BinaryExpr:
+			walk(x.L)
+			walk(x.R)
+		}
+	}
+	walk(e)
+	return out
+}
+
+func refType(prog *lang.Program, t lang.Type) bool { return t.IsRef() }
+
+func (lo *lowerer) fieldType(name string) lang.Type {
+	if md, ok := lo.prog.MachineByName[lo.method.Holder]; ok {
+		if f, ok := md.FieldByName[name]; ok {
+			return f.Type
+		}
+	}
+	if cd, ok := lo.prog.ClassByName[lo.method.Holder]; ok {
+		if f, ok := cd.FieldByName[name]; ok {
+			return f.Type
+		}
+	}
+	return lang.Type{Name: "int"}
+}
+
+// lowerExpr lowers an expression, returning the variable holding its value
+// ("" for void calls) and the evaluation chain.
+func (lo *lowerer) lowerExpr(e lang.Expr) (string, chain) {
+	var c chain
+	switch x := e.(type) {
+	case *lang.IntLit, *lang.BoolLit:
+		t := lo.temp(false)
+		lo.seq(&c, lo.newNode(Instr{Op: OpConst, Dst: t}))
+		return t, c
+	case *lang.NullLit:
+		t := lo.temp(true)
+		lo.seq(&c, lo.newNode(Instr{Op: OpConst, Dst: t, Pos: x.Pos}))
+		return t, c
+	case *lang.VarRef:
+		return lo.local(x.Name), c
+	case *lang.ThisRef:
+		return "this", c
+	case *lang.FieldRef:
+		t := lo.temp(x.TypeOf().IsRef())
+		if lo.lifted {
+			lo.method.RefVar[fieldVar(x.Field)] = x.TypeOf().IsRef()
+			lo.seq(&c, lo.newNode(Instr{Op: OpAssign, Dst: t, Src: fieldVar(x.Field), Pos: x.Pos}))
+		} else {
+			lo.seq(&c, lo.newNode(Instr{Op: OpLoad, Dst: t, Field: x.Field, Pos: x.Pos}))
+		}
+		return t, c
+	case *lang.NewExpr:
+		t := lo.temp(true)
+		lo.seq(&c, lo.newNode(Instr{Op: OpNew, Dst: t, Class: x.Class, Pos: x.Pos}))
+		return t, c
+	case *lang.CreateExpr:
+		payload := ""
+		if x.Payload != nil {
+			var sub chain
+			payload, sub = lo.lowerExpr(x.Payload)
+			lo.append(&c, sub)
+		}
+		t := lo.temp(false) // machine handles are scalar
+		lo.seq(&c, lo.newNode(Instr{Op: OpCreate, Dst: t, Class: x.Machine, Src: payload, Pos: x.Pos}))
+		return t, c
+	case *lang.CallExpr:
+		recv, sub := lo.lowerExpr(x.Recv)
+		c = sub
+		args := make([]string, 0, len(x.Args))
+		for _, a := range x.Args {
+			av, asub := lo.lowerExpr(a)
+			lo.append(&c, asub)
+			args = append(args, av)
+		}
+		dst := ""
+		if x.TypeOf().Name != "void" {
+			dst = lo.temp(x.TypeOf().IsRef())
+		}
+		recvType := x.Recv.TypeOf().Name
+		lo.seq(&c, lo.newNode(Instr{
+			Op: OpCall, Dst: dst, Recv: recv, Class: recvType, Method: x.Method,
+			Args: args, Pos: x.Pos,
+		}))
+		return dst, c
+	case *lang.UnaryExpr, *lang.BinaryExpr:
+		// Scalar computation collapses; keep reference uses visible.
+		t := lo.temp(false)
+		lo.seq(&c, lo.newNode(Instr{Op: OpConst, Dst: t, Uses: refUses(e, lo)}))
+		return t, c
+	}
+	t := lo.temp(false)
+	lo.seq(&c, lo.newNode(Instr{Op: OpConst, Dst: t}))
+	return t, c
+}
+
+// BuildMethod lowers one method to its CFG form.
+func BuildMethod(prog *lang.Program, holderName string, decl *lang.MethodDecl) *Method {
+	m := &Method{Holder: holderName, Name: decl.Name, RefVar: make(map[string]bool)}
+	for _, p := range decl.Params {
+		m.Params = append(m.Params, p.Name)
+	}
+	m.Decl = decl
+	lo := &lowerer{prog: prog, method: m}
+	entry := lo.newNode(Instr{Op: OpNop, Pos: decl.Pos})
+	body := lowerMethodInto(lo, decl)
+	exit := lo.newNode(Instr{Op: OpNop, Pos: decl.Pos})
+	link(entry, body.head)
+	for _, t := range body.tails {
+		link(t, exit)
+	}
+	// Returns jump straight to exit.
+	for _, n := range lo.nodes {
+		if n.Instr.Op == OpReturn && len(n.Succs) == 0 && n != exit {
+			link(n, exit)
+		}
+	}
+	m.CFG = &CFG{Entry: entry, Exit: exit, Nodes: lo.nodes}
+	return m
+}
+
+func lowerMethodInto(lo *lowerer, decl *lang.MethodDecl) chain {
+	for _, p := range decl.Params {
+		if p.Type.IsRef() {
+			lo.method.RefVar[lo.local(p.Name)] = true
+		}
+	}
+	declareLocals(decl.Body, lo)
+	body := lo.lowerStmts(decl.Body)
+	if body.head == nil {
+		n := lo.newNode(Instr{Op: OpNop, Pos: decl.Pos})
+		body = chain{head: n, tails: []*Node{n}}
+	}
+	return body
+}

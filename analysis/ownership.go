@@ -1,0 +1,514 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/psharp-go/psharp/lang"
+)
+
+// Violation is one ownership violation: a give-up site (send, create, or a
+// call passing an argument the callee gives up) that fails one of the
+// respects-ownership conditions of Section 5.3. On race-free programs every
+// violation is a false positive; on racy programs at least one is real.
+type Violation struct {
+	Machine    string
+	Method     string
+	Pos        lang.Pos
+	Give       string // the variable given up
+	Event      string // the sent event, if the site is a send
+	Conditions []int  // which of conditions 1-3 failed
+	Detail     string
+	// WritesAfter reports that some use after the give-up may write the
+	// payload's region (a field store through a tainted receiver or a call
+	// to a writing method on a tainted argument). The read-only extension
+	// may only suppress violations where this is false.
+	WritesAfter bool
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s.%s: %s: ownership of %q violated (conditions %v): %s",
+		v.Machine, v.Method, v.Pos, v.Give, v.Conditions, v.Detail)
+}
+
+// Options configures Analyze.
+type Options struct {
+	// XSA enables the cross-state analysis (Section 5.4): machines with
+	// violations are re-analyzed on an overarching machine-level CFG with
+	// fields lifted to strongly-updated variables.
+	XSA bool
+	// ReadOnly enables the read-only extension (Section 8): a violating
+	// send is suppressed when every handler of the event, across all
+	// machines, only reads the payload.
+	ReadOnly bool
+}
+
+// Result is the outcome of analyzing a program.
+type Result struct {
+	// Violations are the surviving ownership violations (after xSA and the
+	// read-only filter, when enabled).
+	Violations []Violation
+	// BaseViolations are the violations of the plain per-method analysis,
+	// before xSA or read-only filtering (the paper's "No xSA" column).
+	BaseViolations []Violation
+	// ReadOnlySuppressed counts violations dropped by the read-only filter.
+	ReadOnlySuppressed int
+}
+
+// Verified reports that the program was proven race-free.
+func (r *Result) Verified() bool { return len(r.Violations) == 0 }
+
+// Analyze runs the static data-race analysis on a checked program.
+func Analyze(prog *lang.Program, opts Options) *Result {
+	a := newAnalyzer(prog, false)
+	a.runFixpoint()
+
+	res := &Result{}
+	perMachine := make(map[string][]Violation)
+	for _, md := range sortedMachines(prog) {
+		vs := a.checkMachine(md.Name)
+		perMachine[md.Name] = vs
+		res.BaseViolations = append(res.BaseViolations, vs...)
+	}
+
+	final := res.BaseViolations
+	if opts.XSA {
+		final = nil
+		for _, md := range sortedMachines(prog) {
+			if len(perMachine[md.Name]) == 0 {
+				continue
+			}
+			// Re-analyze the machine on its cross-state CFG; only the
+			// violations that persist there are reported (xSA is sound, so
+			// discarding the others is safe).
+			x := newAnalyzer(prog, true)
+			x.installMachineCFG(md)
+			x.runFixpoint()
+			final = append(final, x.checkMachine(md.Name)...)
+		}
+	}
+
+	if opts.ReadOnly {
+		kept := final[:0:0]
+		for _, v := range final {
+			if v.Event != "" && !v.WritesAfter && a.eventReadOnly(v.Event) {
+				res.ReadOnlySuppressed++
+				continue
+			}
+			kept = append(kept, v)
+		}
+		final = kept
+	}
+	res.Violations = final
+	return res
+}
+
+// GivesUp computes the give-up sets of every method (Figure 5), keyed by
+// "Holder.Method", with formal parameter names as values; exported for
+// tests and the psharp-analyze tool.
+func GivesUp(prog *lang.Program) map[string][]string {
+	a := newAnalyzer(prog, false)
+	a.runFixpoint()
+	out := make(map[string][]string)
+	for name, m := range a.methods {
+		sum := a.summaryOf(m.Holder, m.Name)
+		var params []string
+		for pos := range sum.GivesUp {
+			if pos >= 0 && pos < len(m.Params) {
+				params = append(params, m.Params[pos])
+			}
+		}
+		sort.Strings(params)
+		if len(params) > 0 {
+			out[name] = params
+		}
+	}
+	return out
+}
+
+func sortedMachines(prog *lang.Program) []*lang.MachineDecl {
+	out := append([]*lang.MachineDecl(nil), prog.Machines...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// newAnalyzer builds the method universe: all class methods, all machine
+// methods, and a synthetic method per state entry block. In lifted mode the
+// machine methods are replaced later by installMachineCFG.
+func newAnalyzer(prog *lang.Program, lifted bool) *analyzer {
+	a := &analyzer{
+		prog:    prog,
+		methods: make(map[string]*Method),
+		summary: make(map[string]*Summary),
+		results: make(map[string]*methodAnalysis),
+	}
+	for _, cd := range prog.Classes {
+		for _, m := range cd.Methods {
+			mm := BuildMethod(prog, cd.Name, m)
+			a.methods[mm.QName()] = mm
+		}
+	}
+	if !lifted {
+		for _, md := range prog.Machines {
+			for _, m := range md.Methods {
+				mm := BuildMethod(prog, md.Name, m)
+				a.methods[mm.QName()] = mm
+			}
+			for _, s := range md.States {
+				if s.Entry != nil {
+					decl := &lang.MethodDecl{Name: "$entry_" + s.Name, Body: s.Entry, Pos: s.Pos}
+					mm := BuildMethod(prog, md.Name, decl)
+					a.methods[mm.QName()] = mm
+				}
+			}
+		}
+	}
+	return a
+}
+
+// checkMachine runs the respects-ownership conditions over every analyzed
+// method belonging to the machine.
+func (a *analyzer) checkMachine(machine string) []Violation {
+	var out []Violation
+	names := make([]string, 0, len(a.methods))
+	for name, m := range a.methods {
+		if m.Holder == machine {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		out = append(out, a.checkMethod(a.methods[name])...)
+	}
+	return out
+}
+
+// checkMethod applies conditions 1-3 at every give-up site of the method.
+func (a *analyzer) checkMethod(m *Method) []Violation {
+	ma := a.results[m.QName()]
+	if ma == nil {
+		return nil
+	}
+	var out []Violation
+	reachable := cfgReachability(m.CFG)
+	for _, n := range m.CFG.Nodes {
+		for _, w := range a.giveUpVarsAt(n) {
+			if w == "" || !m.IsRef(w) {
+				continue
+			}
+			if v, bad := a.checkGiveUp(m, ma, n, w, reachable); bad {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// checkGiveUp evaluates the three respects-ownership conditions for giving
+// up variable w at node n.
+func (a *analyzer) checkGiveUp(m *Method, ma *methodAnalysis, n *Node, w string, reachable map[int]map[int]bool) (Violation, bool) {
+	give := ma.reachVarIn(n.ID, w)
+	if len(give) == 0 {
+		return Violation{}, false // provably null payload
+	}
+	v := Violation{
+		Machine: m.Holder,
+		Method:  m.Name,
+		Pos:     n.Instr.Pos,
+		Give:    w,
+		Event:   n.Instr.Event,
+	}
+
+	// Condition 2 first: w must not be this, and no other variable at the
+	// site may alias the given-up region.
+	if w == "this" {
+		v.Conditions = append(v.Conditions, 2)
+		v.Detail = "the receiver itself is given up"
+	} else {
+		for _, other := range n.Instr.usedRefVars(m.IsRef) {
+			if other == w {
+				continue
+			}
+			if ma.reachVarIn(n.ID, other).intersects(give) {
+				v.Conditions = append(v.Conditions, 2)
+				v.Detail = fmt.Sprintf("%q aliases the given-up payload at the give-up site", other)
+				break
+			}
+		}
+	}
+
+	// Condition 1: the receiver must not reach the given-up region (a later
+	// state could access it through a field).
+	if w != "this" && ma.reachVarIn(n.ID, "this").intersects(give) {
+		v.Conditions = append(v.Conditions, 1)
+		if v.Detail == "" {
+			v.Detail = "the machine can still reach the payload through its fields"
+		}
+	}
+
+	// Condition 3: no variable used on any path after the give-up may still
+	// hold the payload. Evaluated with a forward taint pass so that strong
+	// updates (and xSA's lifted fields) properly kill stale aliases. The
+	// pass also records whether any tainted use is a write, which gates the
+	// read-only extension.
+	taint := a.taintForward(m, ma, n, give)
+	cond3 := false
+	for _, n2 := range m.CFG.Nodes {
+		if !reachable[n.ID][n2.ID] {
+			continue
+		}
+		tset := taint[n2.ID]
+		if len(tset) == 0 {
+			continue
+		}
+		for _, used := range n2.Instr.usedRefVars(m.IsRef) {
+			if tset[used] {
+				if !cond3 {
+					cond3 = true
+					v.Conditions = append(v.Conditions, 3)
+					if v.Detail == "" {
+						v.Detail = fmt.Sprintf("%q is used at %s after the payload was given up", used, n2.Instr.Pos)
+					}
+				}
+				break
+			}
+		}
+		if a.isWritingUse(m, n2, tset) {
+			v.WritesAfter = true
+		}
+	}
+
+	if len(v.Conditions) == 0 {
+		return Violation{}, false
+	}
+	sort.Ints(v.Conditions)
+	return v, true
+}
+
+// taintForward propagates "holds given-up data" forward from node n, where
+// the seed is every variable whose reachable region overlaps give. Strong
+// assignments kill taint; stores taint this (member-insensitively); calls
+// propagate through summaries. Returns taint-at-entry per node.
+func (a *analyzer) taintForward(m *Method, ma *methodAnalysis, n *Node, give objSet) map[int]map[string]bool {
+	seed := make(map[string]bool)
+	for v := range ma.in[n.ID] {
+		if !m.IsRef(v) {
+			continue
+		}
+		if ma.reachVarIn(n.ID, v).intersects(give) {
+			seed[v] = true
+		}
+	}
+	taintIn := make(map[int]map[string]bool)
+	// The seed applies at the exit of n, i.e. at the entry of its succs.
+	work := make([]*Node, 0, len(n.Succs))
+	for _, s := range n.Succs {
+		taintIn[s.ID] = cloneSet(seed)
+		work = append(work, s)
+	}
+	for len(work) > 0 {
+		cur := work[0]
+		work = work[1:]
+		out := a.taintTransfer(m, ma, cur, taintIn[cur.ID])
+		for _, s := range cur.Succs {
+			dst, ok := taintIn[s.ID]
+			if !ok {
+				taintIn[s.ID] = cloneSet(out)
+				work = append(work, s)
+				continue
+			}
+			changed := false
+			for v := range out {
+				if !dst[v] {
+					dst[v] = true
+					changed = true
+				}
+			}
+			if changed {
+				work = append(work, s)
+			}
+		}
+	}
+	return taintIn
+}
+
+func cloneSet(s map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+// taintTransfer applies one instruction to a taint set.
+func (a *analyzer) taintTransfer(m *Method, ma *methodAnalysis, n *Node, in map[string]bool) map[string]bool {
+	out := cloneSet(in)
+	ins := n.Instr
+	switch ins.Op {
+	case OpAssign:
+		if m.IsRef(ins.Dst) {
+			if in[ins.Src] {
+				out[ins.Dst] = true
+			} else {
+				delete(out, ins.Dst)
+			}
+		}
+	case OpConst, OpNew:
+		delete(out, ins.Dst)
+	case OpLoad:
+		if in["this"] {
+			out[ins.Dst] = true
+		} else {
+			delete(out, ins.Dst)
+		}
+	case OpStore:
+		if in[ins.Src] {
+			out["this"] = true
+		}
+	case OpCreate:
+		delete(out, ins.Dst)
+	case OpCall:
+		callee := a.methodOf(ins.Class, ins.Method)
+		argOf := func(pos int) string {
+			if pos == posThis {
+				return ins.Recv
+			}
+			if pos >= 0 && pos < len(ins.Args) {
+				return ins.Args[pos]
+			}
+			return ""
+		}
+		if callee == nil {
+			// Unknown callee: taint spreads to everything involved.
+			any := in[ins.Recv]
+			for _, arg := range ins.Args {
+				if in[arg] {
+					any = true
+				}
+			}
+			if any {
+				out[ins.Recv] = true
+				for _, arg := range ins.Args {
+					if m.IsRef(arg) {
+						out[arg] = true
+					}
+				}
+				if ins.Dst != "" && m.IsRef(ins.Dst) {
+					out[ins.Dst] = true
+				}
+			} else if ins.Dst != "" {
+				delete(out, ins.Dst)
+			}
+			break
+		}
+		sum := a.summaryOf(ins.Class, ins.Method)
+		for from, tos := range sum.Links {
+			for to := range tos {
+				if in[argOf(to)] && argOf(from) != "" && m.IsRef(argOf(from)) {
+					out[argOf(from)] = true
+				}
+			}
+		}
+		if ins.Dst != "" && m.IsRef(ins.Dst) {
+			tainted := false
+			for pos := range sum.RetSources {
+				if in[argOf(pos)] {
+					tainted = true
+				}
+			}
+			if tainted {
+				out[ins.Dst] = true
+			} else {
+				delete(out, ins.Dst)
+			}
+		}
+	}
+	return out
+}
+
+// isWritingUse reports whether node n may write the region held by a
+// tainted variable: a field store through a tainted receiver, or a call
+// whose writing position is bound to a tainted variable.
+func (a *analyzer) isWritingUse(m *Method, n *Node, tainted map[string]bool) bool {
+	ins := n.Instr
+	switch ins.Op {
+	case OpStore:
+		return tainted["this"]
+	case OpCall:
+		callee := a.methodOf(ins.Class, ins.Method)
+		if callee == nil {
+			// Unknown callee: assume it writes whatever it can reach.
+			if tainted[ins.Recv] {
+				return true
+			}
+			for _, arg := range ins.Args {
+				if tainted[arg] {
+					return true
+				}
+			}
+			return false
+		}
+		sum := a.summaryOf(ins.Class, ins.Method)
+		for pos := range sum.Writes {
+			v := ins.Recv
+			if pos >= 0 && pos < len(ins.Args) {
+				v = ins.Args[pos]
+			}
+			if tainted[v] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// cfgReachability computes can-reach-via-at-least-one-edge per node pair.
+func cfgReachability(cfg *CFG) map[int]map[int]bool {
+	out := make(map[int]map[int]bool, len(cfg.Nodes))
+	for _, n := range cfg.Nodes {
+		seen := make(map[int]bool)
+		stack := append([]*Node(nil), n.Succs...)
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[cur.ID] {
+				continue
+			}
+			seen[cur.ID] = true
+			stack = append(stack, cur.Succs...)
+		}
+		out[n.ID] = seen
+	}
+	return out
+}
+
+// eventReadOnly reports whether every handler of the event, across every
+// machine, only reads its payload: the payload parameter is neither written
+// (directly or through callees) nor stored into the receiving machine's
+// fields (which would allow writes in later states).
+func (a *analyzer) eventReadOnly(event string) bool {
+	for _, md := range a.prog.Machines {
+		for _, s := range md.States {
+			meth, ok := s.OnDo[event]
+			if !ok {
+				continue
+			}
+			decl := md.MethodByName[meth]
+			if decl == nil || len(decl.Params) == 0 || decl.Params[0].Type.IsScalar() {
+				continue // no payload access at all
+			}
+			sum := a.summaryOf(md.Name, meth)
+			if sum.Writes[0] {
+				return false
+			}
+			// Stored into machine state?
+			if tos, ok := sum.Links[posThis]; ok && tos[0] {
+				return false
+			}
+		}
+		// Transitions deliver the payload to entry blocks, which cannot
+		// access payloads in this language; they are read-only by
+		// construction.
+	}
+	return true
+}

@@ -1,0 +1,569 @@
+package analysis
+
+import (
+	"sort"
+
+	"github.com/psharp-go/psharp/lang"
+)
+
+// objKind classifies abstract heap objects. Member insensitivity (paper
+// Section 5.1: "we taint the whole object instead") means one abstract node
+// stands for the entire region reachable from its source.
+type objKind int
+
+const (
+	objParam objKind = iota // the region reachable from a formal parameter at entry
+	objThis                 // the region reachable from the receiver
+	objAlloc                // an allocation site
+)
+
+// obj is an abstract heap object.
+type obj struct {
+	kind objKind
+	idx  int // parameter index, or allocating node ID
+}
+
+// objSet is a small set of abstract objects.
+type objSet map[obj]bool
+
+func (s objSet) clone() objSet {
+	out := make(objSet, len(s))
+	for o := range s {
+		out[o] = true
+	}
+	return out
+}
+
+func (s objSet) addAll(other objSet) bool {
+	changed := false
+	for o := range other {
+		if !s[o] {
+			s[o] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (s objSet) intersects(other objSet) bool {
+	for o := range s {
+		if other[o] {
+			return true
+		}
+	}
+	return false
+}
+
+// Positions in method summaries: parameters are 0..n-1.
+const (
+	posThis = -1
+)
+
+// Summary is a method's modular abstraction (the paper's taint summary
+// plus the gives-up and writes sets).
+type Summary struct {
+	// Links[i] lists positions whose objects may become reachable from
+	// position i's object after the call (containment i -> j).
+	Links map[int]map[int]bool
+	// RetSources lists positions the return value may reach; RetFresh says
+	// the return value may be a fresh allocation.
+	RetSources map[int]bool
+	RetFresh   bool
+	// GivesUp marks parameter positions whose ownership the method
+	// transfers away (Figure 5); posThis is possible too.
+	GivesUp map[int]bool
+	// Writes marks positions whose object may have a field written
+	// (transitively); used by the read-only extension.
+	Writes map[int]bool
+}
+
+func newSummary() *Summary {
+	return &Summary{
+		Links:      make(map[int]map[int]bool),
+		RetSources: make(map[int]bool),
+		GivesUp:    make(map[int]bool),
+		Writes:     make(map[int]bool),
+	}
+}
+
+func (s *Summary) link(from, to int) bool {
+	m, ok := s.Links[from]
+	if !ok {
+		m = make(map[int]bool)
+		s.Links[from] = m
+	}
+	if m[to] {
+		return false
+	}
+	m[to] = true
+	return true
+}
+
+// varPts maps variables to their points-to sets at a program point.
+type varPts map[string]objSet
+
+func (p varPts) clone() varPts {
+	out := make(varPts, len(p))
+	for v, s := range p {
+		out[v] = s.clone()
+	}
+	return out
+}
+
+func (p varPts) get(v string) objSet {
+	if s, ok := p[v]; ok {
+		return s
+	}
+	return nil
+}
+
+// joinInto merges other into p; reports change.
+func (p varPts) joinInto(other varPts) bool {
+	changed := false
+	for v, s := range other {
+		cur, ok := p[v]
+		if !ok {
+			p[v] = s.clone()
+			changed = true
+			continue
+		}
+		if cur.addAll(s) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// methodAnalysis is the per-method dataflow result.
+type methodAnalysis struct {
+	method *Method
+	// in/out points-to states per node ID.
+	in, out map[int]varPts
+	// contains is the monotone containment relation over abstract objects
+	// accumulated for this method (member-insensitive heap edges).
+	contains map[obj]objSet
+	// containsEdges counts edges in contains, for fixpoint detection.
+	containsEdges int
+}
+
+// reach closes a points-to set under containment.
+func (ma *methodAnalysis) reach(s objSet) objSet {
+	out := make(objSet)
+	var stack []obj
+	for o := range s {
+		out[o] = true
+		stack = append(stack, o)
+	}
+	for len(stack) > 0 {
+		o := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for c := range ma.contains[o] {
+			if !out[c] {
+				out[c] = true
+				stack = append(stack, c)
+			}
+		}
+	}
+	return out
+}
+
+// reachVarIn returns the closure of v's points-to set on entry to node id.
+func (ma *methodAnalysis) reachVarIn(id int, v string) objSet {
+	return ma.reach(ma.in[id].get(v))
+}
+
+// reachVarOut returns the closure of v's points-to set on exit from node id.
+func (ma *methodAnalysis) reachVarOut(id int, v string) objSet {
+	return ma.reach(ma.out[id].get(v))
+}
+
+// analyzer drives the whole-program summary fixpoint.
+type analyzer struct {
+	prog    *lang.Program
+	methods map[string]*Method // key: Holder.Name
+	summary map[string]*Summary
+	results map[string]*methodAnalysis
+}
+
+func (a *analyzer) methodOf(holder, name string) *Method {
+	return a.methods[holder+"."+name]
+}
+
+func (a *analyzer) summaryOf(holder, name string) *Summary {
+	s, ok := a.summary[holder+"."+name]
+	if !ok {
+		s = newSummary()
+		a.summary[holder+"."+name] = s
+	}
+	return s
+}
+
+// paramIndex maps a method's formal names to positions.
+func paramIndex(m *Method) map[string]int {
+	idx := make(map[string]int, len(m.Params))
+	for i, p := range m.Params {
+		idx[p] = i
+	}
+	return idx
+}
+
+// analyzeMethod runs the flow-sensitive points-to pass for one method and
+// returns whether its summary changed (for the global fixpoint).
+func (a *analyzer) analyzeMethod(m *Method) bool {
+	ma := &methodAnalysis{
+		method:   m,
+		in:       make(map[int]varPts),
+		out:      make(map[int]varPts),
+		contains: make(map[obj]objSet),
+	}
+	a.results[m.QName()] = ma
+
+	init := make(varPts)
+	init["this"] = objSet{obj{kind: objThis}: true}
+	for i, p := range m.Params {
+		if m.IsRef(p) {
+			init[p] = objSet{obj{kind: objParam, idx: i}: true}
+		}
+	}
+	// In xSA mode, machine-level field variables start as fresh unknown
+	// regions (distinct abstract objects), modeling arbitrary prior state.
+	for v, isRef := range m.RefVar {
+		if isRef && len(v) > 0 && v[0] == '$' {
+			init[v] = objSet{obj{kind: objParam, idx: fieldParamIndex(m, v)}: true}
+		}
+	}
+
+	// Chaotic iteration to a fixpoint. Everything is monotone: points-to
+	// sets and the containment relation only grow, so termination follows
+	// from the finite abstract-object universe. Containment growth must
+	// re-trigger transfer (OpLoad reads reach(this)), which plain worklist
+	// scheduling on state change alone would miss.
+	ma.in[m.CFG.Entry.ID] = init
+	for changed := true; changed; {
+		changed = false
+		for _, n := range m.CFG.Nodes {
+			inState, ok := ma.in[n.ID]
+			if !ok {
+				if n != m.CFG.Entry && len(n.Preds) == 0 {
+					continue // unreachable
+				}
+				inState = make(varPts)
+				ma.in[n.ID] = inState
+			}
+			for _, p := range n.Preds {
+				if po, ok := ma.out[p.ID]; ok {
+					if inState.joinInto(po) {
+						changed = true
+					}
+				}
+			}
+			before := ma.containsEdges
+			newOut := a.transfer(ma, n, inState)
+			if ma.containsEdges != before {
+				changed = true
+			}
+			oldOut, had := ma.out[n.ID]
+			if !had {
+				ma.out[n.ID] = newOut
+				changed = true
+			} else if oldOut.joinInto(newOut) {
+				changed = true
+			}
+		}
+	}
+	return a.updateSummary(m, ma)
+}
+
+// fieldParamIndex gives each machine-level field variable a stable
+// parameter-like abstract object index (negative, below posThis).
+func fieldParamIndex(m *Method, v string) int {
+	names := make([]string, 0, len(m.RefVar))
+	for name := range m.RefVar {
+		if len(name) > 0 && name[0] == '$' {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		if name == v {
+			return -10 - i
+		}
+	}
+	return -10
+}
+
+// transfer applies one instruction.
+func (a *analyzer) transfer(ma *methodAnalysis, n *Node, in varPts) varPts {
+	out := in.clone()
+	ins := n.Instr
+	setStrong := func(dst string, s objSet) {
+		if dst == "" {
+			return
+		}
+		out[dst] = s
+	}
+	switch ins.Op {
+	case OpAssign:
+		if ma.method.IsRef(ins.Dst) {
+			setStrong(ins.Dst, out.get(ins.Src).clone())
+		}
+	case OpConst:
+		if ma.method.IsRef(ins.Dst) {
+			setStrong(ins.Dst, make(objSet))
+		}
+	case OpLoad:
+		if ma.method.IsRef(ins.Dst) {
+			// Member-insensitive: a field load yields the whole region
+			// reachable from the receiver.
+			setStrong(ins.Dst, ma.reach(out.get("this")))
+		}
+	case OpStore:
+		src := out.get(ins.Src)
+		for o := range out.get("this") {
+			a.contain(ma, o, src)
+		}
+	case OpNew:
+		setStrong(ins.Dst, objSet{obj{kind: objAlloc, idx: n.ID}: true})
+	case OpCall:
+		a.transferCall(ma, n, out)
+	case OpSend, OpCreate:
+		// Ownership transfer is checked separately; no points-to effect.
+		if ins.Op == OpCreate && ins.Dst != "" && ma.method.IsRef(ins.Dst) {
+			setStrong(ins.Dst, make(objSet))
+		}
+	}
+	return out
+}
+
+func (a *analyzer) contain(ma *methodAnalysis, container obj, contents objSet) {
+	cur, ok := ma.contains[container]
+	if !ok {
+		cur = make(objSet)
+		ma.contains[container] = cur
+	}
+	for o := range contents {
+		if o != container && !cur[o] {
+			cur[o] = true
+			ma.containsEdges++
+		}
+	}
+}
+
+// transferCall applies a callee summary at a call site.
+func (a *analyzer) transferCall(ma *methodAnalysis, n *Node, out varPts) {
+	ins := n.Instr
+	callee := a.methodOf(ins.Class, ins.Method)
+	argOf := func(pos int) string {
+		if pos == posThis {
+			return ins.Recv
+		}
+		if pos >= 0 && pos < len(ins.Args) {
+			return ins.Args[pos]
+		}
+		return ""
+	}
+	if callee == nil {
+		// Unknown callee (paper Section 5.4: library calls are handled
+		// conservatively — everything reachable becomes mutually reachable).
+		all := make(objSet)
+		vars := append([]string{ins.Recv}, ins.Args...)
+		for _, v := range vars {
+			all.addAll(ma.reach(out.get(v)))
+		}
+		for o := range all {
+			a.contain(ma, o, all)
+		}
+		if ins.Dst != "" && ma.method.IsRef(ins.Dst) {
+			s := all.clone()
+			s[obj{kind: objAlloc, idx: n.ID}] = true
+			out[ins.Dst] = s
+		}
+		return
+	}
+	sum := a.summaryOf(ins.Class, ins.Method)
+	for from, tos := range sum.Links {
+		fromSet := out.get(argOf(from))
+		for to := range tos {
+			toReach := ma.reach(out.get(argOf(to)))
+			for o := range fromSet {
+				a.contain(ma, o, toReach)
+			}
+		}
+	}
+	if ins.Dst != "" && ma.method.IsRef(ins.Dst) {
+		s := make(objSet)
+		for pos := range sum.RetSources {
+			s.addAll(ma.reach(out.get(argOf(pos))))
+		}
+		if sum.RetFresh {
+			s[obj{kind: objAlloc, idx: n.ID}] = true
+		}
+		out[ins.Dst] = s
+	}
+}
+
+// updateSummary recomputes m's summary from the analysis result; returns
+// whether it grew.
+func (a *analyzer) updateSummary(m *Method, ma *methodAnalysis) bool {
+	sum := a.summaryOf(m.Holder, m.Name)
+	changed := false
+	exitID := m.CFG.Exit.ID
+
+	posOf := func(o obj) (int, bool) {
+		switch o.kind {
+		case objThis:
+			return posThis, true
+		case objParam:
+			if o.idx >= 0 {
+				return o.idx, true
+			}
+		}
+		return 0, false
+	}
+
+	// Links: position i reaches position j's object at exit.
+	exitState := ma.out[exitID]
+	if exitState == nil {
+		exitState = ma.in[exitID]
+	}
+	srcSets := map[int]objSet{posThis: ma.reach(objSet{obj{kind: objThis}: true})}
+	for i := range m.Params {
+		srcSets[i] = ma.reach(objSet{obj{kind: objParam, idx: i}: true})
+	}
+	for i, reachSet := range srcSets {
+		for o := range reachSet {
+			if j, ok := posOf(o); ok && j != i {
+				if sum.link(i, j) {
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Return sources.
+	for _, n := range m.CFG.Nodes {
+		if n.Instr.Op != OpReturn || n.Instr.Src == "" || !m.IsRef(n.Instr.Src) {
+			continue
+		}
+		for o := range ma.reachVarIn(n.ID, n.Instr.Src) {
+			if pos, ok := posOf(o); ok {
+				if !sum.RetSources[pos] {
+					sum.RetSources[pos] = true
+					changed = true
+				}
+			} else if !sum.RetFresh {
+				sum.RetFresh = true
+				changed = true
+			}
+		}
+	}
+
+	// Writes: a field store writes this's region; calls propagate callee
+	// writes onto whatever the written argument can reach.
+	markWrite := func(s objSet) {
+		for o := range s {
+			if pos, ok := posOf(o); ok {
+				if !sum.Writes[pos] {
+					sum.Writes[pos] = true
+					changed = true
+				}
+			}
+		}
+	}
+	for _, n := range m.CFG.Nodes {
+		switch n.Instr.Op {
+		case OpStore:
+			markWrite(ma.reachVarIn(n.ID, "this"))
+		case OpCall:
+			callee := a.summaryOf(n.Instr.Class, n.Instr.Method)
+			if a.methodOf(n.Instr.Class, n.Instr.Method) == nil {
+				// Unknown callee: assume it writes everything it can reach.
+				markWrite(ma.reachVarIn(n.ID, n.Instr.Recv))
+				for _, arg := range n.Instr.Args {
+					markWrite(ma.reachVarIn(n.ID, arg))
+				}
+				continue
+			}
+			for pos := range callee.Writes {
+				v := n.Instr.Recv
+				if pos >= 0 && pos < len(n.Instr.Args) {
+					v = n.Instr.Args[pos]
+				}
+				markWrite(ma.reachVarIn(n.ID, v))
+			}
+		}
+	}
+
+	// GivesUp (Figure 5): a send (or create, or call to a method that gives
+	// up the corresponding formal) gives up every position whose entry
+	// object is in the payload's reachable region.
+	markGiveUp := func(s objSet) {
+		for o := range s {
+			if pos, ok := posOf(o); ok {
+				if !sum.GivesUp[pos] {
+					sum.GivesUp[pos] = true
+					changed = true
+				}
+			}
+		}
+	}
+	for _, n := range m.CFG.Nodes {
+		for _, gv := range a.giveUpVarsAt(n) {
+			if gv == "" || !m.IsRef(gv) {
+				continue
+			}
+			markGiveUp(ma.reachVarIn(n.ID, gv))
+		}
+	}
+	return changed
+}
+
+// giveUpVarsAt returns the variables whose ownership node n transfers away:
+// the payload of a send/create, and every argument passed for a formal in
+// the callee's give-up set.
+func (a *analyzer) giveUpVarsAt(n *Node) []string {
+	ins := n.Instr
+	switch ins.Op {
+	case OpSend, OpCreate:
+		if ins.Src != "" {
+			return []string{ins.Src}
+		}
+	case OpCall:
+		if a.methodOf(ins.Class, ins.Method) == nil {
+			return nil // unknown callees handled conservatively elsewhere
+		}
+		sum := a.summaryOf(ins.Class, ins.Method)
+		var out []string
+		for pos := range sum.GivesUp {
+			if pos == posThis {
+				out = append(out, ins.Recv)
+			} else if pos >= 0 && pos < len(ins.Args) {
+				out = append(out, ins.Args[pos])
+			}
+		}
+		sort.Strings(out)
+		return out
+	}
+	return nil
+}
+
+// runFixpoint computes all summaries to a global fixpoint (methods may be
+// mutually recursive; Figure 5's outer repeat loop).
+func (a *analyzer) runFixpoint() {
+	names := make([]string, 0, len(a.methods))
+	for name := range a.methods {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for {
+		changed := false
+		for _, name := range names {
+			if a.analyzeMethod(a.methods[name]) {
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}

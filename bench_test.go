@@ -1,0 +1,180 @@
+package psharp_test
+
+// Benchmarks regenerating the paper's evaluation (one bench per table row
+// group, plus the ablations called out in DESIGN.md). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Absolute numbers depend on the host; the claims under test are the
+// relative shapes (see EXPERIMENTS.md).
+
+import (
+	"testing"
+
+	"github.com/psharp-go/psharp/analysis"
+	"github.com/psharp-go/psharp/internal/benchsrc"
+	"github.com/psharp-go/psharp/internal/protocols"
+	"github.com/psharp-go/psharp/internal/tables"
+	"github.com/psharp-go/psharp/sct"
+)
+
+// BenchmarkTable1Analyzer measures the static analyzer on every Table 1
+// benchmark (the paper's per-benchmark analysis-time column).
+func BenchmarkTable1Analyzer(b *testing.B) {
+	for _, bench := range benchsrc.All() {
+		prog, err := benchsrc.Source(bench.Name, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(bench.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				analysis.Analyze(prog, analysis.Options{XSA: true})
+			}
+		})
+	}
+}
+
+// benchSCT runs a fixed number of schedules per iteration and reports
+// schedules/second — the paper's #Sch/sec metric.
+func benchSCT(b *testing.B, name string, mode tables.SchedulerMode, schedules int) {
+	bench := protocols.MustByName(name, true)
+	b.ReportAllocs()
+	totalSchedules := 0
+	for i := 0; i < b.N; i++ {
+		opts := sct.Options{
+			Iterations:    schedules,
+			MaxSteps:      bench.MaxSteps,
+			LivelockAsBug: bench.LivelockAsBug,
+		}
+		switch mode {
+		case tables.ModeChessRDOn:
+			opts.Strategy = sct.NewDFS()
+			opts.ChessLike = true
+			opts.RaceDetect = true
+		case tables.ModeChessRDOff:
+			opts.Strategy = sct.NewDFS()
+			opts.ChessLike = true
+		case tables.ModePSharpDFS:
+			opts.Strategy = sct.NewDFS()
+		case tables.ModePSharpRandom:
+			opts.Strategy = sct.NewRandom(uint64(i) + 1)
+		}
+		rep := sct.Run(bench.Setup, opts)
+		totalSchedules += rep.Iterations
+	}
+	b.ReportMetric(float64(totalSchedules)/b.Elapsed().Seconds(), "schedules/s")
+}
+
+// BenchmarkTable2 measures every buggy protocol under the four Table 2
+// configurations (CHESS-like with and without race detection, P# DFS, P#
+// random). 50 schedules per iteration keeps individual benches short; the
+// schedules/s metric is budget-independent.
+func BenchmarkTable2(b *testing.B) {
+	modes := []tables.SchedulerMode{
+		tables.ModeChessRDOn, tables.ModeChessRDOff,
+		tables.ModePSharpDFS, tables.ModePSharpRandom,
+	}
+	for _, name := range protocols.Names() {
+		if _, ok := protocols.ByName(name, true); !ok {
+			continue
+		}
+		for _, mode := range modes {
+			mode := mode
+			name := name
+			b.Run(name+"/"+mode.String(), func(b *testing.B) {
+				benchSCT(b, name, mode, 50)
+			})
+		}
+	}
+}
+
+// BenchmarkAblationSchedulingGranularity isolates the paper's key runtime
+// claim: scheduling only at send/create (P#) vs also at queue operations
+// (CHESS granularity) on the same program and strategy.
+func BenchmarkAblationSchedulingGranularity(b *testing.B) {
+	bench := protocols.MustByName("German", false)
+	for _, chess := range []bool{false, true} {
+		name := "send-create-only"
+		if chess {
+			name = "chess-granularity"
+		}
+		chess := chess
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sct.Run(bench.Setup, sct.Options{
+					Strategy:   sct.NewRandom(uint64(i) + 1),
+					Iterations: 20,
+					MaxSteps:   bench.MaxSteps,
+					ChessLike:  chess,
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRaceDetector isolates the RD-on/RD-off overhead on the
+// same scheduler (the paper: CHESS runs 4-7.5x faster with its race
+// detector off).
+func BenchmarkAblationRaceDetector(b *testing.B) {
+	bench := protocols.MustByName("ChainReplication", false)
+	for _, rd := range []bool{true, false} {
+		name := "RD-off"
+		if rd {
+			name = "RD-on"
+		}
+		rd := rd
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sct.Run(bench.Setup, sct.Options{
+					Strategy:   sct.NewRandom(uint64(i) + 1),
+					Iterations: 20,
+					MaxSteps:   bench.MaxSteps,
+					ChessLike:  true,
+					RaceDetect: rd,
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkAblationXSA measures the analysis cost of the cross-state
+// analysis and the read-only extension on the heaviest Table 1 entries.
+func BenchmarkAblationXSA(b *testing.B) {
+	for _, name := range []string{"AsyncSystem", "MultiPaxos"} {
+		prog, err := benchsrc.Source(name, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, cfg := range []struct {
+			label string
+			opts  analysis.Options
+		}{
+			{"base", analysis.Options{}},
+			{"xsa", analysis.Options{XSA: true}},
+			{"xsa+readonly", analysis.Options{XSA: true, ReadOnly: true}},
+		} {
+			cfg := cfg
+			b.Run(name+"/"+cfg.label, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					analysis.Analyze(prog, cfg.opts)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkProductionRuntime measures the concurrent (non-serialized)
+// runtime on the ping-pong workload: end-to-end event throughput.
+func BenchmarkProductionRuntime(b *testing.B) {
+	bench := protocols.MustByName("AsyncSystemSim", false)
+	for i := 0; i < b.N; i++ {
+		rep := sct.Run(bench.Setup, sct.Options{
+			Strategy:   sct.NewRandom(uint64(i) + 1),
+			Iterations: 10,
+			MaxSteps:   bench.MaxSteps,
+		})
+		if rep.BugFound() {
+			b.Fatalf("unexpected bug: %v", rep.FirstBug)
+		}
+	}
+}

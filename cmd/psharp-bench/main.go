@@ -1,0 +1,48 @@
+// Command psharp-bench regenerates the paper's evaluation tables.
+//
+// Usage:
+//
+//	psharp-bench -table 1
+//	psharp-bench -table 2 [-iterations 10000] [-timeout 5m]
+//	psharp-bench -table all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/psharp-go/psharp/internal/tables"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to regenerate: 1, 2 or all")
+	iterations := flag.Int("iterations", 10000, "schedule budget per Table 2 cell (paper: 10,000)")
+	timeout := flag.Duration("timeout", 5*time.Minute, "time budget per Table 2 cell (paper: 5m)")
+	seed := flag.Uint64("seed", 20150628, "random scheduler seed")
+	flag.Parse()
+
+	if *table == "1" || *table == "all" {
+		fmt.Println("== Table 1: static data race analysis ==")
+		rows, err := tables.RunTable1()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "psharp-bench:", err)
+			os.Exit(1)
+		}
+		tables.PrintTable1(os.Stdout, rows)
+		fmt.Println()
+	}
+	if *table == "2" || *table == "all" {
+		fmt.Printf("== Table 2: scheduler comparison (budget: %d schedules / %v per cell) ==\n",
+			*iterations, *timeout)
+		rows, err := tables.RunTable2(tables.Table2Options{
+			Iterations: *iterations, Timeout: *timeout, Seed: *seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "psharp-bench:", err)
+			os.Exit(1)
+		}
+		tables.PrintTable2(os.Stdout, rows)
+	}
+}

@@ -1,0 +1,84 @@
+// Command psharp-test runs systematic concurrency testing on the built-in
+// protocol benchmarks.
+//
+// Usage:
+//
+//	psharp-test -bench Raft -buggy -strategy random -iterations 10000
+//	psharp-test -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/psharp-go/psharp/internal/protocols"
+	"github.com/psharp-go/psharp/sct"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available benchmarks")
+	bench := flag.String("bench", "", "benchmark name (see -list)")
+	buggy := flag.Bool("buggy", false, "use the buggy variant")
+	strategy := flag.String("strategy", "random", "random | dfs | pct | delay")
+	iterations := flag.Int("iterations", 10000, "schedule budget")
+	timeout := flag.Duration("timeout", 5*time.Minute, "time budget")
+	seed := flag.Uint64("seed", 1, "seed for randomized strategies")
+	keepGoing := flag.Bool("keep-going", false, "keep exploring after the first bug (reports %buggy)")
+	trace := flag.String("trace", "", "write the first buggy schedule trace to this file")
+	flag.Parse()
+
+	if *list {
+		for _, b := range protocols.All() {
+			fmt.Println(b.ID())
+		}
+		return
+	}
+	b, ok := protocols.ByName(*bench, *buggy)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "psharp-test: unknown benchmark %q (try -list)\n", *bench)
+		os.Exit(2)
+	}
+	opts := sct.Options{
+		Iterations:     *iterations,
+		Timeout:        *timeout,
+		MaxSteps:       b.MaxSteps,
+		StopOnFirstBug: !*keepGoing,
+		LivelockAsBug:  b.LivelockAsBug,
+	}
+	switch *strategy {
+	case "random":
+		opts.Strategy = sct.NewRandom(*seed)
+	case "dfs":
+		opts.Strategy = sct.NewDFS()
+	case "pct":
+		opts.Strategy = sct.NewPCT(*seed, 3, b.MaxSteps)
+	case "delay":
+		opts.Strategy = sct.NewDelayBounding(*seed, 2, b.MaxSteps)
+	default:
+		fmt.Fprintf(os.Stderr, "psharp-test: unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+	rep := sct.Run(b.Setup, opts)
+	fmt.Printf("%s under %s: %s\n", b.ID(), *strategy, rep.String())
+	if rep.BugFound() && *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "psharp-test:", err)
+			os.Exit(1)
+		}
+		if err := rep.FirstBugTrace.Encode(f); err != nil {
+			fmt.Fprintln(os.Stderr, "psharp-test:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "psharp-test:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s (%d decisions)\n", *trace, rep.FirstBugTrace.Len())
+	}
+	if rep.BugFound() {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,139 @@
+package psharp
+
+import (
+	"fmt"
+
+	"github.com/psharp-go/psharp/internal/vclock"
+)
+
+// Context is the handle actions use to interact with the runtime: sending
+// events, creating machines, controlled nondeterminism, assertions, and
+// state-machine effects (Goto/Raise/Halt). A Context is only valid inside
+// the action it is passed to.
+type Context struct {
+	m  *machineInstance
+	rt *Runtime
+
+	currentEvent Event
+	pendingGoto  string
+	pendingRaise Event
+	pendingHalt  bool
+}
+
+func (c *Context) resetPending() {
+	c.pendingGoto = ""
+	c.pendingRaise = nil
+	c.pendingHalt = false
+}
+
+func (c *Context) takePending() (halt bool, gotoState string, raised Event) {
+	halt, gotoState, raised = c.pendingHalt, c.pendingGoto, c.pendingRaise
+	c.resetPending()
+	return halt, gotoState, raised
+}
+
+// ID returns the machine's identifier.
+func (c *Context) ID() MachineID { return c.m.id }
+
+// State returns the name of the machine's current state.
+func (c *Context) State() string { return c.m.state }
+
+// Send enqueues ev in target's event queue. In bug-finding mode this is a
+// scheduling point (the paper's send operation, Section 6.2).
+func (c *Context) Send(target MachineID, ev Event) {
+	if ev == nil {
+		panic(assertFailed{msg: fmt.Sprintf("%s: Send of nil event", c.m.id)})
+	}
+	if target.IsNil() {
+		panic(assertFailed{msg: fmt.Sprintf("%s: Send(%s) to nil machine", c.m.id, eventName(ev))})
+	}
+	c.rt.enqueue(target, ev, c.m.id, true)
+}
+
+// CreateMachine instantiates a new machine of the registered type and
+// returns its ID. payload (which may be nil) is passed to the initial
+// state's entry action. In bug-finding mode this is a scheduling point.
+func (c *Context) CreateMachine(machineType string, payload Event) MachineID {
+	id, err := c.rt.create(machineType, payload, c.m)
+	if err != nil {
+		panic(assertFailed{msg: err.Error()})
+	}
+	return id
+}
+
+// RandomBool returns a controlled nondeterministic boolean. Under the
+// testing runtime the value is chosen by the scheduling strategy and
+// recorded in the trace, so buggy schedules replay deterministically; under
+// the production runtime it is pseudo-random.
+func (c *Context) RandomBool() bool {
+	return c.rt.randomBool(c.m)
+}
+
+// RandomInt returns a controlled nondeterministic integer in [0, n).
+func (c *Context) RandomInt(n int) int {
+	if n <= 0 {
+		panic(assertFailed{msg: fmt.Sprintf("%s: RandomInt(%d): n must be positive", c.m.id, n)})
+	}
+	return c.rt.randomInt(c.m, n)
+}
+
+// Assert checks a safety property; a violation is reported as a bug (and in
+// bug-finding mode terminates the iteration with a replayable trace).
+func (c *Context) Assert(cond bool, format string, args ...any) {
+	if !cond {
+		panic(assertFailed{msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+// Goto requests a transition to the named state once the current action
+// returns. The target state's entry action receives the event that was
+// being handled. At most one of Goto/Raise/Halt may be pending.
+func (c *Context) Goto(state string) {
+	c.checkNoPending("Goto")
+	if _, ok := c.m.schema.states[state]; !ok {
+		panic(assertFailed{msg: fmt.Sprintf("%s: Goto(%q): no such state", c.m.id, state)})
+	}
+	c.pendingGoto = state
+}
+
+// Raise requests that ev be handled immediately after the current action
+// returns, bypassing the event queue.
+func (c *Context) Raise(ev Event) {
+	c.checkNoPending("Raise")
+	if ev == nil {
+		panic(assertFailed{msg: fmt.Sprintf("%s: Raise of nil event", c.m.id)})
+	}
+	c.pendingRaise = ev
+}
+
+// Halt terminates the machine once the current action returns; queued
+// events are dropped and later sends to it are discarded.
+func (c *Context) Halt() {
+	c.checkNoPending("Halt")
+	c.pendingHalt = true
+}
+
+func (c *Context) checkNoPending(op string) {
+	if c.pendingGoto != "" || c.pendingRaise != nil || c.pendingHalt {
+		panic(assertFailed{msg: fmt.Sprintf("%s: %s: another Goto/Raise/Halt is already pending", c.m.id, op)})
+	}
+}
+
+// Logf writes a formatted message to the runtime log (if configured).
+func (c *Context) Logf(format string, args ...any) {
+	c.rt.logf("%s: %s", c.m.id, fmt.Sprintf(format, args...))
+}
+
+// Read instruments a read of the named shared location for the
+// happens-before race detector (active only in RD-on testing mode; a no-op
+// otherwise). Race-free P# programs never trigger reports, which is exactly
+// what makes the paper's RD-off optimization sound once the static analysis
+// has verified the program.
+func (c *Context) Read(location string) {
+	c.rt.access(c.m, location, vclock.Read)
+}
+
+// Write instruments a write of the named shared location; see Read.
+func (c *Context) Write(location string) {
+	c.rt.access(c.m, location, vclock.Write)
+}

@@ -1,0 +1,38 @@
+// Package psharp is a Go implementation of the P# programming model from
+// "Asynchronous Programming, Analysis and Testing with State Machines"
+// (Deligiannis et al., PLDI 2015).
+//
+// A P# program is a collection of state machines that communicate solely by
+// sending and receiving events. Each machine owns private data and a set of
+// states; a state registers transitions (event -> next state) and action
+// bindings (event -> handler). Actions are ordinary sequential Go functions:
+// they must not spawn goroutines or use synchronization; the only way to
+// exploit concurrency is to create more machines.
+//
+// Two execution modes share the same machine code:
+//
+//   - The production runtime (NewRuntime) runs every machine on its own
+//     goroutine with a blocking event queue.
+//   - The bug-finding runtime (RunTest) serializes execution under a
+//     pluggable scheduling Strategy, with scheduling points before send and
+//     create-machine operations only (the paper's partial-order reduction),
+//     records a schedule trace, and supports deterministic replay. The sct
+//     package provides DFS, random, PCT, delay-bounding and replay
+//     strategies plus an iteration engine.
+//
+// Machines are declared by implementing the Machine interface: Configure
+// receives a Schema builder on which states, transitions and bindings are
+// registered. Example:
+//
+//	type Ping struct{ psharp.EventBase }
+//
+//	type Server struct{ count int }
+//
+//	func (s *Server) Configure(sc *psharp.Schema) {
+//		sc.Start("Init").
+//			OnEntry(func(ctx *psharp.Context, ev psharp.Event) { s.count = 0 }).
+//			OnEventDo(&Ping{}, func(ctx *psharp.Context, ev psharp.Event) {
+//				s.count++
+//			})
+//	}
+package psharp

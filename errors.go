@@ -1,0 +1,72 @@
+package psharp
+
+import "fmt"
+
+// BugKind classifies the failures the runtime can detect (paper Section 6.1:
+// unhandled events, ambiguous handlers, uncaught exceptions; Section 6.2:
+// assertion violations found in bug-finding mode; Section 7.2.2: livelocks
+// detected by imposing a depth bound).
+type BugKind int
+
+// Bug kinds.
+const (
+	// BugAssertion is a violated Context.Assert.
+	BugAssertion BugKind = iota
+	// BugUnhandledEvent is an event dequeued in a state with no binding,
+	// transition, defer or ignore for it.
+	BugUnhandledEvent
+	// BugPanic is an uncaught panic escaping a user action.
+	BugPanic
+	// BugDeadlock means some machine still has queued events but no machine
+	// is enabled (cannot happen with pure machine programs; kept for the
+	// environment-modeling extensions).
+	BugDeadlock
+	// BugLivelock is reported when the configured depth bound is exceeded
+	// and the engine is asked to treat that as a liveness bug.
+	BugLivelock
+	// BugDataRace is reported by the happens-before detector (RD-on mode).
+	BugDataRace
+)
+
+func (k BugKind) String() string {
+	switch k {
+	case BugAssertion:
+		return "assertion failure"
+	case BugUnhandledEvent:
+		return "unhandled event"
+	case BugPanic:
+		return "uncaught panic"
+	case BugDeadlock:
+		return "deadlock"
+	case BugLivelock:
+		return "livelock (depth bound exceeded)"
+	case BugDataRace:
+		return "data race"
+	default:
+		return fmt.Sprintf("bug(%d)", int(k))
+	}
+}
+
+// Bug describes a failure detected during execution or testing.
+type Bug struct {
+	Kind    BugKind
+	Machine MachineID
+	State   string
+	Message string
+}
+
+// Error implements the error interface.
+func (b *Bug) Error() string {
+	if b.Machine.IsNil() {
+		return fmt.Sprintf("psharp: %s: %s", b.Kind, b.Message)
+	}
+	return fmt.Sprintf("psharp: %s in %s state %q: %s", b.Kind, b.Machine, b.State, b.Message)
+}
+
+// assertFailed is the panic payload used by Context.Assert; the machine
+// dispatch loop recovers it and converts it into a *Bug.
+type assertFailed struct{ msg string }
+
+// abortSignal is the panic payload used to unwind parked machine goroutines
+// when the testing controller tears an iteration down.
+type abortSignal struct{}

@@ -1,0 +1,185 @@
+// Masterworker reproduces the paper's Section 3 example (Figure 1): a
+// Dispatcher machine coordinates BaseService-style machines that can be
+// promoted to master or demoted to worker at any time, while state updates
+// and client requests keep flowing. The example runs the system under
+// systematic testing and then replays one schedule deterministically.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/psharp-go/psharp"
+	"github.com/psharp-go/psharp/sct"
+)
+
+type eChangeToMaster struct {
+	psharp.EventBase
+	Workers []psharp.MachineID
+}
+
+type eChangeToWorker struct{ psharp.EventBase }
+
+type eAck struct{ psharp.EventBase }
+
+type eUpdateState struct{ psharp.EventBase }
+
+type eCopyState struct {
+	psharp.EventBase
+	Data []int
+}
+
+type eClientRequest struct {
+	psharp.EventBase
+	Payload int
+}
+
+type eServiceInit struct {
+	psharp.EventBase
+	ID         int
+	Dispatcher psharp.MachineID
+}
+
+type eDispatchCfg struct {
+	psharp.EventBase
+	Services []psharp.MachineID
+	Rounds   int
+}
+
+// service is Figure 1's BaseService/UserService: Init, Worker and Master
+// states with the four abstract actions implemented as methods.
+type service struct {
+	id         int
+	dispatcher psharp.MachineID
+	data       []int
+}
+
+func (s *service) initializeState()    { s.data = []int{0} }
+func (s *service) updateState()        { s.data = append(s.data, s.id) }
+func (s *service) copyState(src []int) { s.data = append([]int(nil), src...) }
+
+func (s *service) Configure(sc *psharp.Schema) {
+	toMaster := func(ctx *psharp.Context, ev psharp.Event) {
+		ctx.Send(s.dispatcher, &eAck{})
+		for _, w := range ev.(*eChangeToMaster).Workers {
+			if w != ctx.ID() {
+				// Each worker receives a fresh copy: ownership of the
+				// payload transfers with the event, the discipline the
+				// paper's static analysis enforces.
+				ctx.Send(w, &eCopyState{Data: append([]int(nil), s.data...)})
+			}
+		}
+		ctx.Goto("Master")
+	}
+	toWorker := func(ctx *psharp.Context, ev psharp.Event) {
+		ctx.Send(s.dispatcher, &eAck{})
+		ctx.Goto("Worker")
+	}
+	sc.Start("Init").
+		Defer(&eChangeToMaster{}).
+		Defer(&eChangeToWorker{}).
+		Defer(&eUpdateState{}).
+		Defer(&eCopyState{}).
+		OnEventDo(&eServiceInit{}, func(ctx *psharp.Context, ev psharp.Event) {
+			cfg := ev.(*eServiceInit)
+			s.id = cfg.ID
+			s.dispatcher = cfg.Dispatcher
+			s.initializeState()
+			ctx.Goto("Worker")
+		})
+	sc.State("Worker").
+		OnEventDo(&eUpdateState{}, func(ctx *psharp.Context, ev psharp.Event) { s.updateState() }).
+		OnEventDo(&eCopyState{}, func(ctx *psharp.Context, ev psharp.Event) {
+			s.copyState(ev.(*eCopyState).Data)
+		}).
+		OnEventDo(&eChangeToMaster{}, toMaster).
+		OnEventDo(&eChangeToWorker{}, toWorker).
+		Ignore(&eClientRequest{})
+	sc.State("Master").
+		OnEventDo(&eClientRequest{}, func(ctx *psharp.Context, ev psharp.Event) {
+			ctx.Assert(len(s.data) > 0, "master serving with empty state")
+		}).
+		OnEventDo(&eChangeToWorker{}, toWorker).
+		OnEventDo(&eChangeToMaster{}, toMaster).
+		Defer(&eUpdateState{}).
+		Defer(&eCopyState{})
+}
+
+// dispatcher is Figure 1's Dispatcher: in Querying it loops, picking a
+// service and one of four request kinds nondeterministically.
+type dispatcher struct {
+	services []psharp.MachineID
+	rounds   int
+}
+
+func (d *dispatcher) Configure(sc *psharp.Schema) {
+	sc.Start("Boot").
+		OnEventDo(&eDispatchCfg{}, func(ctx *psharp.Context, ev psharp.Event) {
+			cfg := ev.(*eDispatchCfg)
+			d.services = cfg.Services
+			d.rounds = cfg.Rounds
+			ctx.Raise(&eAck{})
+		}).
+		OnEventGoto(&eAck{}, "Querying")
+	sc.State("Querying").
+		OnEntry(func(ctx *psharp.Context, ev psharp.Event) {
+			if d.rounds == 0 {
+				for _, s := range d.services {
+					ctx.Send(s, &psharp.HaltEvent{})
+				}
+				ctx.Halt()
+				return
+			}
+			d.rounds--
+			target := d.services[ctx.RandomInt(len(d.services))]
+			switch ctx.RandomInt(4) {
+			case 0:
+				ctx.Send(target, &eUpdateState{})
+				ctx.Raise(&eAck{})
+			case 1:
+				ctx.Send(target, &eClientRequest{Payload: d.rounds})
+				ctx.Raise(&eAck{})
+			case 2:
+				ctx.Send(target, &eChangeToMaster{Workers: d.services})
+			case 3:
+				ctx.Send(target, &eChangeToWorker{})
+			}
+		}).
+		OnEventGoto(&eAck{}, "Querying")
+}
+
+func setup(r *psharp.Runtime) {
+	r.MustRegister("Dispatcher", func() psharp.Machine { return &dispatcher{} })
+	r.MustRegister("Service", func() psharp.Machine { return &service{} })
+	disp := r.MustCreate("Dispatcher", nil)
+	services := make([]psharp.MachineID, 3)
+	for i := range services {
+		services[i] = r.MustCreate("Service", nil)
+		if err := r.SendEvent(services[i], &eServiceInit{ID: i + 1, Dispatcher: disp}); err != nil {
+			panic(err)
+		}
+	}
+	if err := r.SendEvent(disp, &eDispatchCfg{Services: services, Rounds: 8}); err != nil {
+		panic(err)
+	}
+}
+
+func main() {
+	rep := sct.Run(setup, sct.Options{
+		Strategy:   sct.NewRandom(7),
+		Iterations: 2000,
+		MaxSteps:   5000,
+	})
+	fmt.Printf("master/worker under 2000 random schedules: %s\n", rep.String())
+	if rep.BugFound() {
+		fmt.Println("unexpected bug — trace follows:")
+		if err := rep.FirstBugTrace.Encode(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		os.Exit(1)
+	}
+
+	// Deterministic replay of one specific schedule: record, then re-run.
+	one := sct.Run(setup, sct.Options{Strategy: sct.NewRandom(99), Iterations: 1, MaxSteps: 5000})
+	fmt.Printf("single recorded schedule: %d scheduling points\n", one.MaxSchedulingPoints)
+}

@@ -1,0 +1,158 @@
+// Package benchsrc holds the core-language sources of the Table 1 static
+// analysis benchmarks: the AsyncSystemSim case study, the eight PSharpBench
+// protocols (each in a non-racy and a racy variant), and the four SOTER
+// ports. The non-racy variants carry exactly the false-positive patterns
+// the paper reports (Section 7.2.1):
+//
+//   - pattern (a), "staged send": an event payload is constructed in one
+//     state, stored in a machine field, sent from a later state, and the
+//     field is reset afterwards. The per-method analysis flags the send
+//     (one FP each); xSA discharges it.
+//   - pattern (b), "shared read-only": a field is sent to one machine in
+//     one state and again to another machine in a later state without a
+//     reset, and every receiver only reads it. The per-method analysis
+//     flags both sends (two FPs each); xSA keeps one; the read-only
+//     extension (Section 8) discharges the rest.
+//
+// The racy variants break ownership for real: the sender keeps writing the
+// payload after sending it.
+package benchsrc
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/psharp-go/psharp/lang"
+)
+
+//go:embed src/*.psl
+var sources embed.FS
+
+// Benchmark describes one Table 1 entry.
+type Benchmark struct {
+	// Name as in the paper's Table 1.
+	Name string
+	// Suite is "AsyncSystem", "PSharpBench" or "SOTER".
+	Suite string
+	// HasRacy reports whether a racy variant exists (PSharpBench only).
+	HasRacy bool
+	// FPsNoXSA and FPsXSA are the expected false-positive counts of the
+	// non-racy variant, mirroring the paper's columns.
+	FPsNoXSA, FPsXSA int
+	// Verified mirrors the paper's "Verified?" column (with xSA).
+	Verified bool
+}
+
+// All returns the Table 1 roster in the paper's order.
+func All() []Benchmark {
+	return []Benchmark{
+		{Name: "AsyncSystem", Suite: "AsyncSystem", FPsNoXSA: 6, FPsXSA: 2, Verified: false},
+		{Name: "BoundedAsync", Suite: "PSharpBench", HasRacy: true, FPsNoXSA: 1, FPsXSA: 0, Verified: true},
+		{Name: "German", Suite: "PSharpBench", HasRacy: true, FPsNoXSA: 0, FPsXSA: 0, Verified: true},
+		{Name: "BasicPaxos", Suite: "PSharpBench", HasRacy: true, FPsNoXSA: 2, FPsXSA: 0, Verified: true},
+		{Name: "TwoPhaseCommit", Suite: "PSharpBench", HasRacy: true, FPsNoXSA: 1, FPsXSA: 0, Verified: true},
+		{Name: "Chord", Suite: "PSharpBench", HasRacy: true, FPsNoXSA: 0, FPsXSA: 0, Verified: true},
+		{Name: "MultiPaxos", Suite: "PSharpBench", HasRacy: true, FPsNoXSA: 10, FPsXSA: 5, Verified: false},
+		{Name: "Raft", Suite: "PSharpBench", HasRacy: true, FPsNoXSA: 0, FPsXSA: 0, Verified: true},
+		{Name: "ChainReplication", Suite: "PSharpBench", HasRacy: true, FPsNoXSA: 4, FPsXSA: 0, Verified: true},
+		{Name: "Leader", Suite: "SOTER", FPsNoXSA: 0, FPsXSA: 0, Verified: true},
+		{Name: "Pi", Suite: "SOTER", FPsNoXSA: 0, FPsXSA: 0, Verified: true},
+		{Name: "Chameneos", Suite: "SOTER", FPsNoXSA: 0, FPsXSA: 0, Verified: true},
+		{Name: "Swordfish", Suite: "SOTER", FPsNoXSA: 0, FPsXSA: 0, Verified: true},
+	}
+}
+
+// Source returns the parsed, checked program for a benchmark variant.
+func Source(name string, racy bool) (*lang.Program, error) {
+	file := "src/" + strings.ToLower(name)
+	if racy {
+		file += "_racy"
+	}
+	file += ".psl"
+	data, err := sources.ReadFile(file)
+	if err != nil {
+		return nil, fmt.Errorf("benchsrc: %w", err)
+	}
+	prog, err := lang.Parse(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("benchsrc: %s: %w", file, err)
+	}
+	if err := lang.Check(prog); err != nil {
+		return nil, fmt.Errorf("benchsrc: %s: %w", file, err)
+	}
+	return prog, nil
+}
+
+// RawSource returns the source text (for LoC statistics and tooling).
+func RawSource(name string, racy bool) (string, error) {
+	file := "src/" + strings.ToLower(name)
+	if racy {
+		file += "_racy"
+	}
+	file += ".psl"
+	data, err := sources.ReadFile(file)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+// Stats summarizes a program for the Table 1 statistics columns.
+type Stats struct {
+	LoC, Machines, StateTransitions, ActionBindings int
+}
+
+// StatsOf computes program statistics.
+func StatsOf(name string) (Stats, error) {
+	raw, err := RawSource(name, false)
+	if err != nil {
+		return Stats{}, err
+	}
+	prog, err := Source(name, false)
+	if err != nil {
+		return Stats{}, err
+	}
+	var s Stats
+	for _, line := range strings.Split(raw, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed != "" && !strings.HasPrefix(trimmed, "//") {
+			s.LoC++
+		}
+	}
+	s.Machines = len(prog.Machines)
+	for _, md := range prog.Machines {
+		for _, st := range md.States {
+			s.StateTransitions += len(st.OnGoto)
+			s.ActionBindings += len(st.OnDo)
+		}
+	}
+	return s, nil
+}
+
+// Names returns all benchmark names sorted as in Table 1.
+func Names() []string {
+	var out []string
+	for _, b := range All() {
+		out = append(out, b.Name)
+	}
+	return out
+}
+
+// ByName finds a benchmark entry.
+func ByName(name string) (Benchmark, bool) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// SortedNames returns names alphabetically (tooling helper).
+func SortedNames() []string {
+	out := Names()
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,110 @@
+package benchsrc
+
+import (
+	"testing"
+
+	"github.com/psharp-go/psharp/analysis"
+)
+
+// TestTable1FalsePositiveCounts checks every non-racy benchmark against the
+// paper's Table 1: the number of reported violations (all false positives,
+// since the programs are race-free by construction) without xSA and with
+// xSA, and the resulting Verified? column.
+func TestTable1FalsePositiveCounts(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog, err := Source(b.Name, false)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			res := analysis.Analyze(prog, analysis.Options{XSA: true})
+			if got := len(res.BaseViolations); got != b.FPsNoXSA {
+				for _, v := range res.BaseViolations {
+					t.Logf("base violation: %v", v)
+				}
+				t.Errorf("FPs without xSA = %d, want %d", got, b.FPsNoXSA)
+			}
+			if got := len(res.Violations); got != b.FPsXSA {
+				for _, v := range res.Violations {
+					t.Logf("xSA violation: %v", v)
+				}
+				t.Errorf("FPs with xSA = %d, want %d", got, b.FPsXSA)
+			}
+			if res.Verified() != b.Verified {
+				t.Errorf("Verified = %v, want %v", res.Verified(), b.Verified)
+			}
+		})
+	}
+}
+
+// TestTable1RacyVariantsFlagged checks the paper's "Found all data races?"
+// column: the analyzer, being sound, must report violations on every racy
+// variant — with and without xSA — and the real race must survive the
+// read-only filter too (the racy writers disqualify read-only suppression).
+func TestTable1RacyVariantsFlagged(t *testing.T) {
+	for _, b := range All() {
+		if !b.HasRacy {
+			continue
+		}
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog, err := Source(b.Name, true)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			res := analysis.Analyze(prog, analysis.Options{XSA: true})
+			if len(res.BaseViolations) == 0 {
+				t.Error("racy variant not flagged without xSA")
+			}
+			if len(res.Violations) == 0 {
+				t.Error("racy variant not flagged with xSA")
+			}
+			ro := analysis.Analyze(prog, analysis.Options{XSA: true, ReadOnly: true})
+			if len(ro.Violations) == 0 {
+				t.Error("the real race must survive the read-only extension")
+			}
+		})
+	}
+}
+
+// TestTable1ReadOnlyExtension checks the Section 8 prediction: the residual
+// MultiPaxos and AsyncSystem false positives disappear under the read-only
+// analysis, turning every non-racy benchmark verifiable.
+func TestTable1ReadOnlyExtension(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			prog, err := Source(b.Name, false)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			res := analysis.Analyze(prog, analysis.Options{XSA: true, ReadOnly: true})
+			if !res.Verified() {
+				for _, v := range res.Violations {
+					t.Logf("violation: %v", v)
+				}
+				t.Errorf("want verified with xSA + read-only, got %d violations", len(res.Violations))
+			}
+		})
+	}
+}
+
+// TestStats sanity-checks the Table 1 program statistics.
+func TestStats(t *testing.T) {
+	for _, b := range All() {
+		s, err := StatsOf(b.Name)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if s.Machines < 2 {
+			t.Errorf("%s: %d machines, want >= 2", b.Name, s.Machines)
+		}
+		if s.LoC < 40 {
+			t.Errorf("%s: %d LoC, suspiciously small", b.Name, s.LoC)
+		}
+		if s.StateTransitions+s.ActionBindings == 0 {
+			t.Errorf("%s: no transitions or bindings", b.Name)
+		}
+	}
+}

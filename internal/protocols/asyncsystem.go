@@ -1,0 +1,192 @@
+package protocols
+
+import "github.com/psharp-go/psharp"
+
+// AsyncSystemSim is the open-source stand-in for the proprietary Microsoft
+// AsyncSystem of the paper's case study (Section 7.1), scaled down to the
+// master/worker architecture of the paper's Section 3 figure: a Dispatcher
+// machine coordinates a set of services built on an abstract base-service
+// API. The dispatcher can change any service into a master (which then asks
+// the workers to copy its state) or a worker, and in its Querying state it
+// loops, sending nondeterministically chosen requests at the services.
+//
+// The Go side of the case study is used for runtime validation and the
+// examples; the static-analysis side of Table 1 (including the seeded
+// false-positive patterns) lives in the benchsrc package as a core-language
+// program.
+
+// Public events mirroring Figure 1 of the paper.
+
+type asChangeToMaster struct {
+	psharp.EventBase
+	Workers []psharp.MachineID
+}
+
+type asChangeToWorker struct {
+	psharp.EventBase
+	Dispatcher psharp.MachineID
+}
+
+type asAck struct{ psharp.EventBase }
+
+type asUpdateState struct{ psharp.EventBase }
+
+type asCopyState struct {
+	psharp.EventBase
+	Data []int
+}
+
+type asClientRequest struct {
+	psharp.EventBase
+	Data int
+}
+
+type asServiceInit struct {
+	psharp.EventBase
+	ID         int
+	Dispatcher psharp.MachineID
+}
+
+type asDispatcherConfig struct {
+	psharp.EventBase
+	Services []psharp.MachineID
+	Rounds   int
+}
+
+// asService is the UserService of the paper's Figure 1: it inherits the
+// base-service state machine (Init / Worker / Master) and implements the
+// four abstract actions as ordinary methods.
+type asService struct {
+	id         int
+	dispatcher psharp.MachineID
+	workers    []psharp.MachineID
+	data       []int
+}
+
+func (s *asService) initializeState()                 { s.data = []int{0, 0, 0} }
+func (s *asService) updateState()                     { s.data = append(s.data, s.id) }
+func (s *asService) copyState(src []int)              { s.data = append([]int(nil), src...) }
+func (s *asService) processClientRequest(req int) int { return req + s.id }
+
+func (s *asService) Configure(sc *psharp.Schema) {
+	toMaster := func(ctx *psharp.Context, ev psharp.Event) {
+		s.workers = ev.(*asChangeToMaster).Workers
+		ctx.Send(s.dispatcher, &asAck{})
+		for _, w := range s.workers {
+			if w != ctx.ID() {
+				// The master hands each worker a fresh copy of its state:
+				// ownership of the payload transfers with the event.
+				ctx.Send(w, &asCopyState{Data: append([]int(nil), s.data...)})
+			}
+		}
+		ctx.Goto("Master")
+	}
+	toWorker := func(ctx *psharp.Context, ev psharp.Event) {
+		ctx.Send(s.dispatcher, &asAck{})
+		ctx.Goto("Worker")
+	}
+
+	sc.Start("Init").
+		Defer(&asChangeToMaster{}).
+		Defer(&asChangeToWorker{}).
+		Defer(&asUpdateState{}).
+		Defer(&asCopyState{}).
+		OnEventDo(&asServiceInit{}, func(ctx *psharp.Context, ev psharp.Event) {
+			cfg := ev.(*asServiceInit)
+			s.id = cfg.ID
+			s.dispatcher = cfg.Dispatcher
+			s.initializeState()
+			ctx.Goto("Worker")
+		})
+
+	sc.State("Worker").
+		OnEventDo(&asUpdateState{}, func(ctx *psharp.Context, ev psharp.Event) {
+			ctx.Write("service.data")
+			s.updateState()
+		}).
+		OnEventDo(&asCopyState{}, func(ctx *psharp.Context, ev psharp.Event) {
+			ctx.Write("service.data")
+			s.copyState(ev.(*asCopyState).Data)
+		}).
+		OnEventDo(&asChangeToMaster{}, toMaster).
+		OnEventDo(&asChangeToWorker{}, toWorker).
+		Ignore(&asClientRequest{}) // stale requests for a demoted master
+
+	sc.State("Master").
+		OnEventDo(&asClientRequest{}, func(ctx *psharp.Context, ev psharp.Event) {
+			ctx.Read("service.data")
+			_ = s.processClientRequest(ev.(*asClientRequest).Data)
+		}).
+		OnEventDo(&asChangeToWorker{}, toWorker).
+		OnEventDo(&asChangeToMaster{}, toMaster).
+		// A master keeps serving; state mutations during its reign arrive
+		// once it is demoted back to a worker.
+		Defer(&asUpdateState{}).
+		Defer(&asCopyState{})
+}
+
+// asDispatcher is the Dispatcher of Figure 1: in the Querying state it
+// loops, picking a service and one of four request kinds nondeterministically.
+type asDispatcher struct {
+	services []psharp.MachineID
+	rounds   int
+}
+
+func (d *asDispatcher) Configure(sc *psharp.Schema) {
+	sc.Start("Boot").
+		OnEventDo(&asDispatcherConfig{}, func(ctx *psharp.Context, ev psharp.Event) {
+			cfg := ev.(*asDispatcherConfig)
+			d.services = cfg.Services
+			d.rounds = cfg.Rounds
+			ctx.Raise(&asAck{})
+		}).
+		OnEventGoto(&asAck{}, "Querying")
+
+	sc.State("Querying").
+		OnEntry(func(ctx *psharp.Context, ev psharp.Event) {
+			if d.rounds == 0 {
+				for _, s := range d.services {
+					ctx.Send(s, &psharp.HaltEvent{})
+				}
+				ctx.Halt()
+				return
+			}
+			d.rounds--
+			target := d.services[ctx.RandomInt(len(d.services))]
+			switch ctx.RandomInt(4) {
+			case 0:
+				ctx.Send(target, &asUpdateState{})
+				ctx.Raise(&asAck{}) // no ack expected; keep querying
+			case 1:
+				ctx.Send(target, &asClientRequest{Data: d.rounds})
+				ctx.Raise(&asAck{})
+			case 2:
+				ctx.Send(target, &asChangeToMaster{Workers: d.services})
+			case 3:
+				ctx.Send(target, &asChangeToWorker{Dispatcher: ctx.ID()})
+			}
+		}).
+		OnEventGoto(&asAck{}, "Querying")
+}
+
+func asyncSystemBenchmark() Benchmark {
+	const numServices = 3
+	const rounds = 6
+	return Benchmark{
+		Name:     "AsyncSystemSim",
+		Buggy:    false,
+		MaxSteps: 3000,
+		Machines: numServices + 1,
+		Setup: func(r *psharp.Runtime) {
+			r.MustRegister("ASDispatcher", func() psharp.Machine { return &asDispatcher{} })
+			r.MustRegister("ASService", func() psharp.Machine { return &asService{} })
+			disp := r.MustCreate("ASDispatcher", nil)
+			services := make([]psharp.MachineID, numServices)
+			for i := range services {
+				services[i] = r.MustCreate("ASService", nil)
+				mustSend(r, services[i], &asServiceInit{ID: i + 1, Dispatcher: disp})
+			}
+			mustSend(r, disp, &asDispatcherConfig{Services: services, Rounds: rounds})
+		},
+	}
+}

@@ -1,0 +1,355 @@
+package protocols
+
+import (
+	"sort"
+
+	"github.com/psharp-go/psharp"
+)
+
+// MultiPaxos (paper reference [5], ported from the P benchmark suite): a
+// multi-slot variant of Paxos in which a leader establishes a ballot with
+// phase 1 once and then streams phase-2 accepts for a sequence of slots. A
+// failure-detector machine — nondeterministic environment, as the paper
+// models it — eventually tells a standby leader to take over with a higher
+// ballot. Acceptors report accepted (slot, ballot, value) triples to a
+// learner that asserts the per-slot safety property: a slot is never chosen
+// with two different values.
+//
+// The paper injected an artificial bug here; ours is the classic
+// leader-takeover mistake: the buggy leader ignores the accepted values
+// reported in the promises it gathers and re-proposes its own values for
+// slots that may already be chosen. The violation occurs in (almost) every
+// schedule in which the takeover happens after the first leader made
+// progress — including the default schedule, which is why the paper's DFS
+// and CHESS find it on the first schedule, and why 89% of random schedules
+// are buggy.
+
+type mpSlotVal struct {
+	Slot   int
+	Ballot int
+	Value  int
+}
+
+type mpLeaderConfig struct {
+	psharp.EventBase
+	Acceptors []psharp.MachineID
+	BallotOff int
+	Values    []int // values to propose for slots 1..len(Values)
+	Active    bool  // the initial leader starts immediately
+}
+
+type mpAcceptorConfig struct {
+	psharp.EventBase
+	Learner psharp.MachineID
+}
+
+type mpDetectorConfig struct {
+	psharp.EventBase
+	Standby psharp.MachineID
+}
+
+type mpPrepare struct {
+	psharp.EventBase
+	Ballot int
+	Leader psharp.MachineID
+}
+
+type mpPromise struct {
+	psharp.EventBase
+	Ballot   int
+	Accepted []mpSlotVal
+}
+
+type mpNack struct {
+	psharp.EventBase
+	Ballot   int
+	Promised int
+}
+
+type mpAccept struct {
+	psharp.EventBase
+	Slot   int
+	Ballot int
+	Value  int
+	Leader psharp.MachineID
+}
+
+type mpAccepted struct {
+	psharp.EventBase
+	Slot   int
+	Ballot int
+	Value  int
+}
+
+type mpTakeOver struct{ psharp.EventBase }
+
+type mpTick struct{ psharp.EventBase }
+
+type mpAcceptor struct {
+	learner  psharp.MachineID
+	promised int
+	accepted map[int]mpSlotVal
+}
+
+func (a *mpAcceptor) Configure(sc *psharp.Schema) {
+	a.accepted = make(map[int]mpSlotVal)
+	sc.Start("Boot").
+		Defer(&mpPrepare{}).
+		Defer(&mpAccept{}).
+		OnEventDo(&mpAcceptorConfig{}, func(ctx *psharp.Context, ev psharp.Event) {
+			a.learner = ev.(*mpAcceptorConfig).Learner
+			ctx.Goto("Active")
+		})
+	sc.State("Active").
+		OnEventDo(&mpPrepare{}, func(ctx *psharp.Context, ev psharp.Event) {
+			p := ev.(*mpPrepare)
+			if p.Ballot <= a.promised {
+				ctx.Send(p.Leader, &mpNack{Ballot: p.Ballot, Promised: a.promised})
+				return
+			}
+			a.promised = p.Ballot
+			ctx.Write("acceptor.promised")
+			// Snapshot the accepted state in slot order: the promise is a
+			// fresh copy, so the leader cannot alias the acceptor's map.
+			slots := make([]int, 0, len(a.accepted))
+			for s := range a.accepted {
+				slots = append(slots, s)
+			}
+			sort.Ints(slots)
+			snap := make([]mpSlotVal, 0, len(slots))
+			for _, s := range slots {
+				snap = append(snap, a.accepted[s])
+			}
+			ctx.Send(p.Leader, &mpPromise{Ballot: p.Ballot, Accepted: snap})
+		}).
+		OnEventDo(&mpAccept{}, func(ctx *psharp.Context, ev psharp.Event) {
+			acc := ev.(*mpAccept)
+			if acc.Ballot < a.promised {
+				ctx.Send(acc.Leader, &mpNack{Ballot: acc.Ballot, Promised: a.promised})
+				return
+			}
+			a.promised = acc.Ballot
+			a.accepted[acc.Slot] = mpSlotVal{Slot: acc.Slot, Ballot: acc.Ballot, Value: acc.Value}
+			ctx.Write("acceptor.accepted")
+			ctx.Send(a.learner, &mpAccepted{Slot: acc.Slot, Ballot: acc.Ballot, Value: acc.Value})
+		})
+}
+
+type mpLeader struct {
+	acceptors []psharp.MachineID
+	ballotOff int
+	values    []int
+	buggy     bool
+
+	round    int
+	retries  int
+	ballot   int
+	promises int
+	majority int
+	adopted  map[int]mpSlotVal
+}
+
+func (l *mpLeader) Configure(sc *psharp.Schema) {
+	sc.Start("Boot").
+		Defer(&mpTakeOver{}).
+		OnEventDo(&mpLeaderConfig{}, func(ctx *psharp.Context, ev psharp.Event) {
+			cfg := ev.(*mpLeaderConfig)
+			l.acceptors = cfg.Acceptors
+			l.ballotOff = cfg.BallotOff
+			l.values = cfg.Values
+			l.retries = 2
+			l.majority = len(l.acceptors)/2 + 1
+			if cfg.Active {
+				ctx.Goto("Phase1")
+			} else {
+				ctx.Goto("Standby")
+			}
+		})
+
+	sc.State("Standby").
+		OnEventGoto(&mpTakeOver{}, "Phase1")
+
+	sc.State("Phase1").
+		OnEntry(func(ctx *psharp.Context, ev psharp.Event) {
+			l.round++
+			l.ballot = l.round*10 + l.ballotOff
+			l.promises = 0
+			l.adopted = make(map[int]mpSlotVal)
+			for _, a := range l.acceptors {
+				ctx.Send(a, &mpPrepare{Ballot: l.ballot, Leader: ctx.ID()})
+			}
+		}).
+		OnEventDo(&mpPromise{}, func(ctx *psharp.Context, ev psharp.Event) {
+			pr := ev.(*mpPromise)
+			if pr.Ballot != l.ballot {
+				return
+			}
+			l.promises++
+			for _, sv := range pr.Accepted {
+				if best, ok := l.adopted[sv.Slot]; !ok || sv.Ballot > best.Ballot {
+					l.adopted[sv.Slot] = sv
+				}
+			}
+			if l.promises == l.majority {
+				l.streamAccepts(ctx)
+			}
+		}).
+		OnEventDo(&mpNack{}, func(ctx *psharp.Context, ev psharp.Event) {
+			if ev.(*mpNack).Ballot != l.ballot {
+				return
+			}
+			l.retry(ctx)
+		}).
+		Ignore(&mpTakeOver{})
+
+	sc.State("Streaming").
+		OnEventDo(&mpNack{}, func(ctx *psharp.Context, ev psharp.Event) {
+			if ev.(*mpNack).Ballot != l.ballot {
+				return
+			}
+			l.retry(ctx)
+		}).
+		Ignore(&mpPromise{}).
+		Ignore(&mpTakeOver{})
+
+	sc.State("Done").
+		Ignore(&mpPromise{}).
+		Ignore(&mpNack{}).
+		Ignore(&mpTakeOver{})
+}
+
+// streamAccepts sends phase-2 accepts for every slot: adopted values first
+// (unless buggy), then this leader's own values.
+func (l *mpLeader) streamAccepts(ctx *psharp.Context) {
+	propose := make(map[int]int)
+	for i, v := range l.values {
+		propose[i+1] = v
+	}
+	if !l.buggy {
+		// The takeover rule MultiPaxos lives by: slots reported accepted in
+		// the promise quorum keep their (highest-ballot) value. The buggy
+		// leader skips this and clobbers them with its own proposals.
+		for slot, sv := range l.adopted {
+			propose[slot] = sv.Value
+		}
+	}
+	slots := make([]int, 0, len(propose))
+	for s := range propose {
+		slots = append(slots, s)
+	}
+	sort.Ints(slots)
+	for _, s := range slots {
+		for _, a := range l.acceptors {
+			ctx.Send(a, &mpAccept{Slot: s, Ballot: l.ballot, Value: propose[s], Leader: ctx.ID()})
+		}
+	}
+	ctx.Goto("Streaming")
+}
+
+func (l *mpLeader) retry(ctx *psharp.Context) {
+	if l.retries == 0 {
+		ctx.Goto("Done")
+		return
+	}
+	l.retries--
+	ctx.Goto("Phase1")
+}
+
+type mpLearner struct {
+	majority int
+	counts   map[[2]int]int // (slot, ballot) -> acceptor count
+	chosen   map[int]int    // slot -> chosen value
+}
+
+type mpLearnerConfig struct {
+	psharp.EventBase
+	NumAcceptors int
+}
+
+func (ln *mpLearner) Configure(sc *psharp.Schema) {
+	ln.counts = make(map[[2]int]int)
+	ln.chosen = make(map[int]int)
+	sc.Start("Boot").
+		Defer(&mpAccepted{}).
+		OnEventDo(&mpLearnerConfig{}, func(ctx *psharp.Context, ev psharp.Event) {
+			ln.majority = ev.(*mpLearnerConfig).NumAcceptors/2 + 1
+			ctx.Goto("Learning")
+		})
+	sc.State("Learning").
+		OnEventDo(&mpAccepted{}, func(ctx *psharp.Context, ev psharp.Event) {
+			acc := ev.(*mpAccepted)
+			key := [2]int{acc.Slot, acc.Ballot}
+			ln.counts[key]++
+			ctx.Write("learner.chosen")
+			if ln.counts[key] < ln.majority {
+				return
+			}
+			if prev, ok := ln.chosen[acc.Slot]; ok {
+				ctx.Assert(prev == acc.Value,
+					"slot %d chosen twice with different values: %d then %d (ballot %d)",
+					acc.Slot, prev, acc.Value, acc.Ballot)
+				return
+			}
+			ln.chosen[acc.Slot] = acc.Value
+		})
+}
+
+// mpDetector is the nondeterministic failure detector: after a random number
+// of self-paced ticks it tells the standby leader to take over.
+type mpDetector struct {
+	standby psharp.MachineID
+	ticks   int
+}
+
+func (d *mpDetector) Configure(sc *psharp.Schema) {
+	sc.Start("Boot").
+		OnEventDo(&mpDetectorConfig{}, func(ctx *psharp.Context, ev psharp.Event) {
+			d.standby = ev.(*mpDetectorConfig).Standby
+			d.ticks = 3
+			ctx.Send(ctx.ID(), &mpTick{})
+			ctx.Goto("Watching")
+		})
+	sc.State("Watching").
+		OnEventDo(&mpTick{}, func(ctx *psharp.Context, ev psharp.Event) {
+			d.ticks--
+			if d.ticks == 0 || ctx.RandomBool() {
+				ctx.Send(d.standby, &mpTakeOver{})
+				ctx.Halt()
+				return
+			}
+			ctx.Send(ctx.ID(), &mpTick{})
+		})
+}
+
+func multiPaxosBenchmark(buggy bool) Benchmark {
+	const numAcceptors = 3
+	return Benchmark{
+		Name:     "MultiPaxos",
+		Buggy:    buggy,
+		MaxSteps: 3000,
+		Machines: numAcceptors + 4,
+		Setup: func(r *psharp.Runtime) {
+			r.MustRegister("MPAcceptor", func() psharp.Machine { return &mpAcceptor{} })
+			r.MustRegister("MPLeader", func() psharp.Machine { return &mpLeader{buggy: buggy} })
+			r.MustRegister("MPLearner", func() psharp.Machine { return &mpLearner{} })
+			r.MustRegister("MPDetector", func() psharp.Machine { return &mpDetector{} })
+			learner := r.MustCreate("MPLearner", nil)
+			mustSend(r, learner, &mpLearnerConfig{NumAcceptors: numAcceptors})
+			acceptors := make([]psharp.MachineID, numAcceptors)
+			for i := range acceptors {
+				acceptors[i] = r.MustCreate("MPAcceptor", nil)
+				mustSend(r, acceptors[i], &mpAcceptorConfig{Learner: learner})
+			}
+			primary := r.MustCreate("MPLeader", nil)
+			standby := r.MustCreate("MPLeader", nil)
+			detector := r.MustCreate("MPDetector", nil)
+			mustSend(r, primary, &mpLeaderConfig{
+				Acceptors: acceptors, BallotOff: 1, Values: []int{11, 12}, Active: true,
+			})
+			mustSend(r, standby, &mpLeaderConfig{
+				Acceptors: acceptors, BallotOff: 2, Values: []int{21, 22}, Active: false,
+			})
+			mustSend(r, detector, &mpDetectorConfig{Standby: standby})
+		},
+	}
+}

@@ -1,0 +1,75 @@
+package protocols
+
+import (
+	"testing"
+
+	"github.com/psharp-go/psharp"
+	"github.com/psharp-go/psharp/sct"
+)
+
+// testIterations is kept modest so `go test` stays fast; the bench harness
+// uses the paper's full 10,000-schedule budget.
+const testIterations = 300
+
+func runRandom(t *testing.T, b Benchmark, iters int, stopOnBug bool) sct.Report {
+	t.Helper()
+	return sct.Run(b.Setup, sct.Options{
+		Strategy:       sct.NewRandom(20150628),
+		Iterations:     iters,
+		MaxSteps:       b.MaxSteps,
+		StopOnFirstBug: stopOnBug,
+		LivelockAsBug:  b.LivelockAsBug,
+	})
+}
+
+// TestCorrectVariantsPassRandom checks that no correct benchmark variant
+// reports a bug under hundreds of random schedules.
+func TestCorrectVariantsPassRandom(t *testing.T) {
+	for _, b := range All() {
+		if b.Buggy {
+			continue
+		}
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			rep := runRandom(t, b, testIterations, true)
+			if rep.BugFound() {
+				t.Fatalf("correct variant found buggy: %v (iteration %d)", rep.FirstBug, rep.FirstBugIteration)
+			}
+			if rep.BoundReached == rep.Iterations {
+				t.Fatalf("every schedule hit the depth bound; bound %d too low", b.MaxSteps)
+			}
+		})
+	}
+}
+
+// TestBuggyVariantsFailRandom checks that the random scheduler finds every
+// seeded bug (Table 2's headline result) and that the bug replays
+// deterministically from its trace.
+func TestBuggyVariantsFailRandom(t *testing.T) {
+	for _, b := range All() {
+		if !b.Buggy {
+			continue
+		}
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			rep := runRandom(t, b, 2000, true)
+			if !rep.BugFound() {
+				t.Fatalf("random scheduler missed the seeded bug in %d schedules", rep.Iterations)
+			}
+			t.Logf("%s: bug at iteration %d: %v", b.ID(), rep.FirstBugIteration, rep.FirstBug)
+
+			res := sct.ReplayTrace(b.Setup, rep.FirstBugTrace, psharp.TestConfig{
+				MaxSteps:      b.MaxSteps,
+				LivelockAsBug: b.LivelockAsBug,
+			})
+			if res.Bug == nil {
+				t.Fatalf("trace replay did not reproduce the bug")
+			}
+			if res.Bug.Kind != rep.FirstBug.Kind {
+				t.Fatalf("replayed bug kind %v != original %v", res.Bug.Kind, rep.FirstBug.Kind)
+			}
+		})
+	}
+}

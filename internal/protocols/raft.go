@@ -1,0 +1,297 @@
+package protocols
+
+import "github.com/psharp-go/psharp"
+
+// Raft leader election (paper reference [22], implemented — like the
+// paper's version — from scratch using the original paper as reference):
+// five server machines with per-server election-timer machines. Timers fire
+// nondeterministically within a bounded budget; a timed-out server starts an
+// election for the next term, votes for itself and requests votes from its
+// peers. Voters grant at most one vote per term. A candidate reaching a
+// majority becomes leader, announces itself to a checker machine and
+// heartbeats its peers. The safety property is Raft's Election Safety: at
+// most one leader per term, asserted by the checker (keyed by term, so
+// message reordering cannot cause false alarms).
+//
+// Both variants retry a stalled election once by re-broadcasting the vote
+// request for the same term (a deliberate implementation choice — voters
+// re-grant to the candidate they already voted for, as Raft prescribes for
+// duplicate requests). The correct candidate tallies votes in a per-voter
+// set, so the duplicate grant is harmless; the buggy candidate counts
+// grants with a bare counter and double-counts the re-granted vote. The
+// violation needs a split vote, a retry, and a second candidate winning the
+// same term with the remaining voters — the same kind of rare, deep
+// interleaving that makes the paper's Raft bug the hardest in Table 2 (2%
+// of random schedules, missed by DFS and CHESS).
+
+type rfServerConfig struct {
+	psharp.EventBase
+	Peers   []psharp.MachineID
+	Timer   psharp.MachineID
+	Checker psharp.MachineID
+}
+
+type rfArm struct{ psharp.EventBase }
+
+type rfTimeout struct{ psharp.EventBase }
+
+type rfRequestVote struct {
+	psharp.EventBase
+	Term      int
+	Candidate psharp.MachineID
+}
+
+type rfVoteResp struct {
+	psharp.EventBase
+	Term    int
+	Granted bool
+	From    psharp.MachineID
+}
+
+type rfHeartbeat struct {
+	psharp.EventBase
+	Term   int
+	Leader psharp.MachineID
+}
+
+type rfLeaderElected struct {
+	psharp.EventBase
+	Term   int
+	Leader psharp.MachineID
+}
+
+type rfServer struct {
+	peers   []psharp.MachineID
+	timer   psharp.MachineID
+	checker psharp.MachineID
+	buggy   bool
+
+	term     int
+	votedFor psharp.MachineID
+	votes    map[psharp.MachineID]bool // correct tally
+	count    int                       // buggy tally
+	retried  bool
+}
+
+func (s *rfServer) Configure(sc *psharp.Schema) {
+	majority := func() int { return (len(s.peers)+1)/2 + 1 }
+
+	// vote handles a RequestVote in any role; it returns true when the
+	// server stepped down to a newer term.
+	vote := func(ctx *psharp.Context, rv *rfRequestVote) bool {
+		stepDown := false
+		if rv.Term > s.term {
+			s.term = rv.Term
+			s.votedFor = psharp.MachineID{}
+			stepDown = true
+		}
+		granted := false
+		if rv.Term == s.term && (s.votedFor.IsNil() || s.votedFor == rv.Candidate) {
+			s.votedFor = rv.Candidate
+			granted = true
+		}
+		ctx.Write("server.votedFor")
+		ctx.Send(rv.Candidate, &rfVoteResp{Term: rv.Term, Granted: granted, From: ctx.ID()})
+		return stepDown
+	}
+
+	startElection := func(ctx *psharp.Context) {
+		s.term++
+		s.votedFor = ctx.ID()
+		s.votes = map[psharp.MachineID]bool{ctx.ID(): true}
+		s.count = 1
+		s.retried = false
+		for _, p := range s.peers {
+			ctx.Send(p, &rfRequestVote{Term: s.term, Candidate: ctx.ID()})
+		}
+		ctx.Send(s.timer, &rfArm{})
+	}
+
+	tally := func(ctx *psharp.Context, resp *rfVoteResp) int {
+		if s.buggy {
+			// The seeded bug: a bare counter double-counts the duplicate
+			// grant a voter sends in response to the retry broadcast.
+			s.count++
+			return s.count
+		}
+		s.votes[resp.From] = true
+		return len(s.votes)
+	}
+
+	sc.Start("Boot").
+		Defer(&rfRequestVote{}).
+		Defer(&rfHeartbeat{}).
+		Defer(&rfTimeout{}).
+		OnEventDo(&rfServerConfig{}, func(ctx *psharp.Context, ev psharp.Event) {
+			cfg := ev.(*rfServerConfig)
+			s.peers = cfg.Peers
+			s.timer = cfg.Timer
+			s.checker = cfg.Checker
+			ctx.Send(s.timer, &rfArm{})
+			ctx.Goto("Follower")
+		})
+
+	sc.State("Follower").
+		OnEventDo(&rfTimeout{}, func(ctx *psharp.Context, ev psharp.Event) {
+			startElection(ctx)
+			ctx.Goto("Candidate")
+		}).
+		OnEventDo(&rfRequestVote{}, func(ctx *psharp.Context, ev psharp.Event) {
+			vote(ctx, ev.(*rfRequestVote))
+		}).
+		OnEventDo(&rfHeartbeat{}, func(ctx *psharp.Context, ev psharp.Event) {
+			hb := ev.(*rfHeartbeat)
+			if hb.Term > s.term {
+				s.term = hb.Term
+				s.votedFor = psharp.MachineID{}
+			}
+		}).
+		Ignore(&rfVoteResp{})
+
+	sc.State("Candidate").
+		OnEventDo(&rfVoteResp{}, func(ctx *psharp.Context, ev psharp.Event) {
+			resp := ev.(*rfVoteResp)
+			if resp.Term != s.term || !resp.Granted {
+				return
+			}
+			if tally(ctx, resp) < majority() {
+				return
+			}
+			ctx.Send(s.checker, &rfLeaderElected{Term: s.term, Leader: ctx.ID()})
+			for _, p := range s.peers {
+				ctx.Send(p, &rfHeartbeat{Term: s.term, Leader: ctx.ID()})
+			}
+			ctx.Goto("Leader")
+		}).
+		OnEventDo(&rfTimeout{}, func(ctx *psharp.Context, ev psharp.Event) {
+			if !s.retried {
+				// Retry the stalled election once: re-broadcast the vote
+				// request for the same term.
+				s.retried = true
+				for _, p := range s.peers {
+					ctx.Send(p, &rfRequestVote{Term: s.term, Candidate: ctx.ID()})
+				}
+				ctx.Send(s.timer, &rfArm{})
+				return
+			}
+			startElection(ctx)
+		}).
+		OnEventDo(&rfRequestVote{}, func(ctx *psharp.Context, ev psharp.Event) {
+			if vote(ctx, ev.(*rfRequestVote)) {
+				ctx.Goto("Follower")
+			}
+		}).
+		OnEventDo(&rfHeartbeat{}, func(ctx *psharp.Context, ev psharp.Event) {
+			hb := ev.(*rfHeartbeat)
+			if hb.Term >= s.term {
+				if hb.Term > s.term {
+					s.term = hb.Term
+					s.votedFor = psharp.MachineID{}
+				}
+				ctx.Goto("Follower")
+			}
+		})
+
+	sc.State("Leader").
+		OnEventDo(&rfRequestVote{}, func(ctx *psharp.Context, ev psharp.Event) {
+			if vote(ctx, ev.(*rfRequestVote)) {
+				ctx.Goto("Follower")
+			}
+		}).
+		OnEventDo(&rfHeartbeat{}, func(ctx *psharp.Context, ev psharp.Event) {
+			hb := ev.(*rfHeartbeat)
+			if hb.Term > s.term {
+				s.term = hb.Term
+				s.votedFor = psharp.MachineID{}
+				ctx.Goto("Follower")
+			}
+		}).
+		Ignore(&rfVoteResp{}).
+		Ignore(&rfTimeout{})
+}
+
+// rfTimer fires a bounded number of timeouts; each rfArm spends one unit of
+// budget. The *scheduling* of the timeout delivery is the paper's timing
+// nondeterminism.
+type rfTimer struct {
+	server psharp.MachineID
+	budget int
+}
+
+type rfTimerConfig struct {
+	psharp.EventBase
+	Server psharp.MachineID
+	Budget int
+}
+
+func (t *rfTimer) Configure(sc *psharp.Schema) {
+	sc.Start("Boot").
+		Defer(&rfArm{}).
+		OnEventDo(&rfTimerConfig{}, func(ctx *psharp.Context, ev psharp.Event) {
+			cfg := ev.(*rfTimerConfig)
+			t.server = cfg.Server
+			t.budget = cfg.Budget
+			ctx.Goto("Armed")
+		})
+	sc.State("Armed").
+		OnEventDo(&rfArm{}, func(ctx *psharp.Context, ev psharp.Event) {
+			if t.budget == 0 {
+				return
+			}
+			t.budget--
+			ctx.Send(t.server, &rfTimeout{})
+		})
+}
+
+// rfChecker asserts Election Safety.
+type rfChecker struct {
+	leaders map[int]psharp.MachineID
+}
+
+func (c *rfChecker) Configure(sc *psharp.Schema) {
+	c.leaders = make(map[int]psharp.MachineID)
+	sc.Start("Checking").
+		OnEventDo(&rfLeaderElected{}, func(ctx *psharp.Context, ev psharp.Event) {
+			e := ev.(*rfLeaderElected)
+			prev, ok := c.leaders[e.Term]
+			if !ok {
+				c.leaders[e.Term] = e.Leader
+				return
+			}
+			ctx.Assert(prev == e.Leader,
+				"election safety violated: term %d has leaders %s and %s", e.Term, prev, e.Leader)
+		})
+}
+
+func raftBenchmark(buggy bool) Benchmark {
+	const numServers = 5
+	const timerBudget = 2
+	return Benchmark{
+		Name:     "Raft",
+		Buggy:    buggy,
+		MaxSteps: 10000,
+		Machines: 2*numServers + 1,
+		Setup: func(r *psharp.Runtime) {
+			r.MustRegister("RaftServer", func() psharp.Machine { return &rfServer{buggy: buggy} })
+			r.MustRegister("RaftTimer", func() psharp.Machine { return &rfTimer{} })
+			r.MustRegister("RaftChecker", func() psharp.Machine { return &rfChecker{} })
+			checker := r.MustCreate("RaftChecker", nil)
+			servers := make([]psharp.MachineID, numServers)
+			timers := make([]psharp.MachineID, numServers)
+			for i := range servers {
+				servers[i] = r.MustCreate("RaftServer", nil)
+				timers[i] = r.MustCreate("RaftTimer", nil)
+				mustSend(r, timers[i], &rfTimerConfig{Server: servers[i], Budget: timerBudget})
+			}
+			for i, srv := range servers {
+				peers := make([]psharp.MachineID, 0, numServers-1)
+				for j, p := range servers {
+					if j != i {
+						peers = append(peers, p)
+					}
+				}
+				mustSend(r, srv, &rfServerConfig{Peers: peers, Timer: timers[i], Checker: checker})
+			}
+		},
+	}
+}

@@ -1,0 +1,77 @@
+package protocols
+
+import (
+	"testing"
+
+	"github.com/psharp-go/psharp/sct"
+)
+
+// TestTable2Shape is a regression test for the qualitative shape of the
+// paper's Table 2 (scaled down to 1,000 random / 2,000 DFS schedules so it
+// stays test-suite fast; the bench harness runs the full budgets):
+//
+//   - the DFS scheduler finds the Chord, MultiPaxos and ChainReplication
+//     bugs on the first schedule, and misses all the others;
+//   - the random scheduler finds every bug, with ChainReplication and
+//     MultiPaxos near-certain, BasicPaxos frequent, German and Chord
+//     moderate, BoundedAsync occasional, and TwoPhaseCommit and Raft rare.
+func TestTable2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape measurement is skipped in -short mode")
+	}
+	firstScheduleBugs := map[string]bool{
+		"Chord": true, "MultiPaxos": true, "ChainReplication": true,
+	}
+	// Loose %buggy bands: [lo, hi] per benchmark (paper's values in
+	// comments). The bands are wide on purpose; the ordering is the claim.
+	bands := map[string][2]float64{
+		"BoundedAsync":     {2, 30},   // paper: 6%
+		"German":           {10, 60},  // paper: 22%
+		"BasicPaxos":       {40, 95},  // paper: 83%
+		"TwoPhaseCommit":   {0.5, 15}, // paper: 3%
+		"Chord":            {10, 60},  // paper: 35%
+		"MultiPaxos":       {70, 100}, // paper: 89%
+		"Raft":             {0.1, 10}, // paper: 2%
+		"ChainReplication": {80, 100}, // paper: 100%
+	}
+	for _, name := range Names() {
+		b, ok := ByName(name, true)
+		if !ok {
+			continue
+		}
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			rnd := sct.Run(b.Setup, sct.Options{
+				Strategy:      sct.NewRandom(7),
+				Iterations:    1000,
+				MaxSteps:      b.MaxSteps,
+				LivelockAsBug: b.LivelockAsBug,
+			})
+			if !rnd.BugFound() {
+				t.Fatalf("random scheduler missed the bug entirely")
+			}
+			band := bands[b.Name]
+			if got := rnd.PercentBuggy(); got < band[0] || got > band[1] {
+				t.Errorf("random %%buggy = %.1f, want within [%.1f, %.1f]", got, band[0], band[1])
+			}
+
+			dfs := sct.Run(b.Setup, sct.Options{
+				Strategy:       sct.NewDFS(),
+				Iterations:     2000,
+				MaxSteps:       b.MaxSteps,
+				StopOnFirstBug: true,
+				LivelockAsBug:  b.LivelockAsBug,
+			})
+			if firstScheduleBugs[b.Name] {
+				if !dfs.BugFound() || dfs.FirstBugIteration != 0 {
+					t.Errorf("DFS: want bug on the first schedule, got found=%v at iteration %d",
+						dfs.BugFound(), dfs.FirstBugIteration)
+				}
+			} else if dfs.BugFound() {
+				t.Errorf("DFS: found the bug at iteration %d; the paper's DFS misses this benchmark",
+					dfs.FirstBugIteration)
+			}
+			t.Logf("random %%buggy=%.1f, DFS found=%v", rnd.PercentBuggy(), dfs.BugFound())
+		})
+	}
+}

@@ -1,0 +1,68 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/psharp-go/psharp/internal/benchsrc"
+)
+
+// TestTable1MatchesExpectations cross-checks the harness against the
+// benchsrc roster (which itself mirrors the paper's Table 1).
+func TestTable1MatchesExpectations(t *testing.T) {
+	rows, err := RunTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(benchsrc.All()) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(benchsrc.All()))
+	}
+	for i, want := range benchsrc.All() {
+		got := rows[i]
+		if got.Name != want.Name {
+			t.Fatalf("row %d: %s, want %s", i, got.Name, want.Name)
+		}
+		if got.FPsNoXSA != want.FPsNoXSA || got.FPsXSA != want.FPsXSA || got.Verified != want.Verified {
+			t.Errorf("%s: FPs (%d,%d,verified=%v), want (%d,%d,%v)",
+				got.Name, got.FPsNoXSA, got.FPsXSA, got.Verified,
+				want.FPsNoXSA, want.FPsXSA, want.Verified)
+		}
+		if want.HasRacy && !got.RacesFound {
+			t.Errorf("%s: racy variant not flagged", got.Name)
+		}
+	}
+	var sb strings.Builder
+	PrintTable1(&sb, rows)
+	if !strings.Contains(sb.String(), "MultiPaxos") {
+		t.Error("printed table missing rows")
+	}
+}
+
+// TestTable2RowSmoke runs a small-budget Table 2 row end to end and checks
+// the cell structure and the first-schedule DFS find on ChainReplication.
+func TestTable2RowSmoke(t *testing.T) {
+	row, err := RunTable2Row("ChainReplication", Table2Options{
+		Iterations: 200, Timeout: time.Minute, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(row.Cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(row.Cells))
+	}
+	for _, c := range row.Cells {
+		if !c.BugFound {
+			t.Errorf("%v: ChainReplication bug not found even at small budget", c.Mode)
+		}
+	}
+	dfs := row.Cells[2]
+	if dfs.Mode != ModePSharpDFS || dfs.BugIteration != 0 {
+		t.Errorf("P# DFS should find ChainReplication on the first schedule, got iteration %d", dfs.BugIteration)
+	}
+	var sb strings.Builder
+	PrintTable2(&sb, []Table2Row{row})
+	if !strings.Contains(sb.String(), "ChainReplication") {
+		t.Error("printed table missing the row")
+	}
+}

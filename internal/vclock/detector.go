@@ -1,0 +1,148 @@
+package vclock
+
+import "fmt"
+
+// AccessKind distinguishes reads from writes.
+type AccessKind int
+
+// Access kinds.
+const (
+	Read AccessKind = iota
+	Write
+)
+
+func (k AccessKind) String() string {
+	if k == Write {
+		return "write"
+	}
+	return "read"
+}
+
+// Race describes one detected data race: two causally unordered accesses to
+// the same location with at least one write.
+type Race struct {
+	Location string
+	First    AccessKind
+	FirstBy  int
+	Second   AccessKind
+	SecondBy int
+}
+
+func (r Race) String() string {
+	return fmt.Sprintf("race on %s: %s by actor %d unordered with %s by actor %d",
+		r.Location, r.First, r.FirstBy, r.Second, r.SecondBy)
+}
+
+// access remembers one prior access for the epoch-style shadow state.
+type access struct {
+	clock VC
+	actor int
+}
+
+type shadow struct {
+	lastWrite *access
+	// reads since the last write; one entry per actor suffices because a
+	// newer read by the same actor dominates its older reads.
+	reads map[int]*access
+}
+
+// Detector is a happens-before data-race detector. It keeps one vector clock
+// per actor and shadow state per location. All methods must be called from a
+// serialized context (the paper's testing runtime runs one machine at a
+// time, so this holds by construction).
+type Detector struct {
+	clocks map[int]VC
+	memory map[string]*shadow
+	races  []Race
+	// MaxRaces bounds reporting; 0 means unbounded.
+	MaxRaces int
+}
+
+// NewDetector returns an empty detector.
+func NewDetector() *Detector {
+	return &Detector{
+		clocks: make(map[int]VC),
+		memory: make(map[string]*shadow),
+	}
+}
+
+func (d *Detector) clock(actor int) VC {
+	c, ok := d.clocks[actor]
+	if !ok {
+		c = New()
+		c.Tick(actor)
+		d.clocks[actor] = c
+	}
+	return c
+}
+
+// Fork initializes child's clock to inherit parent's history (machine
+// creation establishes happens-before from creator to created machine).
+func (d *Detector) Fork(parent, child int) {
+	pc := d.clock(parent)
+	cc := d.clock(child)
+	cc.Join(pc)
+	cc.Tick(child)
+	pc.Tick(parent)
+}
+
+// Send returns a snapshot of the sender's clock to attach to a message, and
+// advances the sender. The snapshot must later be passed to Receive.
+func (d *Detector) Send(sender int) VC {
+	c := d.clock(sender)
+	snap := c.Copy()
+	c.Tick(sender)
+	return snap
+}
+
+// Receive joins the message clock into the receiver (the happens-before edge
+// from send to dequeue) and advances the receiver.
+func (d *Detector) Receive(receiver int, msg VC) {
+	c := d.clock(receiver)
+	if msg != nil {
+		c.Join(msg)
+	}
+	c.Tick(receiver)
+}
+
+// Access records a read or write of location by actor and reports any race
+// with prior unordered conflicting accesses.
+func (d *Detector) Access(actor int, location string, kind AccessKind) {
+	c := d.clock(actor)
+	s, ok := d.memory[location]
+	if !ok {
+		s = &shadow{reads: make(map[int]*access)}
+		d.memory[location] = s
+	}
+	if s.lastWrite != nil && s.lastWrite.actor != actor && s.lastWrite.clock.Concurrent(c) {
+		d.report(Race{Location: location, First: Write, FirstBy: s.lastWrite.actor, Second: kind, SecondBy: actor})
+	}
+	if kind == Write {
+		for _, r := range s.reads {
+			if r.actor != actor && r.clock.Concurrent(c) {
+				d.report(Race{Location: location, First: Read, FirstBy: r.actor, Second: Write, SecondBy: actor})
+			}
+		}
+		s.lastWrite = &access{clock: c.Copy(), actor: actor}
+		s.reads = make(map[int]*access)
+	} else {
+		s.reads[actor] = &access{clock: c.Copy(), actor: actor}
+	}
+}
+
+func (d *Detector) report(r Race) {
+	if d.MaxRaces > 0 && len(d.races) >= d.MaxRaces {
+		return
+	}
+	d.races = append(d.races, r)
+}
+
+// Races returns all races reported so far.
+func (d *Detector) Races() []Race { return d.races }
+
+// Reset clears all state for a new test iteration.
+func (d *Detector) Reset() {
+	d.clocks = make(map[int]VC)
+	d.memory = make(map[string]*shadow)
+	d.races = nil
+}

@@ -1,0 +1,337 @@
+package interp
+
+import (
+	"fmt"
+
+	"github.com/psharp-go/psharp/internal/vclock"
+	"github.com/psharp-go/psharp/lang"
+)
+
+// execStmts runs statements; it returns (returned, raisedEvent, err).
+func (in *Interp) execStmts(env *frame, stmts []lang.Stmt) (bool, *raised, error) {
+	for _, s := range stmts {
+		done, r, err := in.execStmt(env, s)
+		if err != nil || done || r != nil {
+			return done, r, err
+		}
+	}
+	return false, nil, nil
+}
+
+func (in *Interp) execStmt(env *frame, s lang.Stmt) (bool, *raised, error) {
+	switch st := s.(type) {
+	case *lang.LocalDecl:
+		env.locals[st.Decl.Name] = zeroValue(st.Decl.Type)
+		return false, nil, nil
+	case *lang.AssignStmt:
+		v, err := in.eval(env, st.Value)
+		if err != nil {
+			return false, nil, err
+		}
+		if st.ToField != "" {
+			in.writeField(env, st.ToField, v)
+			return false, nil, nil
+		}
+		env.locals[st.Target] = v
+		return false, nil, nil
+	case *lang.ExprStmt:
+		_, err := in.eval(env, st.X)
+		return false, nil, err
+	case *lang.SendStmt:
+		dst, err := in.eval(env, st.Dst)
+		if err != nil {
+			return false, nil, err
+		}
+		var payload Value
+		if st.Payload != nil {
+			payload, err = in.eval(env, st.Payload)
+			if err != nil {
+				return false, nil, err
+			}
+		}
+		id, ok := dst.(MachineID)
+		if !ok || int(id) < 0 || int(id) >= len(in.machines) {
+			return false, nil, fmt.Errorf("interp: %s: send to invalid machine %v", st.Pos, dst)
+		}
+		in.send(env.machine, in.machines[id], st.Event, payload)
+		return false, nil, nil
+	case *lang.RaiseStmt:
+		var payload Value
+		if st.Payload != nil {
+			v, err := in.eval(env, st.Payload)
+			if err != nil {
+				return false, nil, err
+			}
+			payload = v
+		}
+		return false, &raised{event: st.Event, payload: payload}, nil
+	case *lang.ReturnStmt:
+		if st.Value != nil {
+			v, err := in.eval(env, st.Value)
+			if err != nil {
+				return false, nil, err
+			}
+			env.retVal = v
+		}
+		return true, nil, nil
+	case *lang.IfStmt:
+		cond, err := in.eval(env, st.Cond)
+		if err != nil {
+			return false, nil, err
+		}
+		if cond.(Bool) {
+			return in.execStmts(env, st.Then)
+		}
+		return in.execStmts(env, st.Else)
+	case *lang.WhileStmt:
+		for iter := 0; ; iter++ {
+			if iter > 1_000_000 {
+				return false, nil, fmt.Errorf("interp: %s: while loop exceeded 1e6 iterations", st.Pos)
+			}
+			cond, err := in.eval(env, st.Cond)
+			if err != nil {
+				return false, nil, err
+			}
+			if !bool(cond.(Bool)) {
+				return false, nil, nil
+			}
+			done, r, err := in.execStmts(env, st.Body)
+			if err != nil || done || r != nil {
+				return done, r, err
+			}
+		}
+	case *lang.AssertStmt:
+		cond, err := in.eval(env, st.Cond)
+		if err != nil {
+			return false, nil, err
+		}
+		if !bool(cond.(Bool)) {
+			return false, nil, assertionError{msg: fmt.Sprintf("at %s", st.Pos)}
+		}
+		return false, nil, nil
+	}
+	return false, nil, fmt.Errorf("interp: unknown statement %T", s)
+}
+
+// send appends the event to the destination's queue (rule SEND); sends to
+// halted machines are dropped.
+func (in *Interp) send(from, to *machineInst, event string, payload Value) {
+	if to.halted {
+		return
+	}
+	var clock vclock.VC
+	if in.det != nil {
+		clock = in.det.Send(int(from.id))
+	}
+	to.queue = append(to.queue, message{event: event, payload: payload, clock: clock})
+}
+
+// readField implements MBR-ASSIGN-FROM on either the machine's own fields
+// or, in a class-method frame, the heap object's fields; the race detector
+// observes every heap access.
+func (in *Interp) readField(env *frame, field string) Value {
+	if env.thisObj != nil {
+		in.access(env, env.thisObj, field, vclock.Read)
+		return env.thisObj.fields[field]
+	}
+	return env.machine.fields[field]
+}
+
+// writeField implements MBR-ASSIGN-TO.
+func (in *Interp) writeField(env *frame, field string, v Value) {
+	if env.thisObj != nil {
+		in.access(env, env.thisObj, field, vclock.Write)
+		env.thisObj.fields[field] = v
+		return
+	}
+	env.machine.fields[field] = v
+}
+
+func (in *Interp) access(env *frame, o *object, field string, kind vclock.AccessKind) {
+	if in.det == nil {
+		return
+	}
+	// Identify the object by heap position for a stable location name.
+	loc := fmt.Sprintf("%s@%p.%s", o.class, o, field)
+	in.det.Access(int(env.machine.id), loc, kind)
+}
+
+func (in *Interp) eval(env *frame, e lang.Expr) (Value, error) {
+	switch x := e.(type) {
+	case *lang.IntLit:
+		return Int(x.Value), nil
+	case *lang.BoolLit:
+		return Bool(x.Value), nil
+	case *lang.NullLit:
+		return Null{}, nil
+	case *lang.VarRef:
+		v, ok := env.locals[x.Name]
+		if !ok {
+			return nil, fmt.Errorf("interp: %s: undefined variable %q", x.Pos, x.Name)
+		}
+		return v, nil
+	case *lang.ThisRef:
+		return nil, fmt.Errorf("interp: %s: bare this is not a value", x.Pos)
+	case *lang.FieldRef:
+		return in.readField(env, x.Field), nil
+	case *lang.NewExpr:
+		cd := in.prog.ClassByName[x.Class]
+		o := &object{class: x.Class, fields: make(map[string]Value, len(cd.Fields))}
+		for _, f := range cd.Fields {
+			o.fields[f.Name] = zeroValue(f.Type)
+		}
+		in.heap = append(in.heap, o)
+		return Ref(len(in.heap) - 1), nil
+	case *lang.CreateExpr:
+		md := in.prog.MachineByName[x.Machine]
+		id, err := in.create(md, env.machine.id)
+		if err != nil {
+			return nil, err
+		}
+		return id, nil
+	case *lang.CallExpr:
+		return in.call(env, x)
+	case *lang.UnaryExpr:
+		v, err := in.eval(env, x.X)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "!":
+			return Bool(!v.(Bool)), nil
+		case "-":
+			return Int(-v.(Int)), nil
+		}
+		return nil, fmt.Errorf("interp: unknown unary %q", x.Op)
+	case *lang.BinaryExpr:
+		return in.binary(env, x)
+	}
+	return nil, fmt.Errorf("interp: unknown expression %T", e)
+}
+
+func (in *Interp) binary(env *frame, x *lang.BinaryExpr) (Value, error) {
+	l, err := in.eval(env, x.L)
+	if err != nil {
+		return nil, err
+	}
+	// Short-circuit booleans.
+	switch x.Op {
+	case "&&":
+		if !bool(l.(Bool)) {
+			return Bool(false), nil
+		}
+		r, err := in.eval(env, x.R)
+		if err != nil {
+			return nil, err
+		}
+		return r.(Bool), nil
+	case "||":
+		if bool(l.(Bool)) {
+			return Bool(true), nil
+		}
+		r, err := in.eval(env, x.R)
+		if err != nil {
+			return nil, err
+		}
+		return r.(Bool), nil
+	}
+	r, err := in.eval(env, x.R)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case "==", "!=":
+		eq := l == r
+		if x.Op == "!=" {
+			eq = !eq
+		}
+		return Bool(eq), nil
+	}
+	li, lok := l.(Int)
+	ri, rok := r.(Int)
+	if !lok || !rok {
+		return nil, fmt.Errorf("interp: %s: %q requires integers", x.Pos, x.Op)
+	}
+	switch x.Op {
+	case "+":
+		return li + ri, nil
+	case "-":
+		return li - ri, nil
+	case "*":
+		return li * ri, nil
+	case "/":
+		if ri == 0 {
+			return nil, fmt.Errorf("interp: %s: division by zero", x.Pos)
+		}
+		return li / ri, nil
+	case "%":
+		if ri == 0 {
+			return nil, fmt.Errorf("interp: %s: modulo by zero", x.Pos)
+		}
+		return li % ri, nil
+	case "<":
+		return Bool(li < ri), nil
+	case "<=":
+		return Bool(li <= ri), nil
+	case ">":
+		return Bool(li > ri), nil
+	case ">=":
+		return Bool(li >= ri), nil
+	}
+	return nil, fmt.Errorf("interp: unknown operator %q", x.Op)
+}
+
+// call implements METHOD-CALL: a new local store with this bound to the
+// receiver and formals bound to the evaluated arguments.
+func (in *Interp) call(env *frame, x *lang.CallExpr) (Value, error) {
+	var callee *lang.MethodDecl
+	newFrame := &frame{machine: env.machine, locals: make(map[string]Value)}
+	switch recv := x.Recv.(type) {
+	case *lang.ThisRef:
+		// A machine method called on this, or a class method when already
+		// inside a class-method frame.
+		if env.thisObj != nil {
+			cd := in.prog.ClassByName[env.thisObj.class]
+			callee = cd.MethodByName[x.Method]
+			newFrame.thisObj = env.thisObj
+		} else {
+			callee = env.machine.decl.MethodByName[x.Method]
+		}
+	default:
+		rv, err := in.eval(env, x.Recv)
+		if err != nil {
+			return nil, err
+		}
+		ref, ok := rv.(Ref)
+		if !ok {
+			return nil, fmt.Errorf("interp: %s: method call on null or non-object", x.Pos)
+		}
+		o := in.heap[ref]
+		cd := in.prog.ClassByName[o.class]
+		callee = cd.MethodByName[x.Method]
+		newFrame.thisObj = o
+		_ = recv
+	}
+	if callee == nil {
+		return nil, fmt.Errorf("interp: %s: no method %q", x.Pos, x.Method)
+	}
+	for i, p := range callee.Params {
+		v, err := in.eval(env, x.Args[i])
+		if err != nil {
+			return nil, err
+		}
+		newFrame.locals[p.Name] = v
+	}
+	done, r, err := in.execStmts(newFrame, callee.Body)
+	if err != nil {
+		return nil, err
+	}
+	if r != nil {
+		return nil, fmt.Errorf("interp: %s: raise inside a nested method call is not supported", x.Pos)
+	}
+	_ = done
+	if newFrame.retVal == nil {
+		return Null{}, nil
+	}
+	return newFrame.retVal, nil
+}

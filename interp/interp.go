@@ -1,0 +1,365 @@
+// Package interp executes core-language programs under the paper's
+// operational semantics (Section 4, Figures 3 and 4): a shared heap,
+// per-machine configurations with event queues, and machine transitions
+// driven by the transition function. Scheduling between machines is
+// controlled (seeded random or a custom scheduler), and an optional
+// happens-before race detector observes every field access performed by
+// the MBR-ASSIGN rules — which is how the racy Table 1 benchmark variants
+// are confirmed to race dynamically, cross-validating the static analysis.
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/psharp-go/psharp/internal/vclock"
+	"github.com/psharp-go/psharp/lang"
+)
+
+// Value is a runtime value: int64, bool, Ref, MachineID, or Null.
+type Value interface{ isValue() }
+
+// Int is a scalar integer.
+type Int int64
+
+// Bool is a scalar boolean.
+type Bool bool
+
+// Ref is a heap reference.
+type Ref int
+
+// MachineID identifies a machine instance.
+type MachineID int
+
+// Null is the null reference.
+type Null struct{}
+
+func (Int) isValue()       {}
+func (Bool) isValue()      {}
+func (Ref) isValue()       {}
+func (MachineID) isValue() {}
+func (Null) isValue()      {}
+
+// object is a heap object: rule NEW-ASSIGN allocates one slot per member
+// variable, initialized to an undefined value (we use Null).
+type object struct {
+	class  string
+	fields map[string]Value
+}
+
+type message struct {
+	event   string
+	payload Value // nil when the event carries no payload
+	clock   vclock.VC
+}
+
+// machineInst is one machine configuration (m, q, E, ...).
+type machineInst struct {
+	id     MachineID
+	decl   *lang.MachineDecl
+	state  *lang.StateDecl
+	fields map[string]Value
+	queue  []message
+	halted bool
+}
+
+// Scheduler picks the next machine to dispatch an event; enabled is sorted
+// by machine id and never empty.
+type Scheduler interface {
+	Next(enabled []MachineID) MachineID
+	// Choose resolves a controlled scalar choice in [0, n).
+	Choose(n int) int
+}
+
+// randomScheduler is a seeded SplitMix64 scheduler.
+type randomScheduler struct{ state uint64 }
+
+func (r *randomScheduler) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *randomScheduler) Next(enabled []MachineID) MachineID {
+	return enabled[int(r.next()%uint64(len(enabled)))]
+}
+
+func (r *randomScheduler) Choose(n int) int { return int(r.next() % uint64(n)) }
+
+// Options configures a run.
+type Options struct {
+	// Seed seeds the default random scheduler.
+	Seed uint64
+	// Scheduler overrides the default random scheduler.
+	Scheduler Scheduler
+	// MaxSteps bounds dispatched events (0 = 100000).
+	MaxSteps int
+	// RaceDetect runs the happens-before detector over all field accesses.
+	RaceDetect bool
+}
+
+// Outcome reports a run.
+type Outcome struct {
+	// Steps is the number of dispatched events (including entry actions).
+	Steps int
+	// Quiescent is true when every machine blocked on an empty queue.
+	Quiescent bool
+	// BoundReached is true when MaxSteps was exhausted first.
+	BoundReached bool
+	// Races lists happens-before violations found (RaceDetect mode).
+	Races []string
+	// Err holds an assertion failure, unhandled event, or runtime fault.
+	Err error
+}
+
+// Interp is the interpreter state: the system configuration (h, M).
+type Interp struct {
+	prog     *lang.Program
+	heap     []*object
+	machines []*machineInst
+	sched    Scheduler
+	det      *vclock.Detector
+	steps    int
+}
+
+// assertionError marks failed asserts.
+type assertionError struct{ msg string }
+
+func (e assertionError) Error() string { return "assertion failed: " + e.msg }
+
+// IsAssertion reports whether err is an assertion failure.
+func IsAssertion(err error) bool {
+	var ae assertionError
+	return errors.As(err, &ae)
+}
+
+// Run instantiates one instance of the named main machine and executes the
+// system until quiescence, an error, or the step bound.
+func Run(prog *lang.Program, main string, opts Options) Outcome {
+	in := &Interp{prog: prog}
+	if opts.Scheduler != nil {
+		in.sched = opts.Scheduler
+	} else {
+		in.sched = &randomScheduler{state: opts.Seed}
+	}
+	if opts.RaceDetect {
+		in.det = vclock.NewDetector()
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 100000
+	}
+
+	md, ok := prog.MachineByName[main]
+	if !ok {
+		return Outcome{Err: fmt.Errorf("interp: no machine %q", main)}
+	}
+	var out Outcome
+	if _, err := in.create(md, 0); err != nil {
+		out.Err = err
+		return out
+	}
+
+	for in.steps < maxSteps {
+		enabled, err := in.enabled()
+		if err != nil {
+			out.Err = err
+			break
+		}
+		if len(enabled) == 0 {
+			out.Quiescent = true
+			break
+		}
+		id := in.sched.Next(enabled)
+		if err := in.dispatch(in.machines[id]); err != nil {
+			out.Err = err
+			break
+		}
+	}
+	out.Steps = in.steps
+	if !out.Quiescent && out.Err == nil {
+		out.BoundReached = true
+	}
+	if in.det != nil {
+		for _, r := range in.det.Races() {
+			out.Races = append(out.Races, r.String())
+		}
+	}
+	return out
+}
+
+// create implements machine instantiation: allocate fields (set to Null /
+// zero values) and run the start state's entry action.
+func (in *Interp) create(md *lang.MachineDecl, creator MachineID) (MachineID, error) {
+	m := &machineInst{
+		id:     MachineID(len(in.machines)),
+		decl:   md,
+		state:  md.StartState,
+		fields: make(map[string]Value, len(md.Fields)),
+	}
+	for _, f := range md.Fields {
+		m.fields[f.Name] = zeroValue(f.Type)
+	}
+	in.machines = append(in.machines, m)
+	if in.det != nil {
+		in.det.Fork(int(creator), int(m.id))
+	}
+	in.steps++
+	if m.state.Entry != nil {
+		if err := in.runBlock(m, m.state.Entry, nil, nil); err != nil {
+			return m.id, err
+		}
+	}
+	return m.id, nil
+}
+
+func zeroValue(t lang.Type) Value {
+	switch t.Name {
+	case "int":
+		return Int(0)
+	case "bool":
+		return Bool(false)
+	case "machine":
+		return MachineID(-1)
+	default:
+		return Null{}
+	}
+}
+
+// enabled lists machines with a dispatchable event (per the transition
+// function: the first queued event the machine is willing to handle, with
+// ignored events not blocking and deferred events skipped).
+func (in *Interp) enabled() ([]MachineID, error) {
+	var out []MachineID
+	for _, m := range in.machines {
+		if m.halted {
+			continue
+		}
+		_, _, ok, err := m.nextDispatch()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, m.id)
+		}
+	}
+	return out, nil
+}
+
+// nextDispatch finds the queue index of the first handleable event; err is
+// non-nil for an unhandled event (a runtime error per Section 6.1).
+func (m *machineInst) nextDispatch() (idx int, msg message, ok bool, err error) {
+	i := 0
+	for i < len(m.queue) {
+		msg := m.queue[i]
+		switch {
+		case m.state.Ignores[msg.event]:
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+		case m.state.Defers[msg.event]:
+			i++
+		default:
+			if _, ok := m.state.OnDo[msg.event]; ok {
+				return i, msg, true, nil
+			}
+			if _, ok := m.state.OnGoto[msg.event]; ok {
+				return i, msg, true, nil
+			}
+			return 0, message{}, false, fmt.Errorf(
+				"interp: machine %s(%d): event %q cannot be handled in state %q",
+				m.decl.Name, m.id, msg.event, m.state.Name)
+		}
+	}
+	return 0, message{}, false, nil
+}
+
+// dispatch handles one event on machine m (rule RECEIVE).
+func (in *Interp) dispatch(m *machineInst) error {
+	idx, msg, ok, err := m.nextDispatch()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil
+	}
+	m.queue = append(m.queue[:idx], m.queue[idx+1:]...)
+	if in.det != nil {
+		in.det.Receive(int(m.id), msg.clock)
+	}
+	in.steps++
+	return in.handle(m, msg.event, msg.payload)
+}
+
+// handle runs a transition or bound action for an event.
+func (in *Interp) handle(m *machineInst, event string, payload Value) error {
+	if target, ok := m.state.OnGoto[event]; ok {
+		return in.gotoState(m, target, payload)
+	}
+	methName, ok := m.state.OnDo[event]
+	if !ok {
+		return fmt.Errorf("interp: machine %s(%d): event %q cannot be handled in state %q",
+			m.decl.Name, m.id, event, m.state.Name)
+	}
+	meth := m.decl.MethodByName[methName]
+	locals := make(map[string]Value)
+	if len(meth.Params) == 1 {
+		if payload == nil {
+			payload = zeroValue(meth.Params[0].Type)
+		}
+		locals[meth.Params[0].Name] = payload
+	}
+	return in.runBlock(m, meth.Body, locals, nil)
+}
+
+func (in *Interp) gotoState(m *machineInst, target string, payload Value) error {
+	m.state = m.decl.StateByName[target]
+	in.steps++
+	if m.state.Entry != nil {
+		return in.runBlock(m, m.state.Entry, nil, nil)
+	}
+	return nil
+}
+
+// raised carries a raised event out of a statement block.
+type raised struct {
+	event   string
+	payload Value
+}
+
+// runBlock executes a method body or entry block on machine m, then
+// processes any raised event immediately (bypassing the queue).
+func (in *Interp) runBlock(m *machineInst, body []lang.Stmt, locals map[string]Value, _ interface{}) error {
+	if locals == nil {
+		locals = make(map[string]Value)
+	}
+	env := &frame{machine: m, locals: locals}
+	_, r, err := in.execStmts(env, body)
+	if err != nil {
+		return err
+	}
+	if r != nil {
+		switch {
+		case m.state.Ignores[r.event]:
+			return nil
+		case m.state.Defers[r.event]:
+			m.queue = append(m.queue, message{event: r.event, payload: r.payload})
+			return nil
+		}
+		if target, ok := m.state.OnGoto[r.event]; ok {
+			return in.gotoState(m, target, r.payload)
+		}
+		return in.handle(m, r.event, r.payload)
+	}
+	return nil
+}
+
+// frame is one activation record: the machine (for this/fields) plus local
+// variables including parameters.
+type frame struct {
+	machine *machineInst
+	// thisRef is non-nil when executing a class method on a heap object.
+	thisObj *object
+	locals  map[string]Value
+	retVal  Value
+}

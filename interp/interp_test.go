@@ -1,0 +1,266 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/psharp-go/psharp/lang"
+)
+
+func load(t *testing.T, src string) *lang.Program {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := lang.Check(prog); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return prog
+}
+
+// sharedWorkSrc is the dynamic-race scenario: a coordinator hands the same
+// task object to two workers (racy) or fresh copies (clean); workers write
+// the task's field when processing it.
+const sharedWorkSrc = `
+event eTask;
+
+class task {
+	var progress: int;
+	method bump() { this.progress := this.progress + 1; }
+}
+
+machine coordinator {
+	start state Boot {
+		entry {
+			var w1: machine;
+			var w2: machine;
+			var t1: task;
+			var t2: task;
+			w1 := create worker();
+			w2 := create worker();
+			t1 := new task;
+			%s
+			send w1, eTask, t1;
+			send w2, eTask, t2;
+		}
+	}
+}
+
+machine worker {
+	start state Working {
+		on eTask do run;
+	}
+	method run(payload: task) {
+		payload.bump();
+		payload.bump();
+	}
+}
+`
+
+// TestDynamicRaceDetected runs the racy variant under many schedules: two
+// workers write the same heap object with no happens-before edge between
+// them, so the detector must report a race.
+func TestDynamicRaceDetected(t *testing.T) {
+	src := strings.Replace(sharedWorkSrc, "%s", "t2 := t1;", 1)
+	prog := load(t, src)
+	raceSeen := false
+	for seed := uint64(1); seed <= 20; seed++ {
+		out := Run(prog, "coordinator", Options{Seed: seed, RaceDetect: true})
+		if out.Err != nil {
+			t.Fatalf("seed %d: %v", seed, out.Err)
+		}
+		if !out.Quiescent {
+			t.Fatalf("seed %d: did not quiesce", seed)
+		}
+		if len(out.Races) > 0 {
+			raceSeen = true
+		}
+	}
+	if !raceSeen {
+		t.Fatal("no race detected on the aliased-payload program")
+	}
+}
+
+// TestDynamicRaceFreeClean checks the clean variant never reports a race.
+func TestDynamicRaceFreeClean(t *testing.T) {
+	src := strings.Replace(sharedWorkSrc, "%s", "t2 := new task;", 1)
+	prog := load(t, src)
+	for seed := uint64(1); seed <= 20; seed++ {
+		out := Run(prog, "coordinator", Options{Seed: seed, RaceDetect: true})
+		if out.Err != nil {
+			t.Fatalf("seed %d: %v", seed, out.Err)
+		}
+		if len(out.Races) != 0 {
+			t.Fatalf("seed %d: unexpected races: %v", seed, out.Races)
+		}
+	}
+}
+
+// TestUnhandledEventIsError mirrors the runtime-error semantics of
+// Section 6.1.
+func TestUnhandledEventIsError(t *testing.T) {
+	prog := load(t, `
+event eBoom;
+machine main_m {
+	start state Boot {
+		entry {
+			var w: machine;
+			w := create sink();
+			send w, eBoom;
+		}
+	}
+}
+machine sink {
+	start state Idle {
+	}
+}
+`)
+	out := Run(prog, "main_m", Options{Seed: 1})
+	if out.Err == nil || !strings.Contains(out.Err.Error(), "cannot be handled") {
+		t.Fatalf("want unhandled-event error, got %v", out.Err)
+	}
+}
+
+// TestAssertionFailure checks assert propagation.
+func TestAssertionFailure(t *testing.T) {
+	prog := load(t, `
+machine main_m {
+	var x: int;
+	start state Boot {
+		entry {
+			this.x := 1;
+			assert this.x == 2;
+		}
+	}
+}
+`)
+	out := Run(prog, "main_m", Options{Seed: 1})
+	if !IsAssertion(out.Err) {
+		t.Fatalf("want assertion failure, got %v", out.Err)
+	}
+}
+
+// TestDeferredEventDelivery checks defer semantics: a deferred event stays
+// queued until a state that handles it.
+func TestDeferredEventDelivery(t *testing.T) {
+	prog := load(t, `
+event eData;
+event eOpen;
+machine main_m {
+	start state Boot {
+		entry {
+			var w: machine;
+			w := create gate();
+			send w, eData, 7;
+			send w, eOpen;
+		}
+	}
+}
+machine gate {
+	var got: int;
+	start state Closed {
+		defer eData;
+		on eOpen goto Open;
+	}
+	state Open {
+		on eData do take;
+	}
+	method take(v: int) {
+		this.got := v;
+		assert this.got == 7;
+	}
+}
+`)
+	out := Run(prog, "main_m", Options{Seed: 3})
+	if out.Err != nil {
+		t.Fatalf("defer semantics broke: %v", out.Err)
+	}
+	if !out.Quiescent {
+		t.Fatal("expected quiescence")
+	}
+}
+
+// TestWhileAndArithmetic checks loops and operators.
+func TestWhileAndArithmetic(t *testing.T) {
+	prog := load(t, `
+machine main_m {
+	var sum: int;
+	start state Boot {
+		entry {
+			var i: int;
+			i := 0;
+			while (i < 10) {
+				this.sum := this.sum + i;
+				i := i + 1;
+			}
+			assert this.sum == 45;
+			assert (3 * 4) % 5 == 2;
+			assert true && !false;
+		}
+	}
+}
+`)
+	out := Run(prog, "main_m", Options{Seed: 1})
+	if out.Err != nil {
+		t.Fatalf("arithmetic: %v", out.Err)
+	}
+}
+
+// TestListManagerRuns executes the paper's running example end to end: a
+// driver adds two elements and the machine maintains the linked list.
+func TestListManagerRuns(t *testing.T) {
+	prog := load(t, `
+event eAdd;
+
+class elem {
+	var val: int;
+	var next: elem;
+	method set_val(v: int) { this.val := v; }
+	method get_val(): int { var r: int; r := this.val; return r; }
+	method set_next(n: elem) { this.next := n; }
+}
+
+machine driver {
+	start state Boot {
+		entry {
+			var lm: machine;
+			var e: elem;
+			lm := create list_manager();
+			e := new elem;
+			e.set_val(1);
+			send lm, eAdd, e;
+			e := new elem;
+			e.set_val(2);
+			send lm, eAdd, e;
+		}
+	}
+}
+
+machine list_manager {
+	var list: elem;
+	var count: int;
+	start state Managing {
+		on eAdd do add;
+	}
+	method add(payload: elem) {
+		var tmp: elem;
+		var v: int;
+		tmp := this.list;
+		payload.set_next(tmp);
+		this.list := payload;
+		this.count := this.count + 1;
+		v := payload.get_val();
+		assert v >= 1;
+		assert this.count <= 2;
+	}
+}
+`)
+	out := Run(prog, "driver", Options{Seed: 5, RaceDetect: true})
+	if out.Err != nil {
+		t.Fatalf("list manager: %v", out.Err)
+	}
+	if len(out.Races) != 0 {
+		t.Fatalf("unexpected races: %v", out.Races)
+	}
+}

@@ -1,0 +1,155 @@
+package lang
+
+import "fmt"
+
+// lexer tokenizes core-language source text. Comments run from "//" to end
+// of line; whitespace separates tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errorf(format string, args ...any) error {
+	return fmt.Errorf("lang: %d:%d: %s", l.line, l.col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isLetter(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+// next returns the next token.
+func (l *lexer) next() (Token, error) {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		default:
+			return l.lexToken()
+		}
+	}
+	return Token{Kind: TokEOF, Pos: Pos{l.line, l.col}}, nil
+}
+
+func (l *lexer) lexToken() (Token, error) {
+	pos := Pos{l.line, l.col}
+	c := l.peekByte()
+	switch {
+	case isLetter(c):
+		start := l.pos
+		for l.pos < len(l.src) && (isLetter(l.peekByte()) || isDigit(l.peekByte())) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		kind := TokIdent
+		if keywords[text] {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: text, Pos: pos}, nil
+	case isDigit(c):
+		start := l.pos
+		for l.pos < len(l.src) && isDigit(l.peekByte()) {
+			l.advance()
+		}
+		return Token{Kind: TokInt, Text: l.src[start:l.pos], Pos: pos}, nil
+	}
+	l.advance()
+	two := func(second byte, k2 TokenKind, k1 TokenKind, text1, text2 string) (Token, error) {
+		if l.peekByte() == second {
+			l.advance()
+			return Token{Kind: k2, Text: text2, Pos: pos}, nil
+		}
+		if k1 == TokEOF {
+			return Token{}, l.errorf("unexpected character %q", string(c))
+		}
+		return Token{Kind: k1, Text: text1, Pos: pos}, nil
+	}
+	switch c {
+	case '{':
+		return Token{Kind: TokLBrace, Text: "{", Pos: pos}, nil
+	case '}':
+		return Token{Kind: TokRBrace, Text: "}", Pos: pos}, nil
+	case '(':
+		return Token{Kind: TokLParen, Text: "(", Pos: pos}, nil
+	case ')':
+		return Token{Kind: TokRParen, Text: ")", Pos: pos}, nil
+	case ';':
+		return Token{Kind: TokSemi, Text: ";", Pos: pos}, nil
+	case ',':
+		return Token{Kind: TokComma, Text: ",", Pos: pos}, nil
+	case '.':
+		return Token{Kind: TokDot, Text: ".", Pos: pos}, nil
+	case ':':
+		return two('=', TokAssign, TokColon, ":", ":=")
+	case '+':
+		return Token{Kind: TokPlus, Text: "+", Pos: pos}, nil
+	case '-':
+		return Token{Kind: TokMinus, Text: "-", Pos: pos}, nil
+	case '*':
+		return Token{Kind: TokStar, Text: "*", Pos: pos}, nil
+	case '/':
+		return Token{Kind: TokSlash, Text: "/", Pos: pos}, nil
+	case '%':
+		return Token{Kind: TokPercent, Text: "%", Pos: pos}, nil
+	case '=':
+		return two('=', TokEq, TokEOF, "", "==")
+	case '!':
+		return two('=', TokNeq, TokBang, "!", "!=")
+	case '<':
+		return two('=', TokLe, TokLt, "<", "<=")
+	case '>':
+		return two('=', TokGe, TokGt, ">", ">=")
+	case '&':
+		return two('&', TokAndAnd, TokEOF, "", "&&")
+	case '|':
+		return two('|', TokOrOr, TokEOF, "", "||")
+	}
+	return Token{}, l.errorf("unexpected character %q", string(c))
+}
+
+// Lex tokenizes src fully (used by tests and tools).
+func Lex(src string) ([]Token, error) {
+	l := newLexer(src)
+	var out []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,789 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parser is a recursive-descent parser for the core language.
+type parser struct {
+	lex *lexer
+	tok Token
+}
+
+// Parse parses a compilation unit. The returned program has not been
+// checked; call Check before analysis or interpretation.
+func Parse(src string) (*Program, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	prog := &Program{}
+	for p.tok.Kind != TokEOF {
+		switch {
+		case p.isKeyword("event"):
+			d, err := p.parseEvent()
+			if err != nil {
+				return nil, err
+			}
+			prog.Events = append(prog.Events, d)
+		case p.isKeyword("class"):
+			d, err := p.parseClass()
+			if err != nil {
+				return nil, err
+			}
+			prog.Classes = append(prog.Classes, d)
+		case p.isKeyword("machine"):
+			d, err := p.parseMachine()
+			if err != nil {
+				return nil, err
+			}
+			prog.Machines = append(prog.Machines, d)
+		default:
+			return nil, p.errorf("expected 'event', 'class' or 'machine', got %s", p.tok)
+		}
+	}
+	return prog, nil
+}
+
+// MustParse parses src and panics on error; for tests and embedded sources.
+func MustParse(src string) *Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("lang: %s: %s", p.tok.Pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) isKeyword(kw string) bool {
+	return p.tok.Kind == TokKeyword && p.tok.Text == kw
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.isKeyword(kw) {
+		return p.errorf("expected %q, got %s", kw, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *parser) expect(kind TokenKind, what string) (Token, error) {
+	if p.tok.Kind != kind {
+		return Token{}, p.errorf("expected %s, got %s", what, p.tok)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+func (p *parser) parseIdent() (string, Pos, error) {
+	pos := p.tok.Pos
+	t, err := p.expect(TokIdent, "identifier")
+	return t.Text, pos, err
+}
+
+func (p *parser) parseType() (Type, error) {
+	if p.tok.Kind == TokKeyword {
+		switch p.tok.Text {
+		case "int", "bool", "machine":
+			name := p.tok.Text
+			return Type{Name: name}, p.advance()
+		}
+	}
+	if p.tok.Kind == TokIdent {
+		name := p.tok.Text
+		return Type{Name: name}, p.advance()
+	}
+	return Type{}, p.errorf("expected a type, got %s", p.tok)
+}
+
+func (p *parser) parseEvent() (*EventDecl, error) {
+	pos := p.tok.Pos
+	if err := p.expectKeyword("event"); err != nil {
+		return nil, err
+	}
+	name, _, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	return &EventDecl{Name: name, Pos: pos}, nil
+}
+
+func (p *parser) parseVarDecl() (*VarDecl, error) {
+	pos := p.tok.Pos
+	if err := p.expectKeyword("var"); err != nil {
+		return nil, err
+	}
+	name, _, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokColon, "':'"); err != nil {
+		return nil, err
+	}
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi, "';'"); err != nil {
+		return nil, err
+	}
+	return &VarDecl{Name: name, Type: typ, Pos: pos}, nil
+}
+
+func (p *parser) parseMethod() (*MethodDecl, error) {
+	pos := p.tok.Pos
+	if err := p.expectKeyword("method"); err != nil {
+		return nil, err
+	}
+	name, _, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	var params []*VarDecl
+	for p.tok.Kind != TokRParen {
+		if len(params) > 0 {
+			if _, err := p.expect(TokComma, "','"); err != nil {
+				return nil, err
+			}
+		}
+		pname, ppos, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokColon, "':'"); err != nil {
+			return nil, err
+		}
+		ptyp, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, &VarDecl{Name: pname, Type: ptyp, Pos: ppos})
+	}
+	if err := p.advance(); err != nil { // consume ')'
+		return nil, err
+	}
+	var result *Type
+	if p.tok.Kind == TokColon {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		result = &typ
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &MethodDecl{Name: name, Params: params, Result: result, Body: body, Pos: pos}, nil
+}
+
+func (p *parser) parseClass() (*ClassDecl, error) {
+	pos := p.tok.Pos
+	if err := p.expectKeyword("class"); err != nil {
+		return nil, err
+	}
+	name, _, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	cd := &ClassDecl{Name: name, Pos: pos}
+	for p.tok.Kind != TokRBrace {
+		switch {
+		case p.isKeyword("var"):
+			f, err := p.parseVarDecl()
+			if err != nil {
+				return nil, err
+			}
+			cd.Fields = append(cd.Fields, f)
+		case p.isKeyword("method"):
+			m, err := p.parseMethod()
+			if err != nil {
+				return nil, err
+			}
+			cd.Methods = append(cd.Methods, m)
+		default:
+			return nil, p.errorf("expected 'var' or 'method' in class, got %s", p.tok)
+		}
+	}
+	return cd, p.advance()
+}
+
+func (p *parser) parseMachine() (*MachineDecl, error) {
+	pos := p.tok.Pos
+	if err := p.expectKeyword("machine"); err != nil {
+		return nil, err
+	}
+	name, _, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	md := &MachineDecl{Name: name, Pos: pos}
+	for p.tok.Kind != TokRBrace {
+		switch {
+		case p.isKeyword("var"):
+			f, err := p.parseVarDecl()
+			if err != nil {
+				return nil, err
+			}
+			md.Fields = append(md.Fields, f)
+		case p.isKeyword("method"):
+			m, err := p.parseMethod()
+			if err != nil {
+				return nil, err
+			}
+			md.Methods = append(md.Methods, m)
+		case p.isKeyword("start") || p.isKeyword("state"):
+			s, err := p.parseState()
+			if err != nil {
+				return nil, err
+			}
+			md.States = append(md.States, s)
+		default:
+			return nil, p.errorf("expected 'var', 'method' or 'state' in machine, got %s", p.tok)
+		}
+	}
+	return md, p.advance()
+}
+
+func (p *parser) parseState() (*StateDecl, error) {
+	pos := p.tok.Pos
+	sd := &StateDecl{
+		Pos:     pos,
+		OnDo:    make(map[string]string),
+		OnGoto:  make(map[string]string),
+		Defers:  make(map[string]bool),
+		Ignores: make(map[string]bool),
+	}
+	if p.isKeyword("start") {
+		sd.Start = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("state"); err != nil {
+		return nil, err
+	}
+	name, _, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	sd.Name = name
+	if _, err := p.expect(TokLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	for p.tok.Kind != TokRBrace {
+		switch {
+		case p.isKeyword("entry"):
+			if sd.Entry != nil {
+				return nil, p.errorf("state %q: duplicate entry block", name)
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			body, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			if body == nil {
+				body = []Stmt{}
+			}
+			sd.Entry = body
+		case p.isKeyword("on"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			evt, _, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			switch {
+			case p.isKeyword("do"):
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				meth, _, err := p.parseIdent()
+				if err != nil {
+					return nil, err
+				}
+				sd.OnDo[evt] = meth
+			case p.isKeyword("goto"):
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				target, _, err := p.parseIdent()
+				if err != nil {
+					return nil, err
+				}
+				sd.OnGoto[evt] = target
+			default:
+				return nil, p.errorf("expected 'do' or 'goto', got %s", p.tok)
+			}
+			if _, err := p.expect(TokSemi, "';'"); err != nil {
+				return nil, err
+			}
+		case p.isKeyword("defer"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			evt, _, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			sd.Defers[evt] = true
+			if _, err := p.expect(TokSemi, "';'"); err != nil {
+				return nil, err
+			}
+		case p.isKeyword("ignore"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			evt, _, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			sd.Ignores[evt] = true
+			if _, err := p.expect(TokSemi, "';'"); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errorf("expected 'entry', 'on', 'defer' or 'ignore' in state, got %s", p.tok)
+		}
+	}
+	return sd, p.advance()
+}
+
+func (p *parser) parseBlock() ([]Stmt, error) {
+	if _, err := p.expect(TokLBrace, "'{'"); err != nil {
+		return nil, err
+	}
+	var out []Stmt
+	for p.tok.Kind != TokRBrace {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, p.advance()
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	pos := p.tok.Pos
+	switch {
+	case p.isKeyword("var"):
+		d, err := p.parseVarDecl()
+		if err != nil {
+			return nil, err
+		}
+		return &LocalDecl{Decl: d}, nil
+	case p.isKeyword("if"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.isKeyword("else") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			els, err = p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &IfStmt{Cond: cond, Then: then, Else: els, Pos: pos}, nil
+	case p.isKeyword("while"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Pos: pos}, nil
+	case p.isKeyword("return"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind == TokSemi {
+			return &ReturnStmt{Pos: pos}, p.advance()
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Value: val, Pos: pos}, nil
+	case p.isKeyword("send"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		dst, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokComma, "','"); err != nil {
+			return nil, err
+		}
+		evt, _, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		var payload Expr
+		if p.tok.Kind == TokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			payload, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(TokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return &SendStmt{Dst: dst, Event: evt, Payload: payload, Pos: pos}, nil
+	case p.isKeyword("raise"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		evt, _, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		var payload Expr
+		if p.tok.Kind == TokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			payload, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(TokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return &RaiseStmt{Event: evt, Payload: payload, Pos: pos}, nil
+	case p.isKeyword("assert"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return &AssertStmt{Cond: cond, Pos: pos}, nil
+	case p.isKeyword("this"):
+		// this.f := expr;  or  this.m(args);
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokDot, "'.'"); err != nil {
+			return nil, err
+		}
+		name, _, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.Kind == TokLParen {
+			call, err := p.parseCallTail(&ThisRef{Pos: pos}, name, pos)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSemi, "';'"); err != nil {
+				return nil, err
+			}
+			return &ExprStmt{X: call, Pos: pos}, nil
+		}
+		if _, err := p.expect(TokAssign, "':='"); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi, "';'"); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{ToField: name, Value: val, Pos: pos}, nil
+	case p.tok.Kind == TokIdent:
+		// v := expr;  or  v.m(args);
+		name := p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		switch p.tok.Kind {
+		case TokAssign:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			val, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSemi, "';'"); err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Target: name, Value: val, Pos: pos}, nil
+		case TokDot:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			meth, _, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			call, err := p.parseCallTail(&VarRef{Name: name, Pos: pos}, meth, pos)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSemi, "';'"); err != nil {
+				return nil, err
+			}
+			return &ExprStmt{X: call, Pos: pos}, nil
+		}
+		return nil, p.errorf("expected ':=' or '.' after identifier %q", name)
+	}
+	return nil, p.errorf("unexpected token %s at start of statement", p.tok)
+}
+
+func (p *parser) parseCallTail(recv Expr, method string, pos Pos) (*CallExpr, error) {
+	if _, err := p.expect(TokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	for p.tok.Kind != TokRParen {
+		if len(args) > 0 {
+			if _, err := p.expect(TokComma, "','"); err != nil {
+				return nil, err
+			}
+		}
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+	}
+	if err := p.advance(); err != nil { // consume ')'
+		return nil, err
+	}
+	return &CallExpr{Recv: recv, Method: method, Args: args, Pos: pos}, nil
+}
+
+// Binary operator precedence, loosest first.
+var precedence = map[TokenKind]int{
+	TokOrOr: 1, TokAndAnd: 2,
+	TokEq: 3, TokNeq: 3,
+	TokLt: 4, TokLe: 4, TokGt: 4, TokGe: 4,
+	TokPlus: 5, TokMinus: 5,
+	TokStar: 6, TokSlash: 6, TokPercent: 6,
+}
+
+var opText = map[TokenKind]string{
+	TokOrOr: "||", TokAndAnd: "&&", TokEq: "==", TokNeq: "!=",
+	TokLt: "<", TokLe: "<=", TokGt: ">", TokGe: ">=",
+	TokPlus: "+", TokMinus: "-", TokStar: "*", TokSlash: "/", TokPercent: "%",
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	return p.parseBinary(1)
+}
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec, ok := precedence[p.tok.Kind]
+		if !ok || prec < minPrec {
+			return left, nil
+		}
+		op := opText[p.tok.Kind]
+		pos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, L: left, R: right, Pos: pos}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case TokBang:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "!", X: x, Pos: pos}, nil
+	case TokMinus:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", X: x, Pos: pos}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	pos := p.tok.Pos
+	switch {
+	case p.tok.Kind == TokInt:
+		v, err := strconv.ParseInt(p.tok.Text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad integer literal: %v", err)
+		}
+		return &IntLit{Value: v, Pos: pos}, p.advance()
+	case p.isKeyword("true"), p.isKeyword("false"):
+		v := p.tok.Text == "true"
+		return &BoolLit{Value: v, Pos: pos}, p.advance()
+	case p.isKeyword("null"):
+		return &NullLit{Pos: pos}, p.advance()
+	case p.isKeyword("new"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		name, _, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &NewExpr{Class: name, Pos: pos}, nil
+	case p.isKeyword("create"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		name, _, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		var payload Expr
+		if p.tok.Kind != TokRParen {
+			payload, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(TokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return &CreateExpr{Machine: name, Payload: payload, Pos: pos}, nil
+	case p.isKeyword("this"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind != TokDot {
+			return &ThisRef{Pos: pos}, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		name, _, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.Kind == TokLParen {
+			return p.parseCallTail(&ThisRef{Pos: pos}, name, pos)
+		}
+		return &FieldRef{Field: name, Pos: pos}, nil
+	case p.tok.Kind == TokIdent:
+		name := p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind == TokDot {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			meth, _, err := p.parseIdent()
+			if err != nil {
+				return nil, err
+			}
+			return p.parseCallTail(&VarRef{Name: name, Pos: pos}, meth, pos)
+		}
+		return &VarRef{Name: name, Pos: pos}, nil
+	case p.tok.Kind == TokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, p.errorf("unexpected token %s in expression", p.tok)
+}

@@ -1,0 +1,77 @@
+// Package lang implements a front end for the paper's core object-oriented
+// language (Figure 2), extended with the machine, state and event
+// declarations of Section 4: a lexer, a recursive-descent parser producing
+// an AST, and a name/type checker. The analysis package consumes the
+// checked AST; the interp package executes it under the paper's operational
+// semantics (Figures 3 and 4).
+package lang
+
+import "fmt"
+
+// TokenKind enumerates lexical token kinds.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokInt
+	TokKeyword
+	// Punctuation and operators.
+	TokLBrace  // {
+	TokRBrace  // }
+	TokLParen  // (
+	TokRParen  // )
+	TokSemi    // ;
+	TokComma   // ,
+	TokColon   // :
+	TokDot     // .
+	TokAssign  // :=
+	TokPlus    // +
+	TokMinus   // -
+	TokStar    // *
+	TokSlash   // /
+	TokPercent // %
+	TokEq      // ==
+	TokNeq     // !=
+	TokLt      // <
+	TokLe      // <=
+	TokGt      // >
+	TokGe      // >=
+	TokAndAnd  // &&
+	TokOrOr    // ||
+	TokBang    // !
+)
+
+var keywords = map[string]bool{
+	"class": true, "machine": true, "event": true, "state": true,
+	"start": true, "entry": true, "on": true, "do": true, "goto": true,
+	"defer": true, "ignore": true, "var": true, "method": true,
+	"if": true, "else": true, "while": true, "return": true,
+	"send": true, "create": true, "new": true, "assert": true, "raise": true,
+	"this": true, "null": true, "true": true, "false": true,
+	"int": true, "bool": true, "halt": true,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}

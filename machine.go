@@ -1,0 +1,340 @@
+package psharp
+
+import (
+	"fmt"
+	"sync"
+)
+
+// machineInstance is the runtime representation of one machine: its logic,
+// compiled schema, current state, and event queue. The same instance code
+// runs under the production runtime (goroutine with a blocking queue) and
+// the serialized testing runtime (goroutine parked on a handshake channel).
+type machineInstance struct {
+	id     MachineID
+	rt     *Runtime
+	logic  Machine
+	schema *Schema
+	ctx    *Context
+
+	state  string
+	halted bool
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []envelope
+
+	// initReleased tracks the production-mode "initialization" work unit:
+	// it is released once the initial entry action has completed (or the
+	// machine dies), so Wait does not report quiescence while entry actions
+	// are still running.
+	initReleased bool
+
+	// test mode fields
+	resume  chan struct{}
+	bug     *Bug
+	aborted bool
+}
+
+func newMachineInstance(rt *Runtime, id MachineID, logic Machine, schema *Schema) *machineInstance {
+	m := &machineInstance{id: id, rt: rt, logic: logic, schema: schema}
+	m.cond = sync.NewCond(&m.mu)
+	m.ctx = &Context{m: m, rt: rt}
+	m.resume = make(chan struct{})
+	return m
+}
+
+// park blocks the machine goroutine until the testing controller schedules
+// it. If the controller is tearing the iteration down, the goroutine unwinds
+// with an abortSignal panic, which run's recover turns into a clean exit.
+func (m *machineInstance) park() {
+	<-m.resume
+	if m.rt.test.isAborting() {
+		panic(abortSignal{})
+	}
+}
+
+// yieldPoint is a scheduling point: it hands control back to the testing
+// controller and parks until rescheduled. No-op under the production
+// runtime.
+func (m *machineInstance) yieldPoint() {
+	c := m.rt.test
+	if c == nil {
+		return
+	}
+	c.yield <- yieldMsg{m: m, kind: ykYield}
+	m.park()
+}
+
+// run is the machine's goroutine body.
+func (m *machineInstance) run(payload Event) {
+	defer m.finish()
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		switch v := r.(type) {
+		case abortSignal:
+			m.aborted = true
+		case assertFailed:
+			m.bug = &Bug{Kind: BugAssertion, Machine: m.id, State: m.state, Message: v.msg}
+		default:
+			m.bug = &Bug{Kind: BugPanic, Machine: m.id, State: m.state, Message: fmt.Sprint(v)}
+		}
+	}()
+	if m.rt.test != nil {
+		// Wait for the controller to schedule the machine for the first
+		// time before running the initial state's entry action.
+		m.park()
+	}
+	m.state = m.schema.initial
+	m.rt.logf("%s: entering initial state %q", m.id, m.state)
+	st := m.schema.states[m.state]
+	if st.onEntry != nil {
+		if bug := m.execute(st.onEntry, payload); bug != nil {
+			m.bug = bug
+			return
+		}
+	}
+	m.releaseInit()
+	for !m.halted {
+		env, bug, ok := m.nextEvent()
+		if bug != nil {
+			m.bug = bug
+			return
+		}
+		if !ok {
+			return // runtime stopped
+		}
+		m.rt.logf("%s: dequeued %s in state %q", m.id, eventName(env.event), m.state)
+		bug = m.handleEvent(env.event)
+		// The work unit for this event is released only after its handler
+		// has completed, so production-mode Wait cannot observe quiescence
+		// while an action is still running.
+		m.rt.eventConsumed()
+		if bug != nil {
+			m.bug = bug
+			return
+		}
+	}
+}
+
+// finish reports the machine's fate exactly once: to the controller in test
+// mode, or to the runtime's failure/accounting machinery in production.
+func (m *machineInstance) finish() {
+	if c := m.rt.test; c != nil {
+		defer c.wg.Done()
+		if m.aborted {
+			return
+		}
+		if m.bug != nil {
+			c.yield <- yieldMsg{m: m, kind: ykBug, bug: m.bug}
+			return
+		}
+		c.yield <- yieldMsg{m: m, kind: ykHalted}
+		return
+	}
+	if m.bug != nil {
+		m.rt.fail(m.bug)
+	}
+	m.releaseInit()
+}
+
+// releaseInit releases the production-mode initialization work unit exactly
+// once; only ever called from the machine's own goroutine.
+func (m *machineInstance) releaseInit() {
+	if m.initReleased || m.rt.test != nil {
+		return
+	}
+	m.initReleased = true
+	m.rt.initDone()
+}
+
+// nextEvent returns the next dispatchable event. Under the production
+// runtime it blocks on the queue condition variable; under the testing
+// runtime it reports "blocked" to the controller and parks. ok is false
+// when the runtime is stopping.
+func (m *machineInstance) nextEvent() (envelope, *Bug, bool) {
+	c := m.rt.test
+	for {
+		if c != nil && c.cfg.ChessLike {
+			// CHESS-granularity scheduling: the dequeue of the thread-safe
+			// blocking queue is itself a visible synchronizing operation.
+			m.yieldPoint()
+		}
+		m.mu.Lock()
+		env, found, bug := m.scanQueueLocked()
+		if bug != nil {
+			m.mu.Unlock()
+			return envelope{}, bug, false
+		}
+		if found {
+			m.mu.Unlock()
+			if c != nil {
+				c.onDequeue(m, env)
+			}
+			return env, nil, true
+		}
+		if c != nil {
+			m.mu.Unlock()
+			c.yield <- yieldMsg{m: m, kind: ykBlocked}
+			m.park()
+			continue
+		}
+		if m.rt.isStopped() {
+			m.mu.Unlock()
+			return envelope{}, nil, false
+		}
+		m.cond.Wait()
+		m.mu.Unlock()
+	}
+}
+
+// scanQueueLocked implements the paper's transition-function semantics: it
+// returns the first queued event the machine is willing to handle in its
+// current state, dropping ignored events along the way and skipping deferred
+// ones. Encountering an event with no binding at all is a runtime error
+// (Section 6.1), except for the built-in halt event.
+func (m *machineInstance) scanQueueLocked() (envelope, bool, *Bug) {
+	i := 0
+	for i < len(m.queue) {
+		env := m.queue[i]
+		disp, ok := m.schema.lookup(m.state, eventKey(env.event))
+		if !ok {
+			if isHaltEvent(env.event) {
+				m.removeLocked(i) // released in run, like any dispatch
+				return env, true, nil
+			}
+			return envelope{}, false, &Bug{
+				Kind:    BugUnhandledEvent,
+				Machine: m.id,
+				State:   m.state,
+				Message: fmt.Sprintf("event %s cannot be handled in state %q", eventName(env.event), m.state),
+			}
+		}
+		switch disp.kind {
+		case dispatchIgnore:
+			m.removeLocked(i)
+			m.rt.eventConsumed()
+		case dispatchDefer:
+			i++
+		default:
+			// The dequeued event's work unit stays outstanding until its
+			// handler completes (released in run).
+			m.removeLocked(i)
+			return env, true, nil
+		}
+	}
+	return envelope{}, false, nil
+}
+
+func (m *machineInstance) removeLocked(i int) {
+	m.queue = append(m.queue[:i], m.queue[i+1:]...)
+}
+
+func isHaltEvent(ev Event) bool {
+	switch ev.(type) {
+	case *HaltEvent, HaltEvent:
+		return true
+	}
+	return false
+}
+
+// handleEvent processes one dequeued or raised event to completion,
+// including any chained raises and transitions requested by the actions.
+func (m *machineInstance) handleEvent(ev Event) *Bug {
+	disp, ok := m.schema.lookup(m.state, eventKey(ev))
+	if !ok {
+		if isHaltEvent(ev) {
+			m.doHalt()
+			return nil
+		}
+		return &Bug{
+			Kind:    BugUnhandledEvent,
+			Machine: m.id,
+			State:   m.state,
+			Message: fmt.Sprintf("event %s cannot be handled in state %q", eventName(ev), m.state),
+		}
+	}
+	switch disp.kind {
+	case dispatchIgnore:
+		return nil
+	case dispatchDefer:
+		// Only reachable for raised events; re-queue at the back.
+		m.rt.enqueue(m.id, ev, m.id, false)
+		return nil
+	case dispatchAction:
+		return m.execute(disp.action, ev)
+	case dispatchGoto:
+		return m.gotoState(disp.target, ev)
+	default:
+		return &Bug{Kind: BugPanic, Machine: m.id, State: m.state, Message: "corrupt dispatch table"}
+	}
+}
+
+// execute runs an action and then applies whatever pending effect (halt,
+// goto, raise) the action requested via its Context.
+func (m *machineInstance) execute(fn Action, ev Event) *Bug {
+	m.ctx.resetPending()
+	m.ctx.currentEvent = ev
+	fn(m.ctx, ev)
+	return m.applyPending(ev)
+}
+
+func (m *machineInstance) applyPending(trigger Event) *Bug {
+	halt, gotoState, raised := m.ctx.takePending()
+	if halt {
+		m.doHalt()
+		return nil
+	}
+	if gotoState != "" {
+		return m.gotoState(gotoState, trigger)
+	}
+	if raised != nil {
+		m.rt.logf("%s: raised %s", m.id, eventName(raised))
+		return m.handleEvent(raised)
+	}
+	return nil
+}
+
+// gotoState exits the current state, enters target, and runs its entry
+// action with the triggering event as payload.
+func (m *machineInstance) gotoState(target string, payload Event) *Bug {
+	cur := m.schema.states[m.state]
+	if cur != nil && cur.onExit != nil {
+		m.ctx.resetPending()
+		cur.onExit(m.ctx)
+		if halt, g, r := m.ctx.takePending(); halt || g != "" || r != nil {
+			return &Bug{Kind: BugPanic, Machine: m.id, State: m.state,
+				Message: "exit actions must not call Goto, Raise or Halt"}
+		}
+	}
+	m.rt.logf("%s: %q -> %q", m.id, m.state, target)
+	m.state = target
+	st := m.schema.states[target]
+	if st.onEntry != nil {
+		return m.execute(st.onEntry, payload)
+	}
+	return nil
+}
+
+// doHalt marks the machine halted and drops its queue; further events sent
+// to it are discarded by the runtime.
+func (m *machineInstance) doHalt() {
+	m.mu.Lock()
+	dropped := len(m.queue)
+	m.queue = nil
+	m.halted = true
+	m.mu.Unlock()
+	for i := 0; i < dropped; i++ {
+		m.rt.eventConsumed()
+	}
+	m.rt.logf("%s: halted", m.id)
+}
+
+// isHalted reports the halted flag under the queue lock (used by senders).
+func (m *machineInstance) isHalted() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.halted
+}

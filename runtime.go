@@ -1,0 +1,352 @@
+package psharp
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/psharp-go/psharp/internal/vclock"
+)
+
+// Runtime executes P# programs (paper Section 6.1). It keeps the registry
+// of machine types, creates machine instances, routes events, and detects
+// quiescence and failures. A Runtime operates in one of two modes:
+//
+//   - production (NewRuntime): machines run concurrently, one goroutine
+//     each, with blocking queues;
+//   - bug-finding (RunTest): execution is serialized under a Strategy.
+type Runtime struct {
+	mu        sync.Mutex
+	factories map[string]func() Machine
+	machines  []*machineInstance
+	nextSeq   uint64
+	sendSeq   uint64
+
+	test *controller // non-nil in bug-finding mode
+
+	// Production-mode accounting: busy counts outstanding units of work
+	// (queued events and machine initializations); Wait blocks until it
+	// reaches zero (quiescence) or a failure is recorded.
+	busy    int
+	qcond   *sync.Cond
+	failure *Bug
+	stopped bool
+
+	rngState uint64
+	logw     io.Writer
+}
+
+// Option configures a Runtime.
+type Option func(*Runtime)
+
+// WithLog directs runtime execution logging to w.
+func WithLog(w io.Writer) Option { return func(r *Runtime) { r.logw = w } }
+
+// WithSeed seeds the production runtime's pseudo-random choice source.
+func WithSeed(seed uint64) Option { return func(r *Runtime) { r.rngState = seed } }
+
+// NewRuntime returns a production-mode runtime.
+func NewRuntime(opts ...Option) *Runtime {
+	r := &Runtime{factories: make(map[string]func() Machine), rngState: 1}
+	r.qcond = sync.NewCond(&r.mu)
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// Register associates a machine type name with a factory. All machine types
+// must be registered before any instance is created (the paper requires
+// registration up front so the analyzable machine set is closed).
+func (r *Runtime) Register(name string, factory func() Machine) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if name == "" || factory == nil {
+		return fmt.Errorf("psharp: Register(%q): name and factory must be non-empty", name)
+	}
+	if _, dup := r.factories[name]; dup {
+		return fmt.Errorf("psharp: machine type %q registered twice", name)
+	}
+	r.factories[name] = factory
+	return nil
+}
+
+// MustRegister is Register that panics on error; convenient in test setups.
+func (r *Runtime) MustRegister(name string, factory func() Machine) {
+	if err := r.Register(name, factory); err != nil {
+		panic(err)
+	}
+}
+
+// CreateMachine creates a machine from outside any machine (the program's
+// environment); the entry action of its initial state runs asynchronously.
+func (r *Runtime) CreateMachine(machineType string, payload Event) (MachineID, error) {
+	return r.create(machineType, payload, nil)
+}
+
+// MustCreate is CreateMachine that panics on error; convenient in test
+// setups where a failure to create is a harness bug, not a program bug.
+func (r *Runtime) MustCreate(machineType string, payload Event) MachineID {
+	id, err := r.CreateMachine(machineType, payload)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// SendEvent sends an event from outside any machine.
+func (r *Runtime) SendEvent(target MachineID, ev Event) error {
+	if ev == nil {
+		return fmt.Errorf("psharp: SendEvent: nil event")
+	}
+	r.enqueue(target, ev, MachineID{}, false)
+	return nil
+}
+
+// create instantiates a machine; creator is nil for environment creates.
+func (r *Runtime) create(machineType string, payload Event, creator *machineInstance) (MachineID, error) {
+	r.mu.Lock()
+	factory, ok := r.factories[machineType]
+	if !ok {
+		r.mu.Unlock()
+		return MachineID{}, fmt.Errorf("psharp: unknown machine type %q", machineType)
+	}
+	logic := factory()
+	schema := newSchema()
+	logic.Configure(schema)
+	if err := schema.validate(machineType); err != nil {
+		r.mu.Unlock()
+		return MachineID{}, err
+	}
+	r.nextSeq++
+	id := MachineID{Type: machineType, Seq: r.nextSeq}
+	m := newMachineInstance(r, id, logic, schema)
+	r.machines = append(r.machines, m)
+	if r.test == nil {
+		r.busy++ // initialization counts as outstanding work
+	}
+	r.mu.Unlock()
+
+	r.logf("created %s", id)
+	if c := r.test; c != nil {
+		creatorIdx := 0
+		if creator != nil {
+			creatorIdx = int(creator.id.Seq)
+		}
+		c.onCreate(m, creatorIdx)
+		c.wg.Add(1)
+		go m.run(payload)
+		if creator != nil {
+			creator.yieldPoint() // create-machine is a scheduling point
+		}
+		return id, nil
+	}
+	go func() {
+		m.run(payload)
+	}()
+	return id, nil
+}
+
+// enqueue routes an event to target's queue. isMachineSend marks sends
+// performed by machine actions (which are scheduling points in test mode);
+// environment sends and internal re-queues are not.
+func (r *Runtime) enqueue(target MachineID, ev Event, sender MachineID, isMachineSend bool) {
+	m := r.machineByID(target)
+	if m == nil {
+		msg := fmt.Sprintf("send of %s to unknown machine %s", eventName(ev), target)
+		if r.test != nil && isMachineSend {
+			panic(assertFailed{msg: msg})
+		}
+		r.fail(&Bug{Kind: BugPanic, Machine: sender, Message: msg})
+		return
+	}
+	c := r.test
+	if c != nil && c.cfg.ChessLike && isMachineSend {
+		// CHESS granularity: acquiring the queue lock of the thread-safe
+		// blocking queue is a visible synchronizing operation of its own.
+		if sm := r.machineByID(sender); sm != nil {
+			sm.yieldPoint()
+		}
+	}
+
+	var clock vclock.VC
+	if c != nil && c.det != nil {
+		clock = c.det.Send(int(sender.Seq))
+	}
+
+	m.mu.Lock()
+	if m.halted {
+		m.mu.Unlock()
+		r.logf("dropped %s to halted %s", eventName(ev), target)
+	} else {
+		r.mu.Lock()
+		r.sendSeq++
+		seq := r.sendSeq
+		if r.test == nil {
+			r.busy++
+		}
+		r.mu.Unlock()
+		m.queue = append(m.queue, envelope{event: ev, sender: sender, clock: clock, seq: seq})
+		m.cond.Signal()
+		m.mu.Unlock()
+		r.logf("%s -> %s: %s", sender, target, eventName(ev))
+		if c != nil {
+			c.onEnqueue(m)
+		}
+	}
+
+	if c != nil && isMachineSend {
+		if sm := r.machineByID(sender); sm != nil {
+			sm.yieldPoint() // send is a scheduling point (Section 6.2)
+		}
+	}
+}
+
+func (r *Runtime) machineByID(id MachineID) *machineInstance {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id.Seq == 0 || int(id.Seq) > len(r.machines) {
+		return nil
+	}
+	return r.machines[id.Seq-1]
+}
+
+// eventConsumed is production-mode work accounting: one queued event was
+// handled or dropped.
+func (r *Runtime) eventConsumed() {
+	if r.test != nil {
+		return
+	}
+	r.mu.Lock()
+	r.busy--
+	if r.busy <= 0 {
+		r.qcond.Broadcast()
+	}
+	r.mu.Unlock()
+}
+
+// initDone marks a machine's initialization complete; see create.
+func (r *Runtime) initDone() {
+	if r.test != nil {
+		return
+	}
+	r.mu.Lock()
+	r.busy--
+	if r.busy <= 0 {
+		r.qcond.Broadcast()
+	}
+	r.mu.Unlock()
+}
+
+func (r *Runtime) isStopped() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stopped
+}
+
+// fail records the first failure and stops the runtime.
+func (r *Runtime) fail(b *Bug) {
+	r.mu.Lock()
+	if r.failure == nil {
+		r.failure = b
+	}
+	r.stopped = true
+	machines := append([]*machineInstance(nil), r.machines...)
+	r.qcond.Broadcast()
+	r.mu.Unlock()
+	for _, m := range machines {
+		m.mu.Lock()
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	}
+}
+
+// Failure returns the first recorded failure, if any.
+func (r *Runtime) Failure() *Bug {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.failure
+}
+
+// Wait blocks until the program is quiescent — every queue is empty and
+// every machine idle — or a failure has been recorded, which it returns.
+// Only valid in production mode.
+func (r *Runtime) Wait() error {
+	if r.test != nil {
+		panic("psharp: Wait is not available in bug-finding mode")
+	}
+	r.mu.Lock()
+	for r.busy > 0 && r.failure == nil && !r.stopped {
+		r.qcond.Wait()
+	}
+	var err error
+	if r.failure != nil {
+		err = r.failure
+	}
+	r.mu.Unlock()
+	return err
+}
+
+// Stop shuts the runtime down: machines blocked on empty queues exit.
+func (r *Runtime) Stop() {
+	r.mu.Lock()
+	r.stopped = true
+	machines := append([]*machineInstance(nil), r.machines...)
+	r.qcond.Broadcast()
+	r.mu.Unlock()
+	for _, m := range machines {
+		m.mu.Lock()
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	}
+}
+
+// NumMachines returns how many machines have been created so far.
+func (r *Runtime) NumMachines() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.machines)
+}
+
+// randomBool resolves a controlled nondeterministic boolean choice.
+func (r *Runtime) randomBool(m *machineInstance) bool {
+	if c := r.test; c != nil {
+		return c.nextBool()
+	}
+	return r.nextRand()&1 == 1
+}
+
+// randomInt resolves a controlled nondeterministic integer choice in [0,n).
+func (r *Runtime) randomInt(m *machineInstance, n int) int {
+	if c := r.test; c != nil {
+		return c.nextInt(n)
+	}
+	return int(r.nextRand() % uint64(n))
+}
+
+// nextRand steps the production-mode SplitMix64 generator.
+func (r *Runtime) nextRand() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rngState += 0x9e3779b97f4a7c15
+	z := r.rngState
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// access feeds the happens-before race detector in RD-on mode.
+func (r *Runtime) access(m *machineInstance, location string, kind vclock.AccessKind) {
+	c := r.test
+	if c == nil || c.det == nil {
+		return
+	}
+	c.det.Access(int(m.id.Seq), location, kind)
+}
+
+func (r *Runtime) logf(format string, args ...any) {
+	if r.logw == nil {
+		return
+	}
+	fmt.Fprintf(r.logw, "[psharp] "+format+"\n", args...)
+}

@@ -1,0 +1,233 @@
+package psharp
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+)
+
+// Machine is implemented by user machine types. Configure is called once per
+// instance, before the initial state's entry action runs; it declares the
+// machine's states, transitions and action bindings on the Schema.
+//
+// Machines correspond to the paper's Machine subclasses; states to its State
+// nested classes; OnEventGoto entries to the "State Transitions" table and
+// OnEventDo entries to the "Action Bindings" table of Figure 1.
+type Machine interface {
+	Configure(s *Schema)
+}
+
+// MachineFunc adapts a plain configuration function to the Machine
+// interface, for machines whose state lives in closed-over variables.
+type MachineFunc func(*Schema)
+
+// Configure implements Machine.
+func (f MachineFunc) Configure(s *Schema) { f(s) }
+
+// Action is the signature of entry actions and event handlers. Actions must
+// be sequential: they must not spawn goroutines or block on anything other
+// than the Context operations.
+type Action func(ctx *Context, ev Event)
+
+// ExitAction runs when a state is exited via a transition.
+type ExitAction func(ctx *Context)
+
+// dispatchKind says how a state reacts to an event type.
+type dispatchKind int
+
+const (
+	dispatchNone dispatchKind = iota
+	dispatchAction
+	dispatchGoto
+	dispatchDefer
+	dispatchIgnore
+)
+
+type dispatchEntry struct {
+	kind   dispatchKind
+	target string // goto target state
+	action Action // bound action (dispatchAction, or entry action of goto)
+}
+
+// stateSpec is the compiled form of one declared state.
+type stateSpec struct {
+	name     string
+	onEntry  Action
+	onExit   ExitAction
+	handlers map[reflect.Type]dispatchEntry
+}
+
+// Schema collects a machine's state-machine structure. It is passed to
+// Machine.Configure and then validated and frozen.
+type Schema struct {
+	initial string
+	states  map[string]*stateSpec
+	order   []string
+	errs    []error
+}
+
+func newSchema() *Schema {
+	return &Schema{states: make(map[string]*stateSpec)}
+}
+
+// Start declares the initial state of the machine and returns its builder.
+// Exactly one state must be declared with Start.
+func (s *Schema) Start(name string) *StateBuilder {
+	if s.initial != "" {
+		s.errs = append(s.errs, fmt.Errorf("duplicate start state: %q and %q", s.initial, name))
+	}
+	s.initial = name
+	return s.State(name)
+}
+
+// State declares (or returns the builder for) a state with the given name.
+func (s *Schema) State(name string) *StateBuilder {
+	if name == "" {
+		s.errs = append(s.errs, fmt.Errorf("state name must be non-empty"))
+	}
+	st, ok := s.states[name]
+	if !ok {
+		st = &stateSpec{name: name, handlers: make(map[reflect.Type]dispatchEntry)}
+		s.states[name] = st
+		s.order = append(s.order, name)
+	}
+	return &StateBuilder{schema: s, state: st}
+}
+
+// StateBuilder declares the behaviour of a single state.
+type StateBuilder struct {
+	schema *Schema
+	state  *stateSpec
+}
+
+// Name returns the state's name.
+func (b *StateBuilder) Name() string { return b.state.name }
+
+// OnEntry registers the state's entry action. The action receives the event
+// whose transition entered the state (the payload in the paper's terms); for
+// the initial state it receives the creation payload event, which may be nil.
+func (b *StateBuilder) OnEntry(fn Action) *StateBuilder {
+	if b.state.onEntry != nil {
+		b.schema.err("state %q: duplicate OnEntry", b.state.name)
+	}
+	b.state.onEntry = fn
+	return b
+}
+
+// OnExit registers the state's exit action, run when leaving via a goto.
+func (b *StateBuilder) OnExit(fn ExitAction) *StateBuilder {
+	if b.state.onExit != nil {
+		b.schema.err("state %q: duplicate OnExit", b.state.name)
+	}
+	b.state.onExit = fn
+	return b
+}
+
+// OnEventGoto registers a transition: when an event with proto's dynamic
+// type is dequeued in this state, the machine exits the state and enters
+// target, passing the event to target's entry action.
+func (b *StateBuilder) OnEventGoto(proto Event, target string) *StateBuilder {
+	b.bind(proto, dispatchEntry{kind: dispatchGoto, target: target})
+	return b
+}
+
+// OnEventDo registers an action binding: the event is handled by fn and the
+// machine stays in the current state.
+func (b *StateBuilder) OnEventDo(proto Event, fn Action) *StateBuilder {
+	b.bind(proto, dispatchEntry{kind: dispatchAction, action: fn})
+	return b
+}
+
+// Defer keeps events of proto's type in the queue while in this state; they
+// become available again after a transition to a state that handles them.
+func (b *StateBuilder) Defer(proto Event) *StateBuilder {
+	b.bind(proto, dispatchEntry{kind: dispatchDefer})
+	return b
+}
+
+// Ignore silently drops events of proto's type while in this state.
+func (b *StateBuilder) Ignore(proto Event) *StateBuilder {
+	b.bind(proto, dispatchEntry{kind: dispatchIgnore})
+	return b
+}
+
+func (b *StateBuilder) bind(proto Event, e dispatchEntry) {
+	if proto == nil {
+		b.schema.err("state %q: nil event prototype", b.state.name)
+		return
+	}
+	key := eventKey(proto)
+	// The paper (Section 6.1) requires the runtime to report an error if an
+	// event can be handled in more than one way in the same state; we reject
+	// the ambiguity statically when the machine is configured.
+	if _, dup := b.state.handlers[key]; dup {
+		b.schema.err("state %q: event %s bound more than once", b.state.name, eventName(proto))
+		return
+	}
+	b.state.handlers[key] = e
+}
+
+func (s *Schema) err(format string, args ...any) {
+	s.errs = append(s.errs, fmt.Errorf(format, args...))
+}
+
+// validate checks the frozen schema and returns a descriptive error listing
+// every problem found.
+func (s *Schema) validate(machineType string) error {
+	errs := append([]error(nil), s.errs...)
+	if s.initial == "" {
+		errs = append(errs, fmt.Errorf("no start state declared"))
+	}
+	names := append([]string(nil), s.order...)
+	sort.Strings(names)
+	for _, name := range names {
+		st := s.states[name]
+		for _, e := range st.handlers {
+			if e.kind == dispatchGoto {
+				if _, ok := s.states[e.target]; !ok {
+					errs = append(errs, fmt.Errorf("state %q: goto target %q is not a declared state", name, e.target))
+				}
+			}
+		}
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	msg := fmt.Sprintf("machine %q: invalid schema:", machineType)
+	for _, e := range errs {
+		msg += "\n\t" + e.Error()
+	}
+	return fmt.Errorf("%s", msg)
+}
+
+// lookup returns the dispatch entry for event type t in state name.
+func (s *Schema) lookup(state string, t reflect.Type) (dispatchEntry, bool) {
+	st, ok := s.states[state]
+	if !ok {
+		return dispatchEntry{}, false
+	}
+	e, ok := st.handlers[t]
+	return e, ok
+}
+
+// NumStates returns the number of declared states (program statistics for
+// Table 1 reporting).
+func (s *Schema) NumStates() int { return len(s.states) }
+
+// NumTransitions returns the number of goto bindings across all states.
+func (s *Schema) NumTransitions() int { return s.countKind(dispatchGoto) }
+
+// NumActionBindings returns the number of do bindings across all states.
+func (s *Schema) NumActionBindings() int { return s.countKind(dispatchAction) }
+
+func (s *Schema) countKind(k dispatchKind) int {
+	n := 0
+	for _, st := range s.states {
+		for _, e := range st.handlers {
+			if e.kind == k {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,69 @@
+package sct
+
+import "github.com/psharp-go/psharp"
+
+// DelayBounding implements randomized delay-bounded scheduling (Emmi,
+// Qadeer, Rakamarić, POPL 2011 — the paper's reference [9]): the underlying
+// scheduler is deterministic (round-robin in creation order), and the
+// strategy spends at most `budget` delays per iteration; a delay skips the
+// machine the deterministic scheduler would run and moves to the next one.
+// Delay positions are chosen uniformly over the expected schedule length.
+type DelayBounding struct {
+	seed   uint64
+	budget int
+	steps  int
+
+	rng       *splitMix64
+	delayAt   map[int]bool
+	remaining int
+	step      int
+}
+
+// NewDelayBounding returns a delay-bounding strategy with the given delay
+// budget over schedules of roughly expectedSteps scheduling points.
+func NewDelayBounding(seed uint64, budget, expectedSteps int) *DelayBounding {
+	if budget < 0 {
+		budget = 0
+	}
+	if expectedSteps < 1 {
+		expectedSteps = 1
+	}
+	return &DelayBounding{seed: seed, budget: budget, steps: expectedSteps}
+}
+
+// PrepareIteration re-randomizes the delay positions.
+func (s *DelayBounding) PrepareIteration(iter int) bool {
+	s.rng = newRNG(s.seed + uint64(iter)*0x9e3779b97f4a7c15)
+	s.delayAt = make(map[int]bool)
+	for i := 0; i < s.budget; i++ {
+		s.delayAt[s.rng.intn(s.steps)] = true
+	}
+	s.remaining = s.budget
+	s.step = 0
+	return true
+}
+
+// NextMachine continues with the current machine (round-robin order) unless
+// this step spends a delay.
+func (s *DelayBounding) NextMachine(current psharp.MachineID, enabled []psharp.MachineID) psharp.MachineID {
+	// Deterministic base order: first enabled machine at or after current.
+	idx := 0
+	for i, id := range enabled {
+		if id.Seq >= current.Seq {
+			idx = i
+			break
+		}
+	}
+	if s.delayAt[s.step] && s.remaining > 0 {
+		s.remaining--
+		idx = (idx + 1) % len(enabled)
+	}
+	s.step++
+	return enabled[idx]
+}
+
+// NextBool resolves controlled booleans uniformly.
+func (s *DelayBounding) NextBool() bool { return s.rng.boolean() }
+
+// NextInt resolves controlled integers uniformly.
+func (s *DelayBounding) NextInt(n int) int { return s.rng.intn(n) }

@@ -1,0 +1,121 @@
+package sct
+
+import (
+	"fmt"
+
+	"github.com/psharp-go/psharp"
+)
+
+// DFS is the paper's systematic depth-first scheduler: the schedule space is
+// a tree whose nodes are schedule prefixes and whose branches are the
+// enabled machines (and, unlike the paper's P# DFS but as it prescribes for
+// systematic exploration, the values of controlled nondeterministic
+// choices). DFS explores a different schedule on every iteration and, given
+// enough iterations and an acyclic state space, explores all of them; when
+// the tree is exhausted PrepareIteration returns false.
+type DFS struct {
+	stack     []dfsNode
+	pos       int
+	exhausted bool
+}
+
+type dfsNode struct {
+	kind     psharp.DecisionKind
+	options  int
+	idx      int
+	machines []psharp.MachineID // schedule nodes only
+}
+
+// NewDFS returns a fresh depth-first strategy.
+func NewDFS() *DFS { return &DFS{} }
+
+// Exhausted reports whether the entire (depth-bounded) schedule tree has
+// been explored.
+func (s *DFS) Exhausted() bool { return s.exhausted }
+
+// PrepareIteration advances to the next unexplored branch; it returns false
+// once the whole tree has been visited.
+func (s *DFS) PrepareIteration(iter int) bool {
+	if s.exhausted {
+		return false
+	}
+	if iter == 0 {
+		s.pos = 0
+		return true
+	}
+	// Backtrack: drop exhausted trailing nodes, then advance the deepest
+	// node that still has unexplored branches.
+	for len(s.stack) > 0 {
+		n := &s.stack[len(s.stack)-1]
+		n.idx++
+		if n.idx < n.options {
+			break
+		}
+		s.stack = s.stack[:len(s.stack)-1]
+	}
+	if len(s.stack) == 0 {
+		s.exhausted = true
+		return false
+	}
+	s.pos = 0
+	return true
+}
+
+// NextMachine replays the current prefix and extends the tree with a new
+// node at the frontier.
+func (s *DFS) NextMachine(_ psharp.MachineID, enabled []psharp.MachineID) psharp.MachineID {
+	if s.pos < len(s.stack) {
+		n := &s.stack[s.pos]
+		s.pos++
+		if n.kind != psharp.DecisionSchedule {
+			panic(fmt.Sprintf("sct: DFS replay divergence: expected %v node, got schedule point", n.kind))
+		}
+		if n.idx < len(n.machines) && contains(enabled, n.machines[n.idx]) {
+			return n.machines[n.idx]
+		}
+		// The enabled set changed across replays: the program under test is
+		// nondeterministic beyond its controlled choices.
+		panic("sct: DFS replay divergence: enabled set changed; program has uncontrolled nondeterminism")
+	}
+	node := dfsNode{
+		kind:     psharp.DecisionSchedule,
+		options:  len(enabled),
+		machines: append([]psharp.MachineID(nil), enabled...),
+	}
+	s.stack = append(s.stack, node)
+	s.pos++
+	return enabled[0]
+}
+
+// NextBool explores both boolean values systematically.
+func (s *DFS) NextBool() bool {
+	return s.choice(psharp.DecisionBool, 2) == 1
+}
+
+// NextInt explores all n values systematically.
+func (s *DFS) NextInt(n int) int {
+	return s.choice(psharp.DecisionInt, n)
+}
+
+func (s *DFS) choice(kind psharp.DecisionKind, n int) int {
+	if s.pos < len(s.stack) {
+		node := &s.stack[s.pos]
+		s.pos++
+		if node.kind != kind || node.options != n {
+			panic("sct: DFS replay divergence on nondeterministic choice")
+		}
+		return node.idx
+	}
+	s.stack = append(s.stack, dfsNode{kind: kind, options: n})
+	s.pos++
+	return 0
+}
+
+func contains(ids []psharp.MachineID, id psharp.MachineID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}

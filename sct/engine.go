@@ -1,0 +1,193 @@
+package sct
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/psharp-go/psharp"
+)
+
+// Strategy is an iterative scheduling strategy: a psharp.Strategy plus the
+// per-iteration protocol the engine drives.
+type Strategy interface {
+	psharp.Strategy
+	// PrepareIteration is called before iteration iter (0-based); returning
+	// false stops the engine because the search space is exhausted.
+	PrepareIteration(iter int) bool
+}
+
+// Options configures an engine run.
+type Options struct {
+	// Strategy drives scheduling. Required.
+	Strategy Strategy
+	// Iterations caps the number of schedules to explore (the paper uses
+	// 10,000). Required (must be > 0).
+	Iterations int
+	// Timeout caps total wall-clock time (the paper uses 5 minutes);
+	// zero means no time cap.
+	Timeout time.Duration
+	// MaxSteps bounds scheduling decisions per iteration; 0 = unbounded.
+	MaxSteps int
+	// StopOnFirstBug ends the run at the first buggy schedule (as the paper
+	// does for CHESS and DFS measurements). When false the engine keeps
+	// exploring and counts buggy schedules (as the paper does to compute
+	// the random scheduler's %Buggy column).
+	StopOnFirstBug bool
+	// LivelockAsBug treats hitting MaxSteps as a liveness bug.
+	LivelockAsBug bool
+	// ChessLike adds CHESS-granularity scheduling points (Table 2 baseline).
+	ChessLike bool
+	// RaceDetect enables the happens-before race detector (RD-on).
+	RaceDetect bool
+	// RaceAsBug ends an iteration when a race is detected.
+	RaceAsBug bool
+	// Progress, if non-nil, receives a line every ProgressEvery iterations.
+	Progress      io.Writer
+	ProgressEvery int
+}
+
+// Report aggregates an engine run; its fields correspond to the columns of
+// the paper's Table 2.
+type Report struct {
+	// Iterations is the number of schedules actually explored.
+	Iterations int
+	// BuggyIterations counts schedules that exposed a bug.
+	BuggyIterations int
+	// FirstBug is the first failure found (nil if none).
+	FirstBug *psharp.Bug
+	// FirstBugIteration is the 0-based iteration of the first failure.
+	FirstBugIteration int
+	// FirstBugTrace deterministically replays the first failure.
+	FirstBugTrace *psharp.Trace
+	// MaxSchedulingPoints is the longest schedule seen (#SP).
+	MaxSchedulingPoints int
+	// TotalSchedulingPoints sums scheduling decisions across iterations.
+	TotalSchedulingPoints int64
+	// MaxMachines is the largest number of machines in one iteration (#T).
+	MaxMachines int
+	// BoundReached counts iterations truncated by MaxSteps.
+	BoundReached int
+	// Exhausted reports that the strategy completed its search space.
+	Exhausted bool
+	// Elapsed is total wall-clock time.
+	Elapsed time.Duration
+	// Races collects distinct race reports from RD-on iterations.
+	Races []string
+}
+
+// BugFound reports whether any iteration failed.
+func (r *Report) BugFound() bool { return r.FirstBug != nil }
+
+// SchedulesPerSecond is the paper's #Sch/sec throughput metric.
+func (r *Report) SchedulesPerSecond() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Iterations) / r.Elapsed.Seconds()
+}
+
+// PercentBuggy is the paper's %Buggy metric for the random scheduler.
+func (r *Report) PercentBuggy() float64 {
+	if r.Iterations == 0 {
+		return 0
+	}
+	return 100 * float64(r.BuggyIterations) / float64(r.Iterations)
+}
+
+// String summarizes the report in one line.
+func (r *Report) String() string {
+	bug := "no bug"
+	if r.FirstBug != nil {
+		bug = fmt.Sprintf("bug at iteration %d: %v", r.FirstBugIteration, r.FirstBug)
+	}
+	return fmt.Sprintf("%d schedules, %d buggy (%.1f%%), maxSP=%d, %.1f sch/sec, %s",
+		r.Iterations, r.BuggyIterations, r.PercentBuggy(), r.MaxSchedulingPoints,
+		r.SchedulesPerSecond(), bug)
+}
+
+// Run explores schedules of the program constructed by setup until the
+// iteration budget, the time budget, or the strategy's search space is
+// exhausted — or a bug is found, if StopOnFirstBug is set.
+func Run(setup func(*psharp.Runtime), opts Options) Report {
+	if opts.Strategy == nil {
+		panic("sct: Options.Strategy is required")
+	}
+	if opts.Iterations <= 0 {
+		panic("sct: Options.Iterations must be positive")
+	}
+	var rep Report
+	start := time.Now()
+	deadline := time.Time{}
+	if opts.Timeout > 0 {
+		deadline = start.Add(opts.Timeout)
+	}
+	for iter := 0; iter < opts.Iterations; iter++ {
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			break
+		}
+		if !opts.Strategy.PrepareIteration(iter) {
+			rep.Exhausted = true
+			break
+		}
+		res := psharp.RunTest(setup, psharp.TestConfig{
+			Strategy:      opts.Strategy,
+			MaxSteps:      opts.MaxSteps,
+			LivelockAsBug: opts.LivelockAsBug,
+			ChessLike:     opts.ChessLike,
+			RaceDetect:    opts.RaceDetect,
+			RaceAsBug:     opts.RaceAsBug,
+		})
+		rep.Iterations++
+		rep.TotalSchedulingPoints += int64(res.SchedulingPoints)
+		if res.SchedulingPoints > rep.MaxSchedulingPoints {
+			rep.MaxSchedulingPoints = res.SchedulingPoints
+		}
+		if res.Machines > rep.MaxMachines {
+			rep.MaxMachines = res.Machines
+		}
+		if res.BoundReached {
+			rep.BoundReached++
+		}
+		for _, race := range res.Races {
+			rep.Races = appendUnique(rep.Races, race)
+		}
+		if res.Bug != nil {
+			rep.BuggyIterations++
+			if rep.FirstBug == nil {
+				rep.FirstBug = res.Bug
+				rep.FirstBugIteration = iter
+				rep.FirstBugTrace = res.Trace
+			}
+			if opts.StopOnFirstBug {
+				break
+			}
+		}
+		if opts.Progress != nil && opts.ProgressEvery > 0 && (iter+1)%opts.ProgressEvery == 0 {
+			fmt.Fprintf(opts.Progress, "sct: %d/%d schedules, %d buggy\n", iter+1, opts.Iterations, rep.BuggyIterations)
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	return rep
+}
+
+// ReplayTrace re-executes a recorded trace against the program and returns
+// the iteration result; used to confirm that a found bug reproduces. The
+// cfg's Strategy is replaced by the replay strategy; all other knobs (depth
+// bound, livelock reporting, race detection) apply as given so a livelock
+// trace reproduces as a livelock.
+func ReplayTrace(setup func(*psharp.Runtime), trace *psharp.Trace, cfg psharp.TestConfig) psharp.IterationResult {
+	rep := NewReplay(trace)
+	rep.PrepareIteration(0)
+	cfg.Strategy = rep
+	return psharp.RunTest(setup, cfg)
+}
+
+func appendUnique(list []string, s string) []string {
+	for _, x := range list {
+		if x == s {
+			return list
+		}
+	}
+	return append(list, s)
+}

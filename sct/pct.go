@@ -1,0 +1,92 @@
+package sct
+
+import "github.com/psharp-go/psharp"
+
+// PCT implements the probabilistic concurrency testing scheduler of
+// Burckhardt et al. (ASPLOS 2010), the paper's reference [4], adapted to
+// event-level scheduling: every machine gets a random priority when it is
+// first seen; at each scheduling point the highest-priority enabled machine
+// runs; at d-1 randomly chosen scheduling points (the "change points") the
+// currently highest-priority enabled machine is demoted below every other.
+// PCT gives probabilistic detection guarantees for bugs of depth <= d.
+type PCT struct {
+	seed  uint64
+	depth int
+	steps int // expected schedule length for change-point placement
+
+	rng          *splitMix64
+	priorities   map[psharp.MachineID]uint64
+	low          uint64 // next demotion priority (counts down)
+	changePoints map[int]bool
+	step         int
+}
+
+// NewPCT returns a PCT strategy with bug depth d over schedules of roughly
+// expectedSteps scheduling points.
+func NewPCT(seed uint64, d, expectedSteps int) *PCT {
+	if d < 1 {
+		d = 1
+	}
+	if expectedSteps < 1 {
+		expectedSteps = 1
+	}
+	return &PCT{seed: seed, depth: d, steps: expectedSteps}
+}
+
+// PrepareIteration re-randomizes priorities and change points.
+func (s *PCT) PrepareIteration(iter int) bool {
+	s.rng = newRNG(s.seed + uint64(iter)*0x9e3779b97f4a7c15)
+	s.priorities = make(map[psharp.MachineID]uint64)
+	s.low = uint64(s.depth) // priorities below depth are demotion slots
+	s.changePoints = make(map[int]bool)
+	for i := 0; i < s.depth-1; i++ {
+		s.changePoints[s.rng.intn(s.steps)] = true
+	}
+	s.step = 0
+	return true
+}
+
+func (s *PCT) priority(id psharp.MachineID) uint64 {
+	p, ok := s.priorities[id]
+	if !ok {
+		// Initial priorities all sit above the demotion band.
+		p = uint64(s.depth) + 1 + s.rng.next()%1_000_000
+		s.priorities[id] = p
+	}
+	return p
+}
+
+// NextMachine runs the highest-priority enabled machine, demoting it first
+// if this step is a change point.
+func (s *PCT) NextMachine(_ psharp.MachineID, enabled []psharp.MachineID) psharp.MachineID {
+	best := enabled[0]
+	bestP := s.priority(best)
+	for _, id := range enabled[1:] {
+		if p := s.priority(id); p > bestP {
+			best, bestP = id, p
+		}
+	}
+	if s.changePoints[s.step] && s.low > 0 {
+		s.low--
+		s.priorities[best] = s.low
+		// Re-pick after the demotion.
+		s.step++
+		next := enabled[0]
+		nextP := s.priority(next)
+		for _, id := range enabled[1:] {
+			if p := s.priority(id); p > nextP {
+				next, nextP = id, p
+			}
+		}
+		return next
+	}
+	s.step++
+	return best
+}
+
+// NextBool resolves controlled booleans uniformly (PCT only prioritizes
+// scheduling; value nondeterminism stays random).
+func (s *PCT) NextBool() bool { return s.rng.boolean() }
+
+// NextInt resolves controlled integers uniformly.
+func (s *PCT) NextInt(n int) int { return s.rng.intn(n) }

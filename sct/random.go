@@ -1,0 +1,40 @@
+package sct
+
+import "github.com/psharp-go/psharp"
+
+// Random is the paper's random scheduler: after each scheduling point it
+// picks a machine uniformly at random from the enabled set, and resolves
+// controlled nondeterministic choices uniformly. It keeps no memory of
+// explored schedules, which is exactly what lets nondeterministic
+// environment machines stay random (Section 6.2).
+//
+// Random is deterministic given its seed: iteration i always draws from the
+// stream seeded with seed+i, so a bug found at iteration i can be re-found
+// without a trace.
+type Random struct {
+	seed uint64
+	rng  *splitMix64
+}
+
+// NewRandom returns a random strategy with the given base seed.
+func NewRandom(seed uint64) *Random {
+	return &Random{seed: seed, rng: newRNG(seed)}
+}
+
+// PrepareIteration reseeds the stream for iteration iter. Random never
+// exhausts its search space.
+func (s *Random) PrepareIteration(iter int) bool {
+	s.rng = newRNG(s.seed + uint64(iter)*0x9e3779b97f4a7c15)
+	return true
+}
+
+// NextMachine picks uniformly from the enabled machines.
+func (s *Random) NextMachine(_ psharp.MachineID, enabled []psharp.MachineID) psharp.MachineID {
+	return enabled[s.rng.intn(len(enabled))]
+}
+
+// NextBool resolves a controlled boolean choice uniformly.
+func (s *Random) NextBool() bool { return s.rng.boolean() }
+
+// NextInt resolves a controlled integer choice uniformly.
+func (s *Random) NextInt(n int) int { return s.rng.intn(n) }

@@ -1,0 +1,61 @@
+package sct
+
+import (
+	"fmt"
+
+	"github.com/psharp-go/psharp"
+)
+
+// Replay re-executes a recorded schedule trace decision by decision,
+// giving the deterministic bug reproduction the paper's bug-finding mode
+// promises (Section 6.2). Replay runs a single iteration.
+type Replay struct {
+	trace *psharp.Trace
+	pos   int
+}
+
+// NewReplay returns a strategy that replays trace.
+func NewReplay(trace *psharp.Trace) *Replay { return &Replay{trace: trace} }
+
+// PrepareIteration permits exactly one iteration.
+func (s *Replay) PrepareIteration(iter int) bool {
+	s.pos = 0
+	return iter == 0
+}
+
+// Consumed reports how many decisions have been replayed.
+func (s *Replay) Consumed() int { return s.pos }
+
+func (s *Replay) next(kind psharp.DecisionKind) psharp.Decision {
+	if s.pos >= len(s.trace.Decisions) {
+		panic(fmt.Sprintf("sct: replay ran past the end of the trace (%d decisions)", len(s.trace.Decisions)))
+	}
+	d := s.trace.Decisions[s.pos]
+	if d.Kind != kind {
+		panic(fmt.Sprintf("sct: replay divergence at decision %d: trace has kind %v, program asked for %v",
+			s.pos, d.Kind, kind))
+	}
+	s.pos++
+	return d
+}
+
+// NextMachine returns the machine recorded at this position.
+func (s *Replay) NextMachine(_ psharp.MachineID, enabled []psharp.MachineID) psharp.MachineID {
+	d := s.next(psharp.DecisionSchedule)
+	if !contains(enabled, d.Machine) {
+		panic(fmt.Sprintf("sct: replay divergence at decision %d: %s is not enabled", s.pos-1, d.Machine))
+	}
+	return d.Machine
+}
+
+// NextBool returns the recorded boolean choice.
+func (s *Replay) NextBool() bool { return s.next(psharp.DecisionBool).Bool }
+
+// NextInt returns the recorded integer choice.
+func (s *Replay) NextInt(n int) int {
+	d := s.next(psharp.DecisionInt)
+	if d.Int >= n {
+		panic(fmt.Sprintf("sct: replay divergence at decision %d: recorded %d out of range %d", s.pos-1, d.Int, n))
+	}
+	return d.Int
+}

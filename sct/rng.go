@@ -1,0 +1,27 @@
+package sct
+
+// splitMix64 is a small, fast, deterministic PRNG (Steele et al.,
+// "Fast splittable pseudorandom number generators"). The testing strategies
+// must be reproducible from a seed alone, so they cannot use math/rand's
+// global state.
+type splitMix64 struct{ state uint64 }
+
+func newRNG(seed uint64) *splitMix64 { return &splitMix64{state: seed} }
+
+func (r *splitMix64) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform value in [0, n); n must be positive.
+func (r *splitMix64) intn(n int) int {
+	if n <= 0 {
+		panic("sct: intn requires n > 0")
+	}
+	return int(r.next() % uint64(n))
+}
+
+func (r *splitMix64) boolean() bool { return r.next()&1 == 1 }

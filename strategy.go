@@ -1,0 +1,17 @@
+package psharp
+
+// Strategy decides scheduling and nondeterministic choices in bug-finding
+// mode (paper Section 6.2). The serialized runtime calls NextMachine at each
+// scheduling point (before send and create-machine operations, and when the
+// current machine blocks), and NextBool/NextInt for each controlled
+// nondeterministic choice. The enabled slice is sorted by creation order and
+// is never empty; the returned machine must be one of its elements.
+//
+// All calls within one iteration are serialized by the runtime, so Strategy
+// implementations need no internal locking. Concrete strategies (random,
+// DFS, PCT, delay-bounding, replay) live in the sct package.
+type Strategy interface {
+	NextMachine(current MachineID, enabled []MachineID) MachineID
+	NextBool() bool
+	NextInt(n int) int
+}

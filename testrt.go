@@ -1,0 +1,302 @@
+package psharp
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/psharp-go/psharp/internal/vclock"
+)
+
+// TestConfig configures one bug-finding iteration (paper Section 6.2).
+type TestConfig struct {
+	// Strategy makes scheduling and nondeterminism decisions. Required.
+	Strategy Strategy
+	// MaxSteps bounds the number of scheduling decisions per iteration
+	// (the paper's depth bound); 0 means unbounded.
+	MaxSteps int
+	// LivelockAsBug reports reaching MaxSteps as a livelock bug, the
+	// technique the paper used to detect the German livelock (Section
+	// 7.2.2).
+	LivelockAsBug bool
+	// ChessLike enables CHESS-granularity scheduling: in addition to the
+	// paper's send/create scheduling points, the runtime also schedules at
+	// queue-lock and dequeue operations, as a tool instrumenting every
+	// synchronizing operation must (Table 2 baseline).
+	ChessLike bool
+	// RaceDetect runs the happens-before race detector over instrumented
+	// Context.Read/Write accesses (the CHESS RD-on configuration).
+	RaceDetect bool
+	// RaceAsBug turns the first detected race into an iteration-ending bug.
+	RaceAsBug bool
+	// Log, if non-nil, receives the execution log of the iteration.
+	Log io.Writer
+}
+
+// IterationResult reports one bug-finding iteration.
+type IterationResult struct {
+	// Bug is non-nil if the iteration ended in a failure.
+	Bug *Bug
+	// BoundReached reports that MaxSteps was hit before quiescence.
+	BoundReached bool
+	// SchedulingPoints is the number of scheduling decisions taken (the
+	// paper's #SP column).
+	SchedulingPoints int
+	// Machines is the number of machine instances created.
+	Machines int
+	// Trace replays the iteration deterministically.
+	Trace *Trace
+	// Races lists data races found by the detector in RD-on mode.
+	Races []string
+}
+
+type yieldKind int
+
+const (
+	ykYield yieldKind = iota
+	ykBlocked
+	ykBug
+	ykHalted
+)
+
+type yieldMsg struct {
+	m    *machineInstance
+	kind yieldKind
+	bug  *Bug
+}
+
+type machineStatus int
+
+const (
+	msReady machineStatus = iota
+	msBlocked
+	msHalted
+)
+
+// controller serializes machine execution in bug-finding mode. Every machine
+// goroutine parks on its resume channel; the controller wakes exactly one at
+// a time and waits for it to yield (at a send/create scheduling point),
+// block on an empty queue, halt, or fail. Writes to controller state from
+// machine goroutines are ordered by the yield-channel handshakes, so no
+// additional locking is needed.
+type controller struct {
+	rt    *Runtime
+	cfg   TestConfig
+	yield chan yieldMsg
+	wg    sync.WaitGroup
+
+	statuses []machineStatus // indexed by MachineID.Seq-1
+	current  MachineID
+	steps    int
+	trace    *Trace
+	bug      *Bug
+	bound    bool
+	det      *vclock.Detector
+
+	mu       sync.Mutex
+	aborting bool
+}
+
+func (c *controller) isAborting() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.aborting
+}
+
+func (c *controller) setAborting() {
+	c.mu.Lock()
+	c.aborting = true
+	c.mu.Unlock()
+}
+
+// onCreate registers a newly created machine as ready to run its initial
+// entry action.
+func (c *controller) onCreate(m *machineInstance, creatorIdx int) {
+	c.statuses = append(c.statuses, msReady)
+	if c.det != nil {
+		c.det.Fork(creatorIdx, int(m.id.Seq))
+	}
+}
+
+// onEnqueue marks a machine blocked on an empty queue as runnable again.
+func (c *controller) onEnqueue(m *machineInstance) {
+	if c.statuses[m.id.Seq-1] == msBlocked {
+		c.statuses[m.id.Seq-1] = msReady
+	}
+}
+
+// onDequeue feeds the happens-before edge from send to receive.
+func (c *controller) onDequeue(m *machineInstance, env envelope) {
+	if c.det != nil {
+		c.det.Receive(int(m.id.Seq), env.clock)
+	}
+}
+
+func (c *controller) nextBool() bool {
+	v := c.cfg.Strategy.NextBool()
+	c.trace.addBool(v)
+	return v
+}
+
+func (c *controller) nextInt(n int) int {
+	v := c.cfg.Strategy.NextInt(n)
+	if v < 0 || v >= n {
+		panic(assertFailed{msg: fmt.Sprintf("strategy returned %d for NextInt(%d)", v, n)})
+	}
+	c.trace.addInt(v)
+	return v
+}
+
+// enabled returns the IDs of all runnable machines in creation order.
+func (c *controller) enabled() []MachineID {
+	var out []MachineID
+	c.rt.mu.Lock()
+	machines := c.rt.machines
+	c.rt.mu.Unlock()
+	for i, st := range c.statuses {
+		if st == msReady {
+			out = append(out, machines[i].id)
+		}
+	}
+	return out
+}
+
+// anyQueuedWhileBlocked detects the deadlock case: machines hold only
+// deferred events and nobody is runnable.
+func (c *controller) anyQueuedWhileBlocked() *machineInstance {
+	c.rt.mu.Lock()
+	machines := append([]*machineInstance(nil), c.rt.machines...)
+	c.rt.mu.Unlock()
+	for i, st := range c.statuses {
+		if st != msBlocked {
+			continue
+		}
+		m := machines[i]
+		m.mu.Lock()
+		n := len(m.queue)
+		m.mu.Unlock()
+		if n > 0 {
+			return m
+		}
+	}
+	return nil
+}
+
+// loop is the scheduler: it repeatedly picks one enabled machine, wakes it,
+// and processes its next yield.
+func (c *controller) loop() {
+	for c.bug == nil {
+		enabled := c.enabled()
+		if len(enabled) == 0 {
+			if m := c.anyQueuedWhileBlocked(); m != nil {
+				c.bug = &Bug{Kind: BugDeadlock, Machine: m.id, State: m.state,
+					Message: "all machines blocked but deferred events remain queued"}
+			}
+			break // quiescence: the program terminated naturally
+		}
+		if c.cfg.MaxSteps > 0 && c.steps >= c.cfg.MaxSteps {
+			c.bound = true
+			if c.cfg.LivelockAsBug {
+				c.bug = &Bug{Kind: BugLivelock, Machine: c.current,
+					Message: fmt.Sprintf("depth bound of %d scheduling points exceeded", c.cfg.MaxSteps)}
+			}
+			break
+		}
+		next := c.cfg.Strategy.NextMachine(c.current, enabled)
+		if !contains(enabled, next) {
+			c.bug = &Bug{Kind: BugPanic, Machine: next,
+				Message: fmt.Sprintf("strategy chose %s, which is not enabled", next)}
+			break
+		}
+		c.trace.addSchedule(next)
+		c.current = next
+		c.steps++
+		m := c.rt.machineByID(next)
+		m.resume <- struct{}{}
+		msg := <-c.yield
+		switch msg.kind {
+		case ykYield:
+			c.statuses[msg.m.id.Seq-1] = msReady
+		case ykBlocked:
+			c.statuses[msg.m.id.Seq-1] = msBlocked
+		case ykHalted:
+			c.statuses[msg.m.id.Seq-1] = msHalted
+		case ykBug:
+			c.statuses[msg.m.id.Seq-1] = msHalted
+			c.bug = msg.bug
+		}
+		if c.det != nil && c.cfg.RaceAsBug && c.bug == nil {
+			if races := c.det.Races(); len(races) > 0 {
+				c.bug = &Bug{Kind: BugDataRace, Machine: c.current, Message: races[0].String()}
+			}
+		}
+	}
+	c.teardown()
+}
+
+// teardown unparks every live machine goroutine so it can observe the abort
+// flag and exit, then waits for all of them.
+func (c *controller) teardown() {
+	c.setAborting()
+	c.rt.mu.Lock()
+	machines := append([]*machineInstance(nil), c.rt.machines...)
+	c.rt.mu.Unlock()
+	for i, m := range machines {
+		if c.statuses[i] == msHalted {
+			continue // goroutine already exited
+		}
+		m.resume <- struct{}{}
+	}
+	c.wg.Wait()
+}
+
+func contains(ids []MachineID, id MachineID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// RunTest executes one bug-finding iteration: it builds a serialized
+// runtime, runs setup (which registers machine types and creates the test
+// harness machines), then schedules machines one at a time under
+// cfg.Strategy until the program quiesces, a bug is found, or the depth
+// bound is reached. This is the paper's embedded-scheduler testing mode
+// (Section 6.2): fully automatic, no false positives, and the returned
+// trace replays the iteration deterministically.
+func RunTest(setup func(*Runtime), cfg TestConfig) IterationResult {
+	if cfg.Strategy == nil {
+		panic("psharp: RunTest requires a Strategy")
+	}
+	rt := &Runtime{factories: make(map[string]func() Machine), rngState: 1, logw: cfg.Log}
+	rt.qcond = sync.NewCond(&rt.mu)
+	c := &controller{
+		rt:    rt,
+		cfg:   cfg,
+		yield: make(chan yieldMsg),
+		trace: &Trace{},
+	}
+	if cfg.RaceDetect {
+		c.det = vclock.NewDetector()
+	}
+	rt.test = c
+
+	setup(rt)
+	c.loop()
+
+	res := IterationResult{
+		Bug:              c.bug,
+		BoundReached:     c.bound,
+		SchedulingPoints: c.steps,
+		Machines:         rt.NumMachines(),
+		Trace:            c.trace,
+	}
+	if c.det != nil {
+		for _, r := range c.det.Races() {
+			res.Races = append(res.Races, r.String())
+		}
+	}
+	return res
+}

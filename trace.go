@@ -1,0 +1,124 @@
+package psharp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// DecisionKind labels entries of a schedule trace.
+type DecisionKind int
+
+// Decision kinds.
+const (
+	// DecisionSchedule records which machine the scheduler picked.
+	DecisionSchedule DecisionKind = iota
+	// DecisionBool records a controlled boolean choice.
+	DecisionBool
+	// DecisionInt records a controlled integer choice.
+	DecisionInt
+)
+
+// Decision is one scheduling or nondeterminism decision.
+type Decision struct {
+	Kind    DecisionKind
+	Machine MachineID // DecisionSchedule
+	Bool    bool      // DecisionBool
+	Int     int       // DecisionInt
+}
+
+// Trace records every decision of one test iteration. Because machine IDs
+// are assigned deterministically in creation order, replaying a trace with
+// sct.NewReplay reproduces the iteration exactly — this is the paper's
+// deterministic bug replay (Section 6.2).
+type Trace struct {
+	Decisions []Decision
+}
+
+func (t *Trace) addSchedule(id MachineID) {
+	t.Decisions = append(t.Decisions, Decision{Kind: DecisionSchedule, Machine: id})
+}
+
+func (t *Trace) addBool(v bool) {
+	t.Decisions = append(t.Decisions, Decision{Kind: DecisionBool, Bool: v})
+}
+
+func (t *Trace) addInt(v int) {
+	t.Decisions = append(t.Decisions, Decision{Kind: DecisionInt, Int: v})
+}
+
+// Len returns the number of recorded decisions.
+func (t *Trace) Len() int { return len(t.Decisions) }
+
+// Encode writes the trace in a line-oriented text format:
+//
+//	s <machine-type> <machine-seq>
+//	b 0|1
+//	i <value>
+func (t *Trace) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, d := range t.Decisions {
+		var err error
+		switch d.Kind {
+		case DecisionSchedule:
+			_, err = fmt.Fprintf(bw, "s %s %d\n", d.Machine.Type, d.Machine.Seq)
+		case DecisionBool:
+			v := 0
+			if d.Bool {
+				v = 1
+			}
+			_, err = fmt.Fprintf(bw, "b %d\n", v)
+		case DecisionInt:
+			_, err = fmt.Fprintf(bw, "i %d\n", d.Int)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeTrace parses the format produced by Encode.
+func DecodeTrace(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "s":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("trace line %d: want 's <type> <seq>', got %q", line, text)
+			}
+			seq, err := strconv.ParseUint(fields[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace line %d: bad seq: %v", line, err)
+			}
+			t.addSchedule(MachineID{Type: fields[1], Seq: seq})
+		case "b":
+			if len(fields) != 2 || (fields[1] != "0" && fields[1] != "1") {
+				return nil, fmt.Errorf("trace line %d: want 'b 0|1', got %q", line, text)
+			}
+			t.addBool(fields[1] == "1")
+		case "i":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("trace line %d: want 'i <value>', got %q", line, text)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("trace line %d: bad value: %v", line, err)
+			}
+			t.addInt(v)
+		default:
+			return nil, fmt.Errorf("trace line %d: unknown record %q", line, fields[0])
+		}
+	}
+	return t, sc.Err()
+}
