@@ -9,6 +9,7 @@ package psharp_test
 // relative shapes (see EXPERIMENTS.md).
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/psharp-go/psharp/analysis"
@@ -83,6 +84,41 @@ func BenchmarkTable2(b *testing.B) {
 			name := name
 			b.Run(name+"/"+mode.String(), func(b *testing.B) {
 				benchSCT(b, name, mode, 50)
+			})
+		}
+	}
+}
+
+// BenchmarkParallelExploration compares sequential Run against RunParallel
+// on protocol-corpus benchmarks: same seed, same budget, same schedule
+// population (sharded seed streams), different worker counts. The claim
+// under test is that schedules/s scales with workers.
+func BenchmarkParallelExploration(b *testing.B) {
+	for _, name := range []string{"Raft", "TwoPhaseCommit"} {
+		bench := protocols.MustByName(name, true)
+		for _, workers := range []int{1, 2, 4, 8} {
+			workers := workers
+			bench := bench
+			b.Run(fmt.Sprintf("%s/workers=%d", name, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				totalSchedules := 0
+				for i := 0; i < b.N; i++ {
+					opts := sct.Options{
+						Strategy:   sct.NewRandom(uint64(i) + 1),
+						Iterations: 64,
+						MaxSteps:   bench.MaxSteps,
+					}
+					var rep sct.Report
+					if workers == 1 {
+						rep = sct.Run(bench.Setup, opts)
+					} else {
+						rep = sct.RunParallel(bench.Setup, sct.ParallelOptions{
+							Options: opts, Workers: workers,
+						}).Report
+					}
+					totalSchedules += rep.Iterations
+				}
+				b.ReportMetric(float64(totalSchedules)/b.Elapsed().Seconds(), "schedules/s")
 			})
 		}
 	}

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"github.com/psharp-go/psharp/internal/tables"
@@ -21,7 +22,13 @@ func main() {
 	iterations := flag.Int("iterations", 10000, "schedule budget per Table 2 cell (paper: 10,000)")
 	timeout := flag.Duration("timeout", 5*time.Minute, "time budget per Table 2 cell (paper: 5m)")
 	seed := flag.Uint64("seed", 20150628, "random scheduler seed")
+	parallel := flag.Int("parallel", 1, "exploration workers per Table 2 cell (0 = GOMAXPROCS)")
 	flag.Parse()
+	if *parallel <= 0 {
+		// tables treats Workers 0/1 as the paper's sequential setup, so
+		// resolve the "all cores" spelling here.
+		*parallel = runtime.GOMAXPROCS(0)
+	}
 
 	if *table == "1" || *table == "all" {
 		fmt.Println("== Table 1: static data race analysis ==")
@@ -37,7 +44,7 @@ func main() {
 		fmt.Printf("== Table 2: scheduler comparison (budget: %d schedules / %v per cell) ==\n",
 			*iterations, *timeout)
 		rows, err := tables.RunTable2(tables.Table2Options{
-			Iterations: *iterations, Timeout: *timeout, Seed: *seed,
+			Iterations: *iterations, Timeout: *timeout, Seed: *seed, Workers: *parallel,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "psharp-bench:", err)

@@ -4,6 +4,8 @@
 // Usage:
 //
 //	psharp-test -bench Raft -buggy -strategy random -iterations 10000
+//	psharp-test -bench Raft -buggy -parallel 8
+//	psharp-test -bench Raft -buggy -parallel 8 -portfolio default
 //	psharp-test -list
 package main
 
@@ -23,10 +25,13 @@ func main() {
 	buggy := flag.Bool("buggy", false, "use the buggy variant")
 	strategy := flag.String("strategy", "random", "random | dfs | pct | delay")
 	iterations := flag.Int("iterations", 10000, "schedule budget")
-	timeout := flag.Duration("timeout", 5*time.Minute, "time budget")
+	timeout := flag.Duration("timeout", 5*time.Minute, "time budget (hard deadline)")
 	seed := flag.Uint64("seed", 1, "seed for randomized strategies")
 	keepGoing := flag.Bool("keep-going", false, "keep exploring after the first bug (reports %buggy)")
 	trace := flag.String("trace", "", "write the first buggy schedule trace to this file")
+	parallel := flag.Int("parallel", 1, "number of exploration workers (0 = GOMAXPROCS)")
+	portfolio := flag.String("portfolio", "", "comma-separated worker portfolio, e.g. 'random,pct,delay,dfs' or 'default' (implies -parallel)")
+	verbose := flag.Bool("v", false, "print per-worker sub-reports for parallel runs")
 	flag.Parse()
 
 	if *list {
@@ -60,8 +65,47 @@ func main() {
 		fmt.Fprintf(os.Stderr, "psharp-test: unknown strategy %q\n", *strategy)
 		os.Exit(2)
 	}
-	rep := sct.Run(b.Setup, opts)
-	fmt.Printf("%s under %s: %s\n", b.ID(), *strategy, rep.String())
+
+	parallelSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "parallel" {
+			parallelSet = true
+		}
+	})
+
+	var rep sct.Report
+	label := *strategy
+	if *portfolio != "" || *parallel != 1 {
+		popts := sct.ParallelOptions{Options: opts, Workers: *parallel}
+		if *portfolio != "" {
+			pf, err := sct.ParsePortfolio(*portfolio, *seed, b.MaxSteps)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "psharp-test:", err)
+				os.Exit(2)
+			}
+			popts.Portfolio = pf
+			label = "portfolio[" + *portfolio + "]"
+			// -portfolio implies one worker per member unless -parallel was
+			// given explicitly; fewer workers than members drops members.
+			if !parallelSet {
+				popts.Workers = pf.Size()
+			} else if *parallel > 0 && *parallel < pf.Size() {
+				fmt.Fprintf(os.Stderr, "psharp-test: warning: -parallel %d runs only the first %d of %d portfolio members\n",
+					*parallel, *parallel, pf.Size())
+			}
+		}
+		prep := sct.RunParallel(b.Setup, popts)
+		if *verbose {
+			for _, w := range prep.Workers {
+				fmt.Printf("  worker %d (%s): %s\n", w.Worker, w.Strategy, w.Report.String())
+			}
+		}
+		rep = prep.Report
+		label = fmt.Sprintf("%s x%d workers", label, len(prep.Workers))
+	} else {
+		rep = sct.Run(b.Setup, opts)
+	}
+	fmt.Printf("%s under %s: %s\n", b.ID(), label, rep.String())
 	if rep.BugFound() && *trace != "" {
 		f, err := os.Create(*trace)
 		if err != nil {

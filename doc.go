@@ -18,7 +18,11 @@
 //     create-machine operations only (the paper's partial-order reduction),
 //     records a schedule trace, and supports deterministic replay. The sct
 //     package provides DFS, random, PCT, delay-bounding and replay
-//     strategies plus an iteration engine.
+//     strategies plus an iteration engine; sct.RunParallel fans exploration
+//     out over a worker pool running a sharded strategy or a heterogeneous
+//     portfolio, with deterministically sharded seeds, merged reports and
+//     distinct-schedule accounting (see the sct package docs and
+//     examples/parallel).
 //
 // Machines are declared by implementing the Machine interface: Configure
 // receives a Schema builder on which states, transitions and bindings are

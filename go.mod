@@ -1,0 +1,3 @@
+module github.com/psharp-go/psharp
+
+go 1.24.0

@@ -149,6 +149,12 @@ type Table2Options struct {
 	Iterations int
 	Timeout    time.Duration
 	Seed       uint64
+	// Workers fans every cell's exploration out over this many parallel
+	// workers via sct.RunParallel; 0 or 1 keeps the paper's sequential
+	// setup (callers wanting "all cores" pass GOMAXPROCS explicitly).
+	// Sharded seed streams keep the explored schedule population identical
+	// to the sequential run's.
+	Workers int
 }
 
 // DefaultTable2Options returns the paper's budgets.
@@ -209,7 +215,12 @@ func runCell(b protocols.Benchmark, mode SchedulerMode, opts Table2Options) Tabl
 		// a bug to measure the fraction of buggy schedules.
 		so.StopOnFirstBug = false
 	}
-	rep := sct.Run(b.Setup, so)
+	var rep sct.Report
+	if opts.Workers > 1 {
+		rep = sct.RunParallel(b.Setup, sct.ParallelOptions{Options: so, Workers: opts.Workers}).Report
+	} else {
+		rep = sct.Run(b.Setup, so)
+	}
 	return Table2Cell{
 		Mode:         mode,
 		Schedules:    rep.Iterations,

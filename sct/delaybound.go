@@ -12,6 +12,8 @@ type DelayBounding struct {
 	seed   uint64
 	budget int
 	steps  int
+	offset int
+	stride int
 
 	rng       *splitMix64
 	delayAt   map[int]bool
@@ -28,12 +30,21 @@ func NewDelayBounding(seed uint64, budget, expectedSteps int) *DelayBounding {
 	if expectedSteps < 1 {
 		expectedSteps = 1
 	}
-	return &DelayBounding{seed: seed, budget: budget, steps: expectedSteps}
+	return &DelayBounding{seed: seed, budget: budget, steps: expectedSteps, stride: 1}
+}
+
+// CloneForWorker shards the per-iteration delay-placement seed stream: the
+// clone's local iteration i is global iteration worker + i*workers of the
+// same base seed, so a sharded parallel run explores exactly the sequential
+// run's schedule population.
+func (s *DelayBounding) CloneForWorker(worker, workers int) Strategy {
+	return &DelayBounding{seed: s.seed, budget: s.budget, steps: s.steps, offset: worker, stride: workers}
 }
 
 // PrepareIteration re-randomizes the delay positions.
 func (s *DelayBounding) PrepareIteration(iter int) bool {
-	s.rng = newRNG(s.seed + uint64(iter)*0x9e3779b97f4a7c15)
+	g := uint64(s.offset) + uint64(iter)*uint64(s.stride)
+	s.rng = newRNG(s.seed + g*0x9e3779b97f4a7c15)
 	s.delayAt = make(map[int]bool)
 	for i := 0; i < s.budget; i++ {
 		s.delayAt[s.rng.intn(s.steps)] = true

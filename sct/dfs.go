@@ -13,10 +13,22 @@ import (
 // choices). DFS explores a different schedule on every iteration and, given
 // enough iterations and an acyclic state space, explores all of them; when
 // the tree is exhausted PrepareIteration returns false.
+//
+// A worker clone (CloneForWorker) shards the tree by its first decision:
+// worker k of n owns the root branches congruent to k modulo n, so the
+// clones partition the schedule tree and their union covers it exactly.
+// Every clone's first iteration is a probe down the leftmost path (the root
+// branching factor is unknown before the first execution); after the probe,
+// clones other than worker 0 jump their root into their own residue class,
+// so at most n-1 duplicate schedules are explored per parallel run.
 type DFS struct {
 	stack     []dfsNode
 	pos       int
 	exhausted bool
+
+	shard  int
+	shards int
+	jumped bool // the post-probe root jump has happened
 }
 
 type dfsNode struct {
@@ -27,7 +39,13 @@ type dfsNode struct {
 }
 
 // NewDFS returns a fresh depth-first strategy.
-func NewDFS() *DFS { return &DFS{} }
+func NewDFS() *DFS { return &DFS{shards: 1} }
+
+// CloneForWorker returns a DFS owning the root branches congruent to worker
+// modulo workers; the clones jointly cover the whole schedule tree.
+func (s *DFS) CloneForWorker(worker, workers int) Strategy {
+	return &DFS{shard: worker, shards: workers}
+}
 
 // Exhausted reports whether the entire (depth-bounded) schedule tree has
 // been explored.
@@ -43,11 +61,32 @@ func (s *DFS) PrepareIteration(iter int) bool {
 		s.pos = 0
 		return true
 	}
+	if s.shards > 1 && !s.jumped {
+		s.jumped = true
+		if s.shard != 0 {
+			// Discard the probe's subtree (it belongs to worker 0) and jump
+			// the root decision into this shard's residue class.
+			if len(s.stack) == 0 || s.shard >= s.stack[0].options {
+				s.exhausted = true
+				return false
+			}
+			root := s.stack[0]
+			root.idx = s.shard
+			s.stack = append(s.stack[:0], root)
+			s.pos = 0
+			return true
+		}
+	}
 	// Backtrack: drop exhausted trailing nodes, then advance the deepest
-	// node that still has unexplored branches.
+	// node that still has unexplored branches. The root node advances by
+	// the shard stride so a sharded clone stays in its residue class.
 	for len(s.stack) > 0 {
 		n := &s.stack[len(s.stack)-1]
-		n.idx++
+		if len(s.stack) == 1 {
+			n.idx += s.shards
+		} else {
+			n.idx++
+		}
 		if n.idx < n.options {
 			break
 		}

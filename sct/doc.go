@@ -8,4 +8,37 @@
 //
 // The engine has no false positives: every reported bug comes with a
 // schedule trace that replays it deterministically.
+//
+// # Parallel portfolio exploration
+//
+// Run explores schedules one at a time; RunParallel fans the same core
+// loop out over a pool of workers, each running an independent strategy
+// instance. Two portfolio shapes are supported:
+//
+//   - Homogeneous: ParallelOptions.Strategy implements Cloneable, and
+//     worker w of n receives CloneForWorker(w, n). The built-in strategies
+//     shard deterministically: the randomized ones (Random, PCT,
+//     DelayBounding) map worker w's local iterations onto the global
+//     iteration stream {w, w+n, w+2n, ...} of the same base seed, so the
+//     parallel run explores exactly the same schedule population as the
+//     sequential run with that seed and budget; DFS shards the schedule
+//     tree by its first decision so the clones partition it.
+//   - Heterogeneous: ParallelOptions.Portfolio mixes strategies (e.g.
+//     NewPortfolio or ParsePortfolio("random,pct,delay,dfs", ...)), with
+//     members assigned to workers round-robin and sharded within a member
+//     when several workers run it.
+//
+// The global iteration budget is divided exactly across workers, per-worker
+// statistics are merged into one Report (plus per-worker sub-reports in
+// ParallelReport.Workers), and every explored schedule is fingerprinted —
+// a hash of its decision trace — so Report.DistinctSchedules states how
+// many distinct schedules a run covered rather than just raw iteration
+// throughput. Cancellation is cooperative and prompt: StopOnFirstBug, the
+// hard Timeout deadline and the budget are polled at every scheduling
+// point, so even a runaway iteration cannot keep a worker alive.
+//
+// Determinism carries over: the same seed and worker count reproduce the
+// same merged counts (for runs that are not stopped early, whose timing is
+// inherently racy), and a bug trace found by any worker replays through
+// ReplayTrace exactly like a sequentially-found one.
 package sct

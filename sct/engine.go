@@ -3,6 +3,8 @@ package sct
 import (
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/psharp-go/psharp"
@@ -17,6 +19,18 @@ type Strategy interface {
 	PrepareIteration(iter int) bool
 }
 
+// Cloneable is a Strategy that can shard itself across exploration workers.
+// CloneForWorker returns an independent strategy instance for worker
+// (0-based) out of workers: clones must not share mutable state, and the
+// union of the clones' iteration streams should partition the search space
+// deterministically (randomized strategies shard their seed streams, DFS
+// shards the schedule tree by its first decision). All built-in strategies
+// implement Cloneable; RunParallel requires it for homogeneous portfolios.
+type Cloneable interface {
+	Strategy
+	CloneForWorker(worker, workers int) Strategy
+}
+
 // Options configures an engine run.
 type Options struct {
 	// Strategy drives scheduling. Required.
@@ -25,7 +39,9 @@ type Options struct {
 	// 10,000). Required (must be > 0).
 	Iterations int
 	// Timeout caps total wall-clock time (the paper uses 5 minutes);
-	// zero means no time cap.
+	// zero means no time cap. The deadline is hard: it is polled at every
+	// scheduling point, so even a single runaway iteration cannot overrun
+	// the budget.
 	Timeout time.Duration
 	// MaxSteps bounds scheduling decisions per iteration; 0 = unbounded.
 	MaxSteps int
@@ -43,6 +59,8 @@ type Options struct {
 	// RaceAsBug ends an iteration when a race is detected.
 	RaceAsBug bool
 	// Progress, if non-nil, receives a line every ProgressEvery iterations.
+	// Under RunParallel the writer is serialized behind a mutex and each
+	// line carries the reporting worker's id.
 	Progress      io.Writer
 	ProgressEvery int
 }
@@ -52,11 +70,17 @@ type Options struct {
 type Report struct {
 	// Iterations is the number of schedules actually explored.
 	Iterations int
+	// DistinctSchedules counts unique decision traces among the explored
+	// schedules (by fingerprint); under RunParallel the count is merged
+	// across workers, so duplicated work is visible as Iterations minus
+	// DistinctSchedules.
+	DistinctSchedules int
 	// BuggyIterations counts schedules that exposed a bug.
 	BuggyIterations int
 	// FirstBug is the first failure found (nil if none).
 	FirstBug *psharp.Bug
-	// FirstBugIteration is the 0-based iteration of the first failure.
+	// FirstBugIteration is the 0-based iteration of the first failure. Under
+	// RunParallel it is the global iteration index (see ParallelReport).
 	FirstBugIteration int
 	// FirstBugTrace deterministically replays the first failure.
 	FirstBugTrace *psharp.Trace
@@ -101,44 +125,115 @@ func (r *Report) String() string {
 	if r.FirstBug != nil {
 		bug = fmt.Sprintf("bug at iteration %d: %v", r.FirstBugIteration, r.FirstBug)
 	}
-	return fmt.Sprintf("%d schedules, %d buggy (%.1f%%), maxSP=%d, %.1f sch/sec, %s",
-		r.Iterations, r.BuggyIterations, r.PercentBuggy(), r.MaxSchedulingPoints,
+	return fmt.Sprintf("%d schedules (%d distinct), %d buggy (%.1f%%), maxSP=%d, %.1f sch/sec, %s",
+		r.Iterations, r.DistinctSchedules, r.BuggyIterations, r.PercentBuggy(), r.MaxSchedulingPoints,
 		r.SchedulesPerSecond(), bug)
 }
 
-// Run explores schedules of the program constructed by setup until the
-// iteration budget, the time budget, or the strategy's search space is
-// exhausted — or a bug is found, if StopOnFirstBug is set.
-func Run(setup func(*psharp.Runtime), opts Options) Report {
-	if opts.Strategy == nil {
-		panic("sct: Options.Strategy is required")
+// raceSet deduplicates race reports in O(1) per insert while preserving
+// first-seen order; races are merged from many workers, so this is on the
+// parallel hot path.
+type raceSet struct {
+	seen map[string]struct{}
+	list []string
+}
+
+func (s *raceSet) add(race string) {
+	if s.seen == nil {
+		s.seen = make(map[string]struct{})
 	}
-	if opts.Iterations <= 0 {
-		panic("sct: Options.Iterations must be positive")
+	if _, dup := s.seen[race]; dup {
+		return
 	}
-	var rep Report
-	start := time.Now()
-	deadline := time.Time{}
+	s.seen[race] = struct{}{}
+	s.list = append(s.list, race)
+}
+
+func (s *raceSet) addAll(races []string) {
+	for _, r := range races {
+		s.add(r)
+	}
+}
+
+// shared is the state one engine run's workers cooperate through. The
+// sequential Run is the one-worker special case.
+type shared struct {
+	opts     Options
+	deadline time.Time // zero when Timeout is unset
+
+	// stop is the cooperative cancellation flag: StopOnFirstBug, the hard
+	// deadline, and external aborts set it; workers poll it between
+	// iterations and (via TestConfig.Interrupt) at every scheduling point.
+	stop atomic.Bool
+
+	// iterations counts explored schedules across all workers, for
+	// progress reporting.
+	iterations atomic.Int64
+
+	fingerprints fingerprintSet
+
+	// progressMu serializes Options.Progress across workers.
+	progressMu sync.Mutex
+}
+
+func newShared(opts Options, start time.Time) *shared {
+	sh := &shared{opts: opts}
 	if opts.Timeout > 0 {
-		deadline = start.Add(opts.Timeout)
+		sh.deadline = start.Add(opts.Timeout)
 	}
-	for iter := 0; iter < opts.Iterations; iter++ {
-		if !deadline.IsZero() && !time.Now().Before(deadline) {
+	return sh
+}
+
+// expired reports whether the hard deadline has passed.
+func (sh *shared) expired() bool {
+	return !sh.deadline.IsZero() && !time.Now().Before(sh.deadline)
+}
+
+// worker identifies one exploration worker and its slice of the global
+// iteration space: the worker runs local iterations 0..quota-1, and local
+// iteration i is global iteration offset + i*stride. Sequential Run uses
+// the identity mapping {0, 1, quota=Iterations}.
+type worker struct {
+	id       int
+	strategy Strategy
+	label    string // strategy name for sub-reports; "" in sequential runs
+	offset   int
+	stride   int
+	quota    int
+}
+
+// globalIter maps a local iteration index to its global index.
+func (w *worker) globalIter(local int) int { return w.offset + local*w.stride }
+
+// runWorker is the core exploration loop shared by Run and RunParallel.
+func runWorker(setup func(*psharp.Runtime), sh *shared, w worker) Report {
+	opts := sh.opts
+	var rep Report
+	var races raceSet
+	start := time.Now()
+	interrupt := func() bool { return sh.stop.Load() || sh.expired() }
+	for local := 0; local < w.quota; local++ {
+		if interrupt() {
 			break
 		}
-		if !opts.Strategy.PrepareIteration(iter) {
+		if !w.strategy.PrepareIteration(local) {
 			rep.Exhausted = true
 			break
 		}
 		res := psharp.RunTest(setup, psharp.TestConfig{
-			Strategy:      opts.Strategy,
+			Strategy:      w.strategy,
 			MaxSteps:      opts.MaxSteps,
 			LivelockAsBug: opts.LivelockAsBug,
 			ChessLike:     opts.ChessLike,
 			RaceDetect:    opts.RaceDetect,
 			RaceAsBug:     opts.RaceAsBug,
+			Interrupt:     interrupt,
 		})
+		if res.Interrupted {
+			break // partial schedule: not counted
+		}
 		rep.Iterations++
+		total := sh.iterations.Add(1)
 		rep.TotalSchedulingPoints += int64(res.SchedulingPoints)
 		if res.SchedulingPoints > rep.MaxSchedulingPoints {
 			rep.MaxSchedulingPoints = res.SchedulingPoints
@@ -149,24 +244,56 @@ func Run(setup func(*psharp.Runtime), opts Options) Report {
 		if res.BoundReached {
 			rep.BoundReached++
 		}
-		for _, race := range res.Races {
-			rep.Races = appendUnique(rep.Races, race)
+		if sh.fingerprints.insert(fingerprintTrace(res.Trace)) {
+			rep.DistinctSchedules++
 		}
+		races.addAll(res.Races)
 		if res.Bug != nil {
 			rep.BuggyIterations++
 			if rep.FirstBug == nil {
 				rep.FirstBug = res.Bug
-				rep.FirstBugIteration = iter
+				rep.FirstBugIteration = w.globalIter(local)
 				rep.FirstBugTrace = res.Trace
 			}
 			if opts.StopOnFirstBug {
+				sh.stop.Store(true)
 				break
 			}
 		}
-		if opts.Progress != nil && opts.ProgressEvery > 0 && (iter+1)%opts.ProgressEvery == 0 {
-			fmt.Fprintf(opts.Progress, "sct: %d/%d schedules, %d buggy\n", iter+1, opts.Iterations, rep.BuggyIterations)
+		if opts.Progress != nil && opts.ProgressEvery > 0 && (local+1)%opts.ProgressEvery == 0 {
+			sh.progressMu.Lock()
+			if w.stride > 1 || w.id > 0 {
+				fmt.Fprintf(opts.Progress, "sct: [w%d] %d/%d schedules, %d buggy (%d total)\n",
+					w.id, local+1, w.quota, rep.BuggyIterations, total)
+			} else {
+				fmt.Fprintf(opts.Progress, "sct: %d/%d schedules, %d buggy\n",
+					local+1, w.quota, rep.BuggyIterations)
+			}
+			sh.progressMu.Unlock()
 		}
 	}
+	rep.Races = races.list
+	rep.Elapsed = time.Since(start)
+	return rep
+}
+
+// Run explores schedules of the program constructed by setup until the
+// iteration budget, the time budget, or the strategy's search space is
+// exhausted — or a bug is found, if StopOnFirstBug is set. Run is the
+// single-worker case of the engine's core loop; RunParallel fans the same
+// loop out over many workers.
+func Run(setup func(*psharp.Runtime), opts Options) Report {
+	if opts.Strategy == nil {
+		panic("sct: Options.Strategy is required")
+	}
+	if opts.Iterations <= 0 {
+		panic("sct: Options.Iterations must be positive")
+	}
+	start := time.Now()
+	sh := newShared(opts, start)
+	rep := runWorker(setup, sh, worker{
+		id: 0, strategy: opts.Strategy, offset: 0, stride: 1, quota: opts.Iterations,
+	})
 	rep.Elapsed = time.Since(start)
 	return rep
 }
@@ -181,13 +308,4 @@ func ReplayTrace(setup func(*psharp.Runtime), trace *psharp.Trace, cfg psharp.Te
 	rep.PrepareIteration(0)
 	cfg.Strategy = rep
 	return psharp.RunTest(setup, cfg)
-}
-
-func appendUnique(list []string, s string) []string {
-	for _, x := range list {
-		if x == s {
-			return list
-		}
-	}
-	return append(list, s)
 }

@@ -1,0 +1,100 @@
+package sct
+
+import (
+	"sync"
+
+	"github.com/psharp-go/psharp"
+)
+
+// Schedule fingerprinting: a 64-bit FNV-1a hash over the decision trace of
+// one iteration. Two iterations that made the same scheduling and
+// nondeterminism decisions have the same fingerprint, so the engine can
+// report how many *distinct* schedules a run explored — which is the honest
+// coverage metric once many workers explore concurrently (sharded seed
+// streams never collide by construction, but portfolio members and the
+// paper's memoryless random scheduler both revisit schedules).
+
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+)
+
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime64 }
+func fnvUint64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(v>>(8*i)))
+	}
+	return h
+}
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = fnvByte(h, s[i])
+	}
+	return h
+}
+
+// fingerprintTrace hashes a decision trace. Machine identity hashes as
+// (type, seq), which is deterministic because the serialized runtime assigns
+// sequence numbers in creation order.
+func fingerprintTrace(t *psharp.Trace) uint64 {
+	h := uint64(fnvOffset64)
+	for _, d := range t.Decisions {
+		h = fnvByte(h, byte(d.Kind))
+		switch d.Kind {
+		case psharp.DecisionSchedule:
+			h = fnvString(h, d.Machine.Type)
+			h = fnvUint64(h, d.Machine.Seq)
+		case psharp.DecisionBool:
+			if d.Bool {
+				h = fnvByte(h, 1)
+			} else {
+				h = fnvByte(h, 0)
+			}
+		case psharp.DecisionInt:
+			h = fnvUint64(h, uint64(d.Int))
+		}
+	}
+	return h
+}
+
+// fingerprintShards keeps lock contention negligible relative to the cost
+// of executing a schedule; it must be a power of two.
+const fingerprintShards = 64
+
+// fingerprintSet is a sharded concurrent set of schedule fingerprints. The
+// zero value is ready to use. Insertion takes one short shard-local
+// critical section; workers touching different shards do not contend.
+type fingerprintSet struct {
+	shards [fingerprintShards]struct {
+		mu   sync.Mutex
+		seen map[uint64]struct{}
+	}
+}
+
+// insert adds fp and reports whether it was new.
+func (s *fingerprintSet) insert(fp uint64) bool {
+	shard := &s.shards[fp&(fingerprintShards-1)]
+	shard.mu.Lock()
+	if shard.seen == nil {
+		shard.seen = make(map[uint64]struct{})
+	}
+	_, dup := shard.seen[fp]
+	if !dup {
+		shard.seen[fp] = struct{}{}
+	}
+	shard.mu.Unlock()
+	return !dup
+}
+
+// size returns the number of distinct fingerprints inserted.
+func (s *fingerprintSet) size() int {
+	n := 0
+	for i := range s.shards {
+		shard := &s.shards[i]
+		shard.mu.Lock()
+		n += len(shard.seen)
+		shard.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,122 @@
+package sct
+
+import (
+	"testing"
+
+	"github.com/psharp-go/psharp"
+)
+
+func TestRaceSetDedupsPreservingOrder(t *testing.T) {
+	var s raceSet
+	s.addAll([]string{"b", "a", "b", "c", "a", "b"})
+	got := s.list
+	want := []string{"b", "a", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("list = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("list = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestShardQuotaPartitionsBudget(t *testing.T) {
+	for _, tc := range []struct{ budget, workers int }{
+		{10, 3}, {10, 10}, {7, 2}, {1, 1}, {100, 7},
+	} {
+		sum := 0
+		for w := 0; w < tc.workers; w++ {
+			q := shardQuota(tc.budget, w, tc.workers)
+			sum += q
+			// Worker w's shard is {w, w+n, ...}: quota is exact, not approximate.
+			count := 0
+			for g := w; g < tc.budget; g += tc.workers {
+				count++
+			}
+			if q != count {
+				t.Errorf("shardQuota(%d, %d, %d) = %d, want %d", tc.budget, w, tc.workers, q, count)
+			}
+		}
+		if sum != tc.budget {
+			t.Errorf("quotas for budget %d over %d workers sum to %d", tc.budget, tc.workers, sum)
+		}
+	}
+}
+
+func TestFingerprintDistinguishesTraces(t *testing.T) {
+	mk := func(build func(tr *psharp.Trace)) uint64 {
+		tr := &psharp.Trace{}
+		build(tr)
+		return fingerprintTrace(tr)
+	}
+	id1 := psharp.MachineID{Type: "A", Seq: 1}
+	id2 := psharp.MachineID{Type: "A", Seq: 2}
+	base := mk(func(tr *psharp.Trace) {
+		tr.Decisions = []psharp.Decision{
+			{Kind: psharp.DecisionSchedule, Machine: id1},
+			{Kind: psharp.DecisionBool, Bool: true},
+			{Kind: psharp.DecisionInt, Int: 3},
+		}
+	})
+	same := mk(func(tr *psharp.Trace) {
+		tr.Decisions = []psharp.Decision{
+			{Kind: psharp.DecisionSchedule, Machine: id1},
+			{Kind: psharp.DecisionBool, Bool: true},
+			{Kind: psharp.DecisionInt, Int: 3},
+		}
+	})
+	if base != same {
+		t.Error("identical traces hash differently")
+	}
+	for name, other := range map[string]uint64{
+		"different machine": mk(func(tr *psharp.Trace) {
+			tr.Decisions = []psharp.Decision{
+				{Kind: psharp.DecisionSchedule, Machine: id2},
+				{Kind: psharp.DecisionBool, Bool: true},
+				{Kind: psharp.DecisionInt, Int: 3},
+			}
+		}),
+		"different bool": mk(func(tr *psharp.Trace) {
+			tr.Decisions = []psharp.Decision{
+				{Kind: psharp.DecisionSchedule, Machine: id1},
+				{Kind: psharp.DecisionBool, Bool: false},
+				{Kind: psharp.DecisionInt, Int: 3},
+			}
+		}),
+		"truncated": mk(func(tr *psharp.Trace) {
+			tr.Decisions = []psharp.Decision{
+				{Kind: psharp.DecisionSchedule, Machine: id1},
+				{Kind: psharp.DecisionBool, Bool: true},
+			}
+		}),
+	} {
+		if other == base {
+			t.Errorf("%s trace collides with base", name)
+		}
+	}
+}
+
+func TestFingerprintSetConcurrentInserts(t *testing.T) {
+	var s fingerprintSet
+	done := make(chan int)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			fresh := 0
+			for i := 0; i < 1000; i++ {
+				// Every goroutine inserts the same 1000 values.
+				if s.insert(uint64(i) * 0x9e3779b97f4a7c15) {
+					fresh++
+				}
+			}
+			done <- fresh
+		}(g)
+	}
+	total := 0
+	for g := 0; g < 8; g++ {
+		total += <-done
+	}
+	if total != 1000 || s.size() != 1000 {
+		t.Fatalf("fresh inserts = %d, size = %d, want 1000", total, s.size())
+	}
+}

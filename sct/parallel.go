@@ -1,0 +1,190 @@
+package sct
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/psharp-go/psharp"
+)
+
+// ParallelOptions configures RunParallel.
+type ParallelOptions struct {
+	// Options carries the common exploration knobs. When Portfolio is nil,
+	// Options.Strategy must implement Cloneable: every worker receives
+	// CloneForWorker(w, Workers), so seeds and bound parameters shard
+	// deterministically. Iterations is the *global* budget, divided across
+	// workers (worker w explores the global iterations congruent to w modulo
+	// Workers).
+	Options
+	// Workers is the number of concurrent exploration workers; 0 selects
+	// GOMAXPROCS. RunParallel(workers=1) is equivalent to Run.
+	Workers int
+	// Portfolio, if non-nil, assigns heterogeneous strategies to workers
+	// round-robin and overrides Options.Strategy.
+	Portfolio *Portfolio
+}
+
+// WorkerReport is one worker's sub-report of a parallel run.
+type WorkerReport struct {
+	// Worker is the 0-based worker id.
+	Worker int
+	// Strategy names the strategy instance the worker ran.
+	Strategy string
+	// Report holds the worker's own statistics. Its FirstBugIteration is a
+	// global iteration index (see ParallelReport.Report).
+	Report Report
+}
+
+// ParallelReport is the merged outcome of a parallel run.
+//
+// Global iteration indexing: worker w out of n explores global iterations
+// {w, w+n, w+2n, ...}, so a homogeneous sharded run explores exactly the
+// same schedule population as a sequential run with the same seed and
+// budget, just partitioned across workers. FirstBugIteration in the merged
+// Report is the smallest global index at which any worker found a bug;
+// for full (non-early-stopped) runs it is therefore deterministic and equal
+// to the sequential run's.
+type ParallelReport struct {
+	// Report is the merged, cross-worker aggregate.
+	Report
+	// Workers holds per-worker sub-reports, indexed by worker id.
+	Workers []WorkerReport
+}
+
+// RunParallel fans schedule exploration out over opts.Workers concurrent
+// workers, each running an independent strategy instance over its shard of
+// the global iteration budget, and merges the per-worker statistics into
+// one Report. Cancellation is cooperative and prompt: StopOnFirstBug and
+// the hard Timeout deadline are polled by every worker at every scheduling
+// point, so a single long iteration cannot keep the run alive.
+func RunParallel(setup func(*psharp.Runtime), opts ParallelOptions) ParallelReport {
+	if opts.Iterations <= 0 {
+		panic("sct: Options.Iterations must be positive")
+	}
+	n := opts.Workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > opts.Iterations {
+		n = opts.Iterations // never start a worker with an empty quota
+	}
+	workers := make([]worker, n)
+	for w := 0; w < n; w++ {
+		strategy, label, err := workerStrategy(opts, w, n)
+		if err != nil {
+			panic("sct: " + err.Error())
+		}
+		workers[w] = worker{
+			id:       w,
+			strategy: strategy,
+			label:    label,
+			offset:   w,
+			stride:   n,
+			quota:    shardQuota(opts.Iterations, w, n),
+		}
+	}
+
+	start := time.Now()
+	sh := newShared(opts.Options, start)
+	out := ParallelReport{Workers: make([]WorkerReport, n)}
+	var wg sync.WaitGroup
+	for w := range workers {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out.Workers[w] = WorkerReport{
+				Worker:   w,
+				Strategy: workers[w].label,
+				Report:   runWorker(setup, sh, workers[w]),
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	out.Report = mergeReports(out.Workers)
+	out.Report.DistinctSchedules = sh.fingerprints.size()
+	out.Report.Elapsed = time.Since(start)
+	return out
+}
+
+// workerStrategy resolves worker w's strategy instance and display label.
+func workerStrategy(opts ParallelOptions, w, n int) (Strategy, string, error) {
+	if opts.Portfolio != nil {
+		return opts.Portfolio.assign(w, n)
+	}
+	if opts.Strategy == nil {
+		return nil, "", fmt.Errorf("ParallelOptions requires a Strategy or a Portfolio")
+	}
+	if n == 1 {
+		return opts.Strategy, strategyName(opts.Strategy), nil
+	}
+	c, ok := opts.Strategy.(Cloneable)
+	if !ok {
+		return nil, "", fmt.Errorf("strategy %T does not implement Cloneable; use a Portfolio or Workers=1", opts.Strategy)
+	}
+	return c.CloneForWorker(w, n), strategyName(opts.Strategy), nil
+}
+
+// shardQuota is the number of global iterations in [0, budget) congruent to
+// w modulo n.
+func shardQuota(budget, w, n int) int {
+	q := budget / n
+	if w < budget%n {
+		q++
+	}
+	return q
+}
+
+// mergeReports folds per-worker reports into the global aggregate. Merging
+// in worker order keeps the result deterministic for full runs: sums and
+// maxima are order-insensitive, the first bug is the one with the smallest
+// global iteration index, and race reports keep worker-0-first ordering.
+func mergeReports(workers []WorkerReport) Report {
+	var merged Report
+	var races raceSet
+	exhausted := len(workers) > 0
+	for i := range workers {
+		rep := &workers[i].Report
+		merged.Iterations += rep.Iterations
+		merged.BuggyIterations += rep.BuggyIterations
+		merged.TotalSchedulingPoints += rep.TotalSchedulingPoints
+		merged.BoundReached += rep.BoundReached
+		if rep.MaxSchedulingPoints > merged.MaxSchedulingPoints {
+			merged.MaxSchedulingPoints = rep.MaxSchedulingPoints
+		}
+		if rep.MaxMachines > merged.MaxMachines {
+			merged.MaxMachines = rep.MaxMachines
+		}
+		races.addAll(rep.Races)
+		if rep.FirstBug != nil &&
+			(merged.FirstBug == nil || rep.FirstBugIteration < merged.FirstBugIteration) {
+			merged.FirstBug = rep.FirstBug
+			merged.FirstBugIteration = rep.FirstBugIteration
+			merged.FirstBugTrace = rep.FirstBugTrace
+		}
+		exhausted = exhausted && rep.Exhausted
+	}
+	merged.Exhausted = exhausted
+	merged.Races = races.list
+	return merged
+}
+
+// strategyName labels a strategy for sub-reports and progress lines.
+func strategyName(s Strategy) string {
+	switch s.(type) {
+	case *Random:
+		return "random"
+	case *PCT:
+		return "pct"
+	case *DelayBounding:
+		return "delay"
+	case *DFS:
+		return "dfs"
+	case *Replay:
+		return "replay"
+	default:
+		return fmt.Sprintf("%T", s)
+	}
+}

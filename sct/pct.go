@@ -10,9 +10,11 @@ import "github.com/psharp-go/psharp"
 // currently highest-priority enabled machine is demoted below every other.
 // PCT gives probabilistic detection guarantees for bugs of depth <= d.
 type PCT struct {
-	seed  uint64
-	depth int
-	steps int // expected schedule length for change-point placement
+	seed   uint64
+	depth  int
+	steps  int // expected schedule length for change-point placement
+	offset int
+	stride int
 
 	rng          *splitMix64
 	priorities   map[psharp.MachineID]uint64
@@ -30,12 +32,21 @@ func NewPCT(seed uint64, d, expectedSteps int) *PCT {
 	if expectedSteps < 1 {
 		expectedSteps = 1
 	}
-	return &PCT{seed: seed, depth: d, steps: expectedSteps}
+	return &PCT{seed: seed, depth: d, steps: expectedSteps, stride: 1}
+}
+
+// CloneForWorker shards the per-iteration priority/change-point seed
+// stream: the clone's local iteration i is global iteration
+// worker + i*workers of the same base seed, so a sharded parallel run
+// explores exactly the sequential run's schedule population.
+func (s *PCT) CloneForWorker(worker, workers int) Strategy {
+	return &PCT{seed: s.seed, depth: s.depth, steps: s.steps, offset: worker, stride: workers}
 }
 
 // PrepareIteration re-randomizes priorities and change points.
 func (s *PCT) PrepareIteration(iter int) bool {
-	s.rng = newRNG(s.seed + uint64(iter)*0x9e3779b97f4a7c15)
+	g := uint64(s.offset) + uint64(iter)*uint64(s.stride)
+	s.rng = newRNG(s.seed + g*0x9e3779b97f4a7c15)
 	s.priorities = make(map[psharp.MachineID]uint64)
 	s.low = uint64(s.depth) // priorities below depth are demotion slots
 	s.changePoints = make(map[int]bool)

@@ -1,0 +1,112 @@
+package sct
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PortfolioMember is one named strategy of a heterogeneous portfolio.
+type PortfolioMember struct {
+	// Name labels the member in per-worker sub-reports ("random", "pct", ...).
+	Name string
+	// Strategy is the member's base strategy. It must implement Cloneable
+	// if more workers than portfolio members run (the member is then
+	// sharded across its workers exactly like a homogeneous strategy).
+	Strategy Strategy
+}
+
+// Portfolio assigns heterogeneous strategies to parallel workers: worker w
+// out of n runs member w mod len(members), and the workers sharing a member
+// shard that member's search space via CloneForWorker. Mixing memoryless
+// strategies (random) with guarantee-carrying ones (PCT, delay-bounding)
+// and systematic ones (DFS) hedges against any single strategy being a poor
+// fit for the program under test — the standard portfolio argument.
+type Portfolio struct {
+	members []PortfolioMember
+}
+
+// NewPortfolio builds a portfolio; at least one member is required and
+// every member needs a name and a strategy.
+func NewPortfolio(members ...PortfolioMember) (*Portfolio, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("sct: portfolio needs at least one member")
+	}
+	for i, m := range members {
+		if m.Name == "" || m.Strategy == nil {
+			return nil, fmt.Errorf("sct: portfolio member %d needs a name and a strategy", i)
+		}
+	}
+	return &Portfolio{members: append([]PortfolioMember(nil), members...)}, nil
+}
+
+// Size returns the number of members.
+func (p *Portfolio) Size() int { return len(p.members) }
+
+// assign resolves worker w (out of n) to a concrete strategy instance: the
+// k-th worker running member j receives member j's CloneForWorker(k, m_j),
+// where m_j is how many of the n workers share member j.
+func (p *Portfolio) assign(w, n int) (Strategy, string, error) {
+	j := w % len(p.members)
+	m := p.members[j]
+	sharing := shardQuota(n, j, len(p.members)) // workers running member j
+	if sharing <= 1 {
+		return m.Strategy, m.Name, nil
+	}
+	c, ok := m.Strategy.(Cloneable)
+	if !ok {
+		return nil, "", fmt.Errorf("portfolio member %q (%T) is shared by %d workers but does not implement Cloneable",
+			m.Name, m.Strategy, sharing)
+	}
+	return c.CloneForWorker(w/len(p.members), sharing), m.Name, nil
+}
+
+// DefaultPortfolio is the standard four-way mix the psharp-test CLI exposes
+// as -portfolio default: random, PCT (depth 3), delay-bounding (budget 2)
+// and DFS, matching the strategy roster of the paper's evaluation.
+func DefaultPortfolio(seed uint64, maxSteps int) *Portfolio {
+	p, err := ParsePortfolio("random,pct,delay,dfs", seed, maxSteps)
+	if err != nil {
+		panic("sct: " + err.Error()) // the spec above is statically valid
+	}
+	return p
+}
+
+// ParsePortfolio builds a portfolio from a comma-separated member spec such
+// as "random,pct,delay,dfs" or "random,random,pct". Valid member names are
+// random, pct, delay and dfs; "default" expands to the DefaultPortfolio
+// roster. Randomized members derive distinct seeds from the base seed by
+// member position, and PCT/delay-bounding size their change/delay points to
+// maxSteps (0 falls back to 1000 expected steps).
+func ParsePortfolio(spec string, seed uint64, maxSteps int) (*Portfolio, error) {
+	if strings.TrimSpace(spec) == "default" {
+		spec = "random,pct,delay,dfs"
+	}
+	steps := maxSteps
+	if steps <= 0 {
+		steps = 1000
+	}
+	var members []PortfolioMember
+	for i, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		// Distinct members get decorrelated seed streams even when the
+		// same strategy appears twice.
+		memberSeed := seed + uint64(i)*0xd1342543de82ef95
+		var s Strategy
+		switch name {
+		case "random":
+			s = NewRandom(memberSeed)
+		case "pct":
+			s = NewPCT(memberSeed, 3, steps)
+		case "delay":
+			s = NewDelayBounding(memberSeed, 2, steps)
+		case "dfs":
+			s = NewDFS()
+		case "":
+			return nil, fmt.Errorf("sct: empty portfolio member in %q", spec)
+		default:
+			return nil, fmt.Errorf("sct: unknown portfolio member %q (want random, pct, delay or dfs)", name)
+		}
+		members = append(members, PortfolioMember{Name: name, Strategy: s})
+	}
+	return NewPortfolio(members...)
+}

@@ -17,6 +17,14 @@ type Replay struct {
 // NewReplay returns a strategy that replays trace.
 func NewReplay(trace *psharp.Trace) *Replay { return &Replay{trace: trace} }
 
+// CloneForWorker returns an independent replayer of the same trace. Replay
+// has a one-schedule search space, so parallel replay only re-confirms the
+// same schedule on every worker; it exists so a Replay can stand in
+// anywhere a Cloneable is required.
+func (s *Replay) CloneForWorker(worker, workers int) Strategy {
+	return NewReplay(s.trace)
+}
+
 // PrepareIteration permits exactly one iteration.
 func (s *Replay) PrepareIteration(iter int) bool {
 	s.pos = 0

@@ -29,6 +29,11 @@ type TestConfig struct {
 	RaceDetect bool
 	// RaceAsBug turns the first detected race into an iteration-ending bug.
 	RaceAsBug bool
+	// Interrupt, if non-nil, is polled at every scheduling point; when it
+	// returns true the iteration is abandoned mid-schedule and the result is
+	// marked Interrupted. The sct engine uses this to enforce hard wall-clock
+	// deadlines and to cancel sibling workers in parallel exploration.
+	Interrupt func() bool
 	// Log, if non-nil, receives the execution log of the iteration.
 	Log io.Writer
 }
@@ -37,6 +42,9 @@ type TestConfig struct {
 type IterationResult struct {
 	// Bug is non-nil if the iteration ended in a failure.
 	Bug *Bug
+	// Interrupted reports that cfg.Interrupt abandoned the iteration before
+	// it finished; the other fields describe the partial schedule.
+	Interrupted bool
 	// BoundReached reports that MaxSteps was hit before quiescence.
 	BoundReached bool
 	// SchedulingPoints is the number of scheduling decisions taken (the
@@ -85,13 +93,14 @@ type controller struct {
 	yield chan yieldMsg
 	wg    sync.WaitGroup
 
-	statuses []machineStatus // indexed by MachineID.Seq-1
-	current  MachineID
-	steps    int
-	trace    *Trace
-	bug      *Bug
-	bound    bool
-	det      *vclock.Detector
+	statuses    []machineStatus // indexed by MachineID.Seq-1
+	current     MachineID
+	steps       int
+	trace       *Trace
+	bug         *Bug
+	bound       bool
+	interrupted bool
+	det         *vclock.Detector
 
 	mu       sync.Mutex
 	aborting bool
@@ -186,6 +195,10 @@ func (c *controller) anyQueuedWhileBlocked() *machineInstance {
 // and processes its next yield.
 func (c *controller) loop() {
 	for c.bug == nil {
+		if c.cfg.Interrupt != nil && c.cfg.Interrupt() {
+			c.interrupted = true
+			break
+		}
 		enabled := c.enabled()
 		if len(enabled) == 0 {
 			if m := c.anyQueuedWhileBlocked(); m != nil {
@@ -288,6 +301,7 @@ func RunTest(setup func(*Runtime), cfg TestConfig) IterationResult {
 
 	res := IterationResult{
 		Bug:              c.bug,
+		Interrupted:      c.interrupted,
 		BoundReached:     c.bound,
 		SchedulingPoints: c.steps,
 		Machines:         rt.NumMachines(),
