@@ -1,10 +1,12 @@
-// Command psharp-bench regenerates the paper's evaluation tables.
+// Command psharp-bench regenerates the paper's evaluation tables and tracks
+// exploration-performance trends.
 //
 // Usage:
 //
 //	psharp-bench -table 1
-//	psharp-bench -table 2 [-iterations 10000] [-timeout 5m]
+//	psharp-bench -table 2 [-iterations 10000] [-timeout 5m] [-parallel 8 [-dynamic]]
 //	psharp-bench -table all
+//	psharp-bench -table none -json BENCH_sct.json
 package main
 
 import (
@@ -18,16 +20,25 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: 1, 2 or all")
+	table := flag.String("table", "all", "which table to regenerate: 1, 2, all or none")
 	iterations := flag.Int("iterations", 10000, "schedule budget per Table 2 cell (paper: 10,000)")
 	timeout := flag.Duration("timeout", 5*time.Minute, "time budget per Table 2 cell (paper: 5m)")
 	seed := flag.Uint64("seed", 20150628, "random scheduler seed")
 	parallel := flag.Int("parallel", 1, "exploration workers per Table 2 cell (0 = GOMAXPROCS)")
+	dynamic := flag.Bool("dynamic", false, "work-stealing iteration assignment for parallel cells (trades population reproducibility for utilization)")
+	jsonPath := flag.String("json", "", "write a machine-readable perf report (BENCH_sct.json) to this path: schedules/sec, allocs/iteration, per-worker iteration counts")
 	flag.Parse()
 	if *parallel <= 0 {
 		// tables treats Workers 0/1 as the paper's sequential setup, so
 		// resolve the "all cores" spelling here.
 		*parallel = runtime.GOMAXPROCS(0)
+	}
+
+	switch *table {
+	case "1", "2", "all", "none":
+	default:
+		fmt.Fprintf(os.Stderr, "psharp-bench: unknown -table %q (want 1, 2, all or none)\n", *table)
+		os.Exit(2)
 	}
 
 	if *table == "1" || *table == "all" {
@@ -44,12 +55,32 @@ func main() {
 		fmt.Printf("== Table 2: scheduler comparison (budget: %d schedules / %v per cell) ==\n",
 			*iterations, *timeout)
 		rows, err := tables.RunTable2(tables.Table2Options{
-			Iterations: *iterations, Timeout: *timeout, Seed: *seed, Workers: *parallel,
+			Iterations: *iterations, Timeout: *timeout, Seed: *seed,
+			Workers: *parallel, Dynamic: *dynamic,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "psharp-bench:", err)
 			os.Exit(1)
 		}
 		tables.PrintTable2(os.Stdout, rows)
+	}
+	if *jsonPath != "" {
+		rep, err := tables.RunPerfProbe(tables.PerfProbeOptions{
+			Iterations: min(*iterations, 2000),
+			Workers:    *parallel,
+			Dynamic:    *dynamic,
+			Seed:       *seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "psharp-bench:", err)
+			os.Exit(1)
+		}
+		if err := tables.WritePerfReport(*jsonPath, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "psharp-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("perf report written to %s (%.1f schedules/s, allocs/iteration pooled %.1f vs one-shot %.1f on %s)\n",
+			*jsonPath, rep.SchedulesPerSec,
+			rep.AllocProbes[0].Pooled, rep.AllocProbes[0].OneShot, rep.AllocProbes[0].Workload)
 	}
 }

@@ -5,6 +5,7 @@
 //
 //	psharp-test -bench Raft -buggy -strategy random -iterations 10000
 //	psharp-test -bench Raft -buggy -parallel 8
+//	psharp-test -bench Raft -buggy -parallel 8 -dynamic
 //	psharp-test -bench Raft -buggy -parallel 8 -portfolio default
 //	psharp-test -list
 package main
@@ -30,6 +31,7 @@ func main() {
 	keepGoing := flag.Bool("keep-going", false, "keep exploring after the first bug (reports %buggy)")
 	trace := flag.String("trace", "", "write the first buggy schedule trace to this file")
 	parallel := flag.Int("parallel", 1, "number of exploration workers (0 = GOMAXPROCS)")
+	dynamic := flag.Bool("dynamic", false, "work-stealing iteration assignment across workers (keeps all workers busy under skewed iteration costs; trades run-to-run population reproducibility, bug traces still replay)")
 	portfolio := flag.String("portfolio", "", "comma-separated worker portfolio, e.g. 'random,pct,delay,dfs' or 'default' (implies -parallel)")
 	verbose := flag.Bool("v", false, "print per-worker sub-reports for parallel runs")
 	flag.Parse()
@@ -75,8 +77,12 @@ func main() {
 
 	var rep sct.Report
 	label := *strategy
+	if *dynamic && *portfolio == "" && *parallel == 1 {
+		fmt.Fprintln(os.Stderr, "psharp-test: -dynamic requires -parallel or -portfolio")
+		os.Exit(2)
+	}
 	if *portfolio != "" || *parallel != 1 {
-		popts := sct.ParallelOptions{Options: opts, Workers: *parallel}
+		popts := sct.ParallelOptions{Options: opts, Workers: *parallel, Dynamic: *dynamic}
 		if *portfolio != "" {
 			pf, err := sct.ParsePortfolio(*portfolio, *seed, b.MaxSteps)
 			if err != nil {
@@ -101,7 +107,11 @@ func main() {
 			}
 		}
 		rep = prep.Report
-		label = fmt.Sprintf("%s x%d workers", label, len(prep.Workers))
+		sharding := ""
+		if *dynamic {
+			sharding = ", dynamic"
+		}
+		label = fmt.Sprintf("%s x%d workers%s", label, len(prep.Workers), sharding)
 	} else {
 		rep = sct.Run(b.Setup, opts)
 	}

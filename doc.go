@@ -24,6 +24,28 @@
 //     distinct-schedule accounting (see the sct package docs and
 //     examples/parallel).
 //
+// # Performance model
+//
+// Bug-finding throughput is dominated by how much each iteration rebuilds.
+// RunTest is a one-shot convenience: every call constructs a serialized
+// runtime, machine instances, goroutines and a trace, runs one schedule,
+// and throws it all away. TestHarness is the steady-state entry point: it
+// recycles the Runtime (registry map cleared in place), machine instances
+// with their Contexts, resume channels and event-queue slices, a pool of
+// parked machine goroutines (one handshake, no goroutine churn per
+// machine), the controller's incrementally maintained ready list and the
+// scratch slice handed to Strategy.NextMachine, and the trace buffer
+// (reset with retained capacity — clone a Trace you keep past the next
+// Run). What is NOT recycled, by design, is the per-machine user state:
+// setup runs every iteration and machine factories rebuild their logic and
+// Schema, because action closures capture per-instance state. Steady-state
+// allocations per iteration are therefore proportional to the number of
+// machines created, not to schedule length: the marginal cost of an extra
+// scheduling point is zero allocations (enforced by the allocation
+// regression tests). The sct engine holds one harness per exploration
+// worker; BENCH_sct.json (psharp-bench -json) tracks the resulting
+// schedules/sec and allocs/iteration across changes.
+//
 // Machines are declared by implementing the Machine interface: Configure
 // receives a Schema builder on which states, transitions and bindings are
 // registered. Example:

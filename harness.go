@@ -1,0 +1,127 @@
+package psharp
+
+import (
+	"sync"
+
+	"github.com/psharp-go/psharp/internal/vclock"
+)
+
+// TestHarness runs bug-finding iterations of one program repeatedly while
+// recycling every piece of per-iteration machinery: the serialized Runtime,
+// machine instances and their Contexts, event-queue slices, resume channels,
+// a pool of parked machine goroutines, and the trace buffer. Rebuilding all
+// of that dominated the cost of short schedules, so an exploration engine
+// that calls Run thousands of times (the paper's Table 2 setup) should hold
+// one harness per worker instead of calling RunTest per iteration.
+//
+// A harness is NOT safe for concurrent use: each exploration worker owns its
+// own. Close releases the parked goroutine pool; after Close the harness
+// must not be used again.
+type TestHarness struct {
+	setup  func(*Runtime)
+	rt     *Runtime
+	c      *controller
+	closed bool
+}
+
+// NewTestHarness returns a harness that executes the program constructed by
+// setup. setup runs once per Run call, against a recycled Runtime.
+func NewTestHarness(setup func(*Runtime)) *TestHarness {
+	rt := &Runtime{factories: make(map[string]func() Machine), rngState: 1}
+	rt.qcond = sync.NewCond(&rt.mu)
+	c := &controller{rt: rt, yield: make(chan yieldMsg), trace: &Trace{}}
+	rt.test = c
+	return &TestHarness{setup: setup, rt: rt, c: c}
+}
+
+// Run executes one bug-finding iteration, exactly like RunTest but against
+// the harness's recycled machinery.
+//
+// The returned result's Trace aliases the harness's reusable buffer: it is
+// valid only until the next Run call. Callers that retain it (to replay a
+// bug later) must copy it with Trace.Clone first.
+func (h *TestHarness) Run(cfg TestConfig) IterationResult {
+	if cfg.Strategy == nil {
+		panic("psharp: TestHarness.Run requires a Strategy")
+	}
+	if h.closed {
+		panic("psharp: Run on a closed TestHarness")
+	}
+	h.reset(cfg)
+	h.setup(h.rt)
+	h.c.loop()
+
+	c := h.c
+	res := IterationResult{
+		Bug:              c.bug,
+		Interrupted:      c.interrupted,
+		BoundReached:     c.bound,
+		SchedulingPoints: c.steps,
+		Machines:         len(h.rt.machines),
+		Trace:            c.trace,
+	}
+	if c.det != nil {
+		for _, r := range c.det.Races() {
+			res.Races = append(res.Races, r.String())
+		}
+	}
+	h.park()
+	return res
+}
+
+// reset rewinds the runtime and controller to their pre-setup state while
+// retaining every allocation: the factories map is cleared in place and all
+// slices are truncated with their capacity kept.
+func (h *TestHarness) reset(cfg TestConfig) {
+	rt, c := h.rt, h.c
+	clear(rt.factories)
+	rt.nextSeq, rt.sendSeq = 0, 0
+	rt.busy = 0
+	rt.failure = nil
+	rt.stopped = false
+	rt.rngState = 1
+	rt.logw = cfg.Log
+
+	c.cfg = cfg
+	c.instances = c.instances[:0]
+	c.statuses = c.statuses[:0]
+	c.ready = c.ready[:0]
+	c.current = MachineID{}
+	c.steps = 0
+	c.bug = nil
+	c.bound = false
+	c.interrupted = false
+	c.aborting.Store(false)
+	c.trace.Decisions = c.trace.Decisions[:0]
+	c.det = nil
+	if cfg.RaceDetect {
+		c.det = vclock.NewDetector()
+	}
+}
+
+// park returns every machine instance of the finished iteration to the
+// freelist. Their goroutines stay parked on their job channels; only called
+// after the controller's teardown has joined all of them, so the field
+// resets cannot race with machine code.
+func (h *TestHarness) park() {
+	rt, c := h.rt, h.c
+	for i, m := range rt.machines {
+		m.recycle()
+		c.free = append(c.free, m)
+		rt.machines[i] = nil
+	}
+	rt.machines = rt.machines[:0]
+}
+
+// Close releases the pool of parked machine goroutines. The harness must be
+// idle (no Run in progress); using it after Close panics.
+func (h *TestHarness) Close() {
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for _, m := range h.c.free {
+		close(m.job)
+	}
+	h.c.free = nil
+}

@@ -1,0 +1,230 @@
+package psharp_test
+
+// Tests for the reusable TestHarness: behavioural equivalence with one-shot
+// RunTest across many recycled iterations, and the allocation-regression
+// caps that keep the exploration hot path near zero allocations.
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/psharp-go/psharp"
+	"github.com/psharp-go/psharp/sct"
+)
+
+type evSpin struct {
+	psharp.EventBase
+	Left int
+}
+
+type evBallot struct {
+	psharp.EventBase
+	From psharp.MachineID
+}
+
+// spinSetup builds a single machine that bounces one preallocated event to
+// itself n times and halts. The program itself allocates nothing per step,
+// so it isolates the runtime's own per-scheduling-point allocations.
+func spinSetup(n int) func(*psharp.Runtime) {
+	return func(r *psharp.Runtime) {
+		r.MustRegister("Spinner", func() psharp.Machine {
+			return psharp.MachineFunc(func(sc *psharp.Schema) {
+				sc.Start("Spin").
+					OnEventDo(&evSpin{}, func(ctx *psharp.Context, ev psharp.Event) {
+						e := ev.(*evSpin)
+						if e.Left == 0 {
+							ctx.Halt()
+							return
+						}
+						e.Left--
+						ctx.Send(ctx.ID(), e)
+					})
+			})
+		})
+		id := r.MustCreate("Spinner", nil)
+		if err := r.SendEvent(id, &evSpin{Left: n}); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// ballotSetup builds an interleaving- and choice-sensitive program: voters
+// race their ballots to a collector, which asserts creation-order arrival,
+// and each voter flips a controlled coin that decides whether it halts or
+// re-sends. It exercises sends, creates, blocking, halting, deferred
+// controlled choices, and both buggy and clean schedules.
+func ballotSetup() func(*psharp.Runtime) {
+	return func(r *psharp.Runtime) {
+		r.MustRegister("Collector", func() psharp.Machine {
+			var first psharp.MachineID
+			return psharp.MachineFunc(func(sc *psharp.Schema) {
+				sc.Start("Collect").
+					OnEventDo(&evBallot{}, func(ctx *psharp.Context, ev psharp.Event) {
+						from := ev.(*evBallot).From
+						if first.IsNil() {
+							first = from
+							return
+						}
+						ctx.Assert(first.Seq < from.Seq, "ballots arrived out of creation order")
+					})
+			})
+		})
+		r.MustRegister("Voter", func() psharp.Machine {
+			return psharp.MachineFunc(func(sc *psharp.Schema) {
+				sc.Start("Vote").
+					OnEventDo(&evBallot{}, func(ctx *psharp.Context, ev psharp.Event) {
+						target := ev.(*evBallot).From
+						ctx.Send(target, &evBallot{From: ctx.ID()})
+						if ctx.RandomBool() || ctx.RandomInt(3) == 0 {
+							ctx.Halt()
+						}
+					})
+			})
+		})
+		collector := r.MustCreate("Collector", nil)
+		for i := 0; i < 3; i++ {
+			v := r.MustCreate("Voter", nil)
+			if err := r.SendEvent(v, &evBallot{From: collector}); err != nil {
+				panic(err)
+			}
+		}
+	}
+}
+
+func encodeTrace(t *testing.T, tr *psharp.Trace) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestHarnessMatchesRunTest checks that a recycled harness behaves exactly
+// like a fresh one-shot RunTest on every iteration: same bug, same counts,
+// and byte-identical traces — i.e. recycling leaks no state between runs.
+func TestHarnessMatchesRunTest(t *testing.T) {
+	setup := ballotSetup()
+	h := psharp.NewTestHarness(setup)
+	defer h.Close()
+	sawBug, sawClean := false, false
+	for i := 0; i < 25; i++ {
+		seed := uint64(i) + 1
+		pooled := h.Run(psharp.TestConfig{Strategy: mustPrepared(sct.NewRandom(seed)), MaxSteps: 500})
+		oneshot := psharp.RunTest(setup, psharp.TestConfig{Strategy: mustPrepared(sct.NewRandom(seed)), MaxSteps: 500})
+		if (pooled.Bug == nil) != (oneshot.Bug == nil) {
+			t.Fatalf("seed %d: pooled bug %v, one-shot bug %v", seed, pooled.Bug, oneshot.Bug)
+		}
+		if pooled.Bug != nil {
+			sawBug = true
+			if pooled.Bug.Kind != oneshot.Bug.Kind || pooled.Bug.Message != oneshot.Bug.Message {
+				t.Fatalf("seed %d: pooled bug %v, one-shot bug %v", seed, pooled.Bug, oneshot.Bug)
+			}
+		} else {
+			sawClean = true
+		}
+		if pooled.SchedulingPoints != oneshot.SchedulingPoints || pooled.Machines != oneshot.Machines {
+			t.Fatalf("seed %d: pooled (SP=%d, M=%d), one-shot (SP=%d, M=%d)", seed,
+				pooled.SchedulingPoints, pooled.Machines, oneshot.SchedulingPoints, oneshot.Machines)
+		}
+		if a, b := encodeTrace(t, pooled.Trace), encodeTrace(t, oneshot.Trace); a != b {
+			t.Fatalf("seed %d: traces diverge:\npooled:\n%s\none-shot:\n%s", seed, a, b)
+		}
+	}
+	if !sawBug || !sawClean {
+		t.Fatalf("test program not exercising both outcomes (bug=%v clean=%v); strengthen the setup", sawBug, sawClean)
+	}
+}
+
+// harnessAllocs measures steady-state allocations per iteration through a
+// warmed-up harness, and returns the scheduling points of one iteration.
+func harnessAllocs(t *testing.T, rounds int) (allocs float64, sp int) {
+	t.Helper()
+	h := psharp.NewTestHarness(spinSetup(rounds))
+	defer h.Close()
+	strategy := sct.NewRandom(1)
+	cfg := psharp.TestConfig{Strategy: strategy, MaxSteps: 0}
+	for i := 0; i < 5; i++ { // warm the pools and grow every buffer
+		strategy.PrepareIteration(i)
+		sp = h.Run(cfg).SchedulingPoints
+	}
+	iter := 5
+	allocs = testing.AllocsPerRun(100, func() {
+		strategy.PrepareIteration(iter)
+		iter++
+		h.Run(cfg)
+	})
+	return allocs, sp
+}
+
+// TestHarnessAllocationCaps is the allocation-regression test: it asserts a
+// hard cap on steady-state allocations per iteration through the reusable
+// harness, and a near-zero cap on the marginal allocations per scheduling
+// point (the ready-list scheduler and recycled buffers make extra steps
+// free; only per-machine setup work remains).
+func TestHarnessAllocationCaps(t *testing.T) {
+	allocsShort, spShort := harnessRound(t, 32)
+	allocsLong, spLong := harnessRound(t, 512)
+
+	// Per-iteration budget: one machine's schema/factory rebuild plus the
+	// fixed iteration bookkeeping. The seed's RunTest needed hundreds of
+	// allocations for the same program; regressing past this cap means a
+	// per-iteration allocation crept back into the recycled path.
+	const perIterationCap = 40
+	if allocsShort > perIterationCap {
+		t.Errorf("steady-state allocations per iteration = %.1f, want <= %d", allocsShort, perIterationCap)
+	}
+
+	// Marginal cost of a scheduling point: with the ready list, trace
+	// buffer, and queue slices recycled, extra steps must not allocate.
+	perSP := (allocsLong - allocsShort) / float64(spLong-spShort)
+	if perSP > 0.05 {
+		t.Errorf("marginal allocations per scheduling point = %.4f (%.1f -> %.1f allocs for %d -> %d SPs), want <= 0.05",
+			perSP, allocsShort, allocsLong, spShort, spLong)
+	}
+}
+
+func harnessRound(t *testing.T, rounds int) (float64, int) {
+	allocs, sp := harnessAllocs(t, rounds)
+	if sp < rounds {
+		t.Fatalf("spin program with %d rounds took only %d scheduling points", rounds, sp)
+	}
+	return allocs, sp
+}
+
+// TestHarnessHalvesAllocations pins the headline perf claim: the pooled
+// harness allocates less than half of what per-iteration RunTest allocates
+// for the same workload (it is typically far below half).
+func TestHarnessHalvesAllocations(t *testing.T) {
+	setup := spinSetup(64)
+
+	oneshotStrategy := sct.NewRandom(1)
+	oneshotIter := 0
+	oneshot := testing.AllocsPerRun(50, func() {
+		oneshotStrategy.PrepareIteration(oneshotIter)
+		oneshotIter++
+		psharp.RunTest(setup, psharp.TestConfig{Strategy: oneshotStrategy})
+	})
+
+	pooled, _ := harnessAllocs(t, 64)
+	if pooled > oneshot/2 {
+		t.Errorf("pooled harness allocates %.1f/iteration vs one-shot RunTest %.1f: want <= 50%%", pooled, oneshot)
+	}
+	t.Logf("allocs/iteration: one-shot RunTest %.1f, pooled harness %.1f (%.1f%% saved)",
+		oneshot, pooled, 100*(1-pooled/oneshot))
+}
+
+// TestHarnessCloseIsIdempotentAndGuarded covers the harness lifecycle edges.
+func TestHarnessCloseIsIdempotentAndGuarded(t *testing.T) {
+	h := psharp.NewTestHarness(spinSetup(4))
+	h.Run(psharp.TestConfig{Strategy: mustPrepared(sct.NewRandom(1))})
+	h.Close()
+	h.Close() // second Close is a no-op
+	defer func() {
+		if recover() == nil {
+			t.Error("Run after Close did not panic")
+		}
+	}()
+	h.Run(psharp.TestConfig{Strategy: mustPrepared(sct.NewRandom(1))})
+}
+

@@ -1,0 +1,234 @@
+package tables
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"github.com/psharp-go/psharp"
+	"github.com/psharp-go/psharp/internal/protocols"
+	"github.com/psharp-go/psharp/sct"
+)
+
+// AllocProbe records allocations per iteration for one workload, through
+// the pooled TestHarness vs one-shot RunTest (the pre-harness hot path).
+type AllocProbe struct {
+	// Workload names the probed program: "relay-hotpath" is the synthetic
+	// message-relay ring whose per-step work isolates the runtime's own
+	// overhead (the ≥50%-saving gate runs against it); the other entry is
+	// the protocol benchmark, where per-machine user Configure closures
+	// (rebuilt by design every iteration) dilute the relative saving.
+	Workload string `json:"workload"`
+	// Pooled is the steady-state heap allocations per iteration through a
+	// warmed psharp.TestHarness.
+	Pooled float64 `json:"allocs_per_iteration_pooled"`
+	// OneShot is the same workload through per-iteration psharp.RunTest.
+	OneShot float64 `json:"allocs_per_iteration_oneshot"`
+	// SavedPercent is the pooled-vs-one-shot saving (higher is better).
+	SavedPercent float64 `json:"allocs_saved_percent"`
+}
+
+// PerfReport is the machine-readable exploration-performance record emitted
+// as BENCH_sct.json (psharp-bench -json), so the hot-path trajectory —
+// schedule throughput and allocations per iteration — is tracked across
+// changes instead of living only in transient benchmark output.
+type PerfReport struct {
+	// Benchmark is the protocol the probe ran (buggy variant).
+	Benchmark string `json:"benchmark"`
+	// Strategy names the scheduling strategy used for the throughput run.
+	Strategy string `json:"strategy"`
+	// Iterations is the schedule budget of the throughput run.
+	Iterations int `json:"iterations"`
+	// Workers is the number of exploration workers (1 = sequential Run).
+	Workers int `json:"workers"`
+	// Dynamic reports whether work-stealing sharding was used.
+	Dynamic bool `json:"dynamic"`
+	// SchedulesPerSec is the paper's #Sch/sec throughput metric.
+	SchedulesPerSec float64 `json:"schedules_per_sec"`
+	// TotalSchedulingPoints sums scheduling decisions across the run.
+	TotalSchedulingPoints int64 `json:"total_scheduling_points"`
+	// AllocProbes holds the per-workload allocation measurements.
+	AllocProbes []AllocProbe `json:"alloc_probes"`
+	// WorkerIterations records how many iterations each worker actually
+	// executed (uneven under Dynamic; the static shard sizes otherwise).
+	WorkerIterations []int `json:"worker_iterations"`
+}
+
+// PerfProbeOptions configures RunPerfProbe. Zero values select defaults.
+type PerfProbeOptions struct {
+	Benchmark  string // default "TwoPhaseCommit" (buggy variant)
+	Iterations int    // throughput budget; default 1000
+	Workers    int    // default 1
+	Dynamic    bool
+	Seed       uint64 // default 1
+	// AllocRuns is the sample count per allocation measurement; default 50.
+	AllocRuns int
+}
+
+// RunPerfProbe measures the exploration hot path: allocations per iteration
+// through the pooled harness vs one-shot RunTest, and schedule throughput
+// under the requested worker configuration.
+func RunPerfProbe(o PerfProbeOptions) (PerfReport, error) {
+	if o.Benchmark == "" {
+		o.Benchmark = "TwoPhaseCommit"
+	}
+	if o.Iterations <= 0 {
+		o.Iterations = 1000
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.AllocRuns <= 0 {
+		o.AllocRuns = 50
+	}
+	b, ok := protocols.ByName(o.Benchmark, true)
+	if !ok {
+		return PerfReport{}, fmt.Errorf("tables: no buggy benchmark %q", o.Benchmark)
+	}
+	rep := PerfReport{
+		Benchmark:  o.Benchmark,
+		Strategy:   "random",
+		Iterations: o.Iterations,
+		Workers:    o.Workers,
+		Dynamic:    o.Dynamic,
+	}
+
+	// Allocation probes: same workloads, one-shot vs pooled.
+	rep.AllocProbes = []AllocProbe{
+		probeAllocs("relay-hotpath", relaySetup(2, 256), psharp.TestConfig{}, o),
+		probeAllocs(o.Benchmark, b.Setup, psharp.TestConfig{MaxSteps: b.MaxSteps, LivelockAsBug: b.LivelockAsBug}, o),
+	}
+
+	// Throughput probe.
+	so := sct.Options{
+		Strategy:   sct.NewRandom(o.Seed),
+		Iterations: o.Iterations,
+		MaxSteps:   b.MaxSteps,
+	}
+	if o.Workers > 1 {
+		prep := sct.RunParallel(b.Setup, sct.ParallelOptions{
+			Options: so, Workers: o.Workers, Dynamic: o.Dynamic,
+		})
+		rep.SchedulesPerSec = prep.SchedulesPerSecond()
+		rep.TotalSchedulingPoints = prep.TotalSchedulingPoints
+		for _, w := range prep.Workers {
+			rep.WorkerIterations = append(rep.WorkerIterations, w.Report.Iterations)
+		}
+	} else {
+		r := sct.Run(b.Setup, so)
+		rep.SchedulesPerSec = r.SchedulesPerSecond()
+		rep.TotalSchedulingPoints = r.TotalSchedulingPoints
+		rep.WorkerIterations = []int{r.Iterations}
+	}
+	return rep, nil
+}
+
+// WritePerfReport writes rep as indented JSON to path (the BENCH_sct.json
+// artifact).
+func WritePerfReport(path string, rep PerfReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// probeAllocs measures one workload through both iteration entry points.
+func probeAllocs(name string, setup func(*psharp.Runtime), cfg psharp.TestConfig, o PerfProbeOptions) AllocProbe {
+	p := AllocProbe{Workload: name}
+	oneshotStrategy := sct.NewRandom(o.Seed)
+	iter := 0
+	p.OneShot = allocsPerRun(o.AllocRuns, func() {
+		oneshotStrategy.PrepareIteration(iter)
+		iter++
+		c := cfg
+		c.Strategy = oneshotStrategy
+		psharp.RunTest(setup, c)
+	})
+	h := psharp.NewTestHarness(setup)
+	defer h.Close()
+	pooledStrategy := sct.NewRandom(o.Seed)
+	iter = 0
+	p.Pooled = allocsPerRun(o.AllocRuns, func() {
+		pooledStrategy.PrepareIteration(iter)
+		iter++
+		c := cfg
+		c.Strategy = pooledStrategy
+		h.Run(c)
+	})
+	if p.OneShot > 0 {
+		p.SavedPercent = 100 * (1 - p.Pooled/p.OneShot)
+	}
+	return p
+}
+
+// relaySetup builds the synthetic hot-path workload: a ring of machines
+// passing one preallocated token until its TTL runs out. The program itself
+// allocates almost nothing per step, so the probe isolates what the runtime
+// spends per iteration and per scheduling point.
+func relaySetup(machines, ttl int) func(*psharp.Runtime) {
+	return func(r *psharp.Runtime) {
+		r.MustRegister("Relay", func() psharp.Machine {
+			var next psharp.MachineID
+			return psharp.MachineFunc(func(sc *psharp.Schema) {
+				sc.Start("Run").
+					OnEventDo(&relayWire{}, func(ctx *psharp.Context, ev psharp.Event) {
+						next = ev.(*relayWire).Next
+					}).
+					OnEventDo(&relayToken{}, func(ctx *psharp.Context, ev psharp.Event) {
+						t := ev.(*relayToken)
+						if t.TTL == 0 {
+							ctx.Halt()
+							return
+						}
+						t.TTL--
+						ctx.Send(next, t)
+					})
+			})
+		})
+		ids := make([]psharp.MachineID, machines)
+		for i := range ids {
+			ids[i] = r.MustCreate("Relay", nil)
+		}
+		for i, id := range ids {
+			if err := r.SendEvent(id, &relayWire{Next: ids[(i+1)%machines]}); err != nil {
+				panic(err)
+			}
+		}
+		if err := r.SendEvent(ids[0], &relayToken{TTL: ttl}); err != nil {
+			panic(err)
+		}
+	}
+}
+
+type relayWire struct {
+	psharp.EventBase
+	Next psharp.MachineID
+}
+
+type relayToken struct {
+	psharp.EventBase
+	TTL int
+}
+
+// allocsPerRun measures the mean heap allocations of f over runs calls
+// after three untimed warm-up calls (so pools and reusable buffers reach
+// steady state), like testing.AllocsPerRun but without importing the
+// testing package into a non-test build.
+func allocsPerRun(runs int, f func()) float64 {
+	for i := 0; i < 3; i++ {
+		f() // warm pools and grow reusable buffers before measuring
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(runs)
+}

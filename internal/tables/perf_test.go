@@ -1,0 +1,68 @@
+package tables
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunPerfProbe checks the BENCH_sct.json pipeline end to end: the probe
+// runs, the pooled harness beats one-shot RunTest by the required >= 50%
+// allocation margin, and the written artifact round-trips as JSON.
+func TestRunPerfProbe(t *testing.T) {
+	rep, err := RunPerfProbe(PerfProbeOptions{
+		Iterations: 50,
+		Workers:    2,
+		Dynamic:    true,
+		AllocRuns:  20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchedulesPerSec <= 0 {
+		t.Errorf("SchedulesPerSec = %v, want > 0", rep.SchedulesPerSec)
+	}
+	total := 0
+	for _, n := range rep.WorkerIterations {
+		total += n
+	}
+	if total != rep.Iterations {
+		t.Errorf("worker iterations sum to %d, want the budget %d", total, rep.Iterations)
+	}
+	if len(rep.AllocProbes) != 2 {
+		t.Fatalf("want 2 alloc probes, got %+v", rep.AllocProbes)
+	}
+	hot := rep.AllocProbes[0]
+	if hot.Workload != "relay-hotpath" {
+		t.Fatalf("first probe should be the hot-path workload, got %q", hot.Workload)
+	}
+	// The ≥50% gate runs against the hot-path workload, where the runtime's
+	// own per-iteration cost dominates; protocol workloads also spend on
+	// user Configure closures that are rebuilt by design.
+	if hot.Pooled > hot.OneShot/2 {
+		t.Errorf("pooled harness allocates %.1f/iteration vs one-shot %.1f on %s: want <= 50%%",
+			hot.Pooled, hot.OneShot, hot.Workload)
+	}
+	proto := rep.AllocProbes[1]
+	if proto.Pooled >= proto.OneShot {
+		t.Errorf("pooled harness should still beat one-shot on %s: pooled %.1f vs one-shot %.1f",
+			proto.Workload, proto.Pooled, proto.OneShot)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_sct.json")
+	if err := WritePerfReport(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded PerfReport
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("BENCH_sct.json does not round-trip: %v", err)
+	}
+	if decoded.Benchmark != rep.Benchmark || decoded.SchedulesPerSec != rep.SchedulesPerSec {
+		t.Errorf("decoded report diverges: %+v vs %+v", decoded, rep)
+	}
+}

@@ -155,6 +155,10 @@ type Table2Options struct {
 	// Sharded seed streams keep the explored schedule population identical
 	// to the sequential run's.
 	Workers int
+	// Dynamic opts parallel cells into work-stealing iteration assignment
+	// (sct.ParallelOptions.Dynamic): all workers stay busy when iteration
+	// costs skew, at the cost of run-to-run population reproducibility.
+	Dynamic bool
 }
 
 // DefaultTable2Options returns the paper's budgets.
@@ -217,7 +221,9 @@ func runCell(b protocols.Benchmark, mode SchedulerMode, opts Table2Options) Tabl
 	}
 	var rep sct.Report
 	if opts.Workers > 1 {
-		rep = sct.RunParallel(b.Setup, sct.ParallelOptions{Options: so, Workers: opts.Workers}).Report
+		rep = sct.RunParallel(b.Setup, sct.ParallelOptions{
+			Options: so, Workers: opts.Workers, Dynamic: opts.Dynamic,
+		}).Report
 	} else {
 		rep = sct.Run(b.Setup, so)
 	}

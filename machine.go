@@ -33,6 +33,11 @@ type machineInstance struct {
 	resume  chan struct{}
 	bug     *Bug
 	aborted bool
+
+	// job feeds a pooled machine goroutine its next iteration's creation
+	// payload; nil under the production runtime, where goroutines are
+	// one-shot. Closing it retires the goroutine (TestHarness.Close).
+	job chan Event
 }
 
 func newMachineInstance(rt *Runtime, id MachineID, logic Machine, schema *Schema) *machineInstance {
@@ -65,6 +70,37 @@ func (m *machineInstance) yieldPoint() {
 	m.park()
 }
 
+// poolLoop is the body of a pooled machine goroutine: it runs one iteration
+// per job received and parks in between, so a TestHarness reuses goroutines
+// instead of spawning one per machine per iteration. The loop exits when
+// the harness closes the job channel.
+func (m *machineInstance) poolLoop() {
+	for payload := range m.job {
+		m.run(payload)
+	}
+}
+
+// recycle clears all per-iteration state so the instance (and its parked
+// goroutine) can serve the next TestHarness iteration. Slices keep their
+// capacity; event references are dropped so finished programs can be
+// collected. Only called after teardown has joined the machine's goroutine.
+func (m *machineInstance) recycle() {
+	m.id = MachineID{}
+	m.logic = nil
+	m.schema = nil
+	m.state = ""
+	m.halted = false
+	for i := range m.queue {
+		m.queue[i] = envelope{}
+	}
+	m.queue = m.queue[:0]
+	m.initReleased = false
+	m.bug = nil
+	m.aborted = false
+	m.ctx.currentEvent = nil
+	m.ctx.resetPending()
+}
+
 // run is the machine's goroutine body.
 func (m *machineInstance) run(payload Event) {
 	defer m.finish()
@@ -88,7 +124,9 @@ func (m *machineInstance) run(payload Event) {
 		m.park()
 	}
 	m.state = m.schema.initial
-	m.rt.logf("%s: entering initial state %q", m.id, m.state)
+	if m.rt.logging() {
+		m.rt.logf("%s: entering initial state %q", m.id, m.state)
+	}
 	st := m.schema.states[m.state]
 	if st.onEntry != nil {
 		if bug := m.execute(st.onEntry, payload); bug != nil {
@@ -106,7 +144,9 @@ func (m *machineInstance) run(payload Event) {
 		if !ok {
 			return // runtime stopped
 		}
-		m.rt.logf("%s: dequeued %s in state %q", m.id, eventName(env.event), m.state)
+		if m.rt.logging() {
+			m.rt.logf("%s: dequeued %s in state %q", m.id, eventName(env.event), m.state)
+		}
 		bug = m.handleEvent(env.event)
 		// The work unit for this event is released only after its handler
 		// has completed, so production-mode Wait cannot observe quiescence
@@ -291,7 +331,9 @@ func (m *machineInstance) applyPending(trigger Event) *Bug {
 		return m.gotoState(gotoState, trigger)
 	}
 	if raised != nil {
-		m.rt.logf("%s: raised %s", m.id, eventName(raised))
+		if m.rt.logging() {
+			m.rt.logf("%s: raised %s", m.id, eventName(raised))
+		}
 		return m.handleEvent(raised)
 	}
 	return nil
@@ -309,7 +351,9 @@ func (m *machineInstance) gotoState(target string, payload Event) *Bug {
 				Message: "exit actions must not call Goto, Raise or Halt"}
 		}
 	}
-	m.rt.logf("%s: %q -> %q", m.id, m.state, target)
+	if m.rt.logging() {
+		m.rt.logf("%s: %q -> %q", m.id, m.state, target)
+	}
 	m.state = target
 	st := m.schema.states[target]
 	if st.onEntry != nil {
@@ -319,17 +363,23 @@ func (m *machineInstance) gotoState(target string, payload Event) *Bug {
 }
 
 // doHalt marks the machine halted and drops its queue; further events sent
-// to it are discarded by the runtime.
+// to it are discarded by the runtime. The queue's capacity is retained (with
+// event references cleared) so a recycled instance does not regrow it.
 func (m *machineInstance) doHalt() {
 	m.mu.Lock()
 	dropped := len(m.queue)
-	m.queue = nil
+	for i := range m.queue {
+		m.queue[i] = envelope{}
+	}
+	m.queue = m.queue[:0]
 	m.halted = true
 	m.mu.Unlock()
 	for i := 0; i < dropped; i++ {
 		m.rt.eventConsumed()
 	}
-	m.rt.logf("%s: halted", m.id)
+	if m.rt.logging() {
+		m.rt.logf("%s: halted", m.id)
+	}
 }
 
 // isHalted reports the halted flag under the queue lock (used by senders).

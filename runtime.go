@@ -120,14 +120,20 @@ func (r *Runtime) create(machineType string, payload Event, creator *machineInst
 	}
 	r.nextSeq++
 	id := MachineID{Type: machineType, Seq: r.nextSeq}
-	m := newMachineInstance(r, id, logic, schema)
-	r.machines = append(r.machines, m)
-	if r.test == nil {
+	var m *machineInstance
+	if c := r.test; c != nil {
+		// Bug-finding mode reuses pooled instances and parked goroutines.
+		m = c.acquireInstance(r, id, logic, schema)
+	} else {
+		m = newMachineInstance(r, id, logic, schema)
 		r.busy++ // initialization counts as outstanding work
 	}
+	r.machines = append(r.machines, m)
 	r.mu.Unlock()
 
-	r.logf("created %s", id)
+	if r.logging() {
+		r.logf("created %s", id)
+	}
 	if c := r.test; c != nil {
 		creatorIdx := 0
 		if creator != nil {
@@ -135,7 +141,7 @@ func (r *Runtime) create(machineType string, payload Event, creator *machineInst
 		}
 		c.onCreate(m, creatorIdx)
 		c.wg.Add(1)
-		go m.run(payload)
+		m.job <- payload // hand the iteration to the parked goroutine
 		if creator != nil {
 			creator.yieldPoint() // create-machine is a scheduling point
 		}
@@ -177,7 +183,9 @@ func (r *Runtime) enqueue(target MachineID, ev Event, sender MachineID, isMachin
 	m.mu.Lock()
 	if m.halted {
 		m.mu.Unlock()
-		r.logf("dropped %s to halted %s", eventName(ev), target)
+		if r.logging() {
+			r.logf("dropped %s to halted %s", eventName(ev), target)
+		}
 	} else {
 		r.mu.Lock()
 		r.sendSeq++
@@ -189,7 +197,9 @@ func (r *Runtime) enqueue(target MachineID, ev Event, sender MachineID, isMachin
 		m.queue = append(m.queue, envelope{event: ev, sender: sender, clock: clock, seq: seq})
 		m.cond.Signal()
 		m.mu.Unlock()
-		r.logf("%s -> %s: %s", sender, target, eventName(ev))
+		if r.logging() {
+			r.logf("%s -> %s: %s", sender, target, eventName(ev))
+		}
 		if c != nil {
 			c.onEnqueue(m)
 		}
@@ -343,6 +353,10 @@ func (r *Runtime) access(m *machineInstance, location string, kind vclock.Access
 	}
 	c.det.Access(int(m.id.Seq), location, kind)
 }
+
+// logging reports whether execution logging is enabled. Hot paths check it
+// before calling logf so a disabled log costs no interface boxing.
+func (r *Runtime) logging() bool { return r.logw != nil }
 
 func (r *Runtime) logf(format string, args ...any) {
 	if r.logw == nil {

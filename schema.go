@@ -3,7 +3,6 @@ package psharp
 import (
 	"fmt"
 	"reflect"
-	"sort"
 )
 
 // Machine is implemented by user machine types. Configure is called once per
@@ -49,12 +48,33 @@ type dispatchEntry struct {
 	action Action // bound action (dispatchAction, or entry action of goto)
 }
 
+// handlerBinding is one (event type -> dispatch) binding of a state. States
+// hold a small slice of bindings rather than a map: machines bind a handful
+// of event types per state, so a linear scan over inline pairs beats a map
+// on lookup and costs a fraction of the allocations to build — which
+// matters because schemas are rebuilt for every machine of every
+// exploration iteration.
+type handlerBinding struct {
+	key   reflect.Type
+	entry dispatchEntry
+}
+
 // stateSpec is the compiled form of one declared state.
 type stateSpec struct {
 	name     string
 	onEntry  Action
 	onExit   ExitAction
-	handlers map[reflect.Type]dispatchEntry
+	handlers []handlerBinding
+}
+
+// lookup returns the dispatch entry bound to event type t, if any.
+func (st *stateSpec) lookup(t reflect.Type) (dispatchEntry, bool) {
+	for i := range st.handlers {
+		if st.handlers[i].key == t {
+			return st.handlers[i].entry, true
+		}
+	}
+	return dispatchEntry{}, false
 }
 
 // Schema collects a machine's state-machine structure. It is passed to
@@ -87,7 +107,7 @@ func (s *Schema) State(name string) *StateBuilder {
 	}
 	st, ok := s.states[name]
 	if !ok {
-		st = &stateSpec{name: name, handlers: make(map[reflect.Type]dispatchEntry)}
+		st = &stateSpec{name: name}
 		s.states[name] = st
 		s.order = append(s.order, name)
 	}
@@ -160,11 +180,11 @@ func (b *StateBuilder) bind(proto Event, e dispatchEntry) {
 	// The paper (Section 6.1) requires the runtime to report an error if an
 	// event can be handled in more than one way in the same state; we reject
 	// the ambiguity statically when the machine is configured.
-	if _, dup := b.state.handlers[key]; dup {
+	if _, dup := b.state.lookup(key); dup {
 		b.schema.err("state %q: event %s bound more than once", b.state.name, eventName(proto))
 		return
 	}
-	b.state.handlers[key] = e
+	b.state.handlers = append(b.state.handlers, handlerBinding{key: key, entry: e})
 }
 
 func (s *Schema) err(format string, args ...any) {
@@ -178,12 +198,10 @@ func (s *Schema) validate(machineType string) error {
 	if s.initial == "" {
 		errs = append(errs, fmt.Errorf("no start state declared"))
 	}
-	names := append([]string(nil), s.order...)
-	sort.Strings(names)
-	for _, name := range names {
+	for _, name := range s.order { // declaration order: deterministic, no copy
 		st := s.states[name]
-		for _, e := range st.handlers {
-			if e.kind == dispatchGoto {
+		for i := range st.handlers {
+			if e := st.handlers[i].entry; e.kind == dispatchGoto {
 				if _, ok := s.states[e.target]; !ok {
 					errs = append(errs, fmt.Errorf("state %q: goto target %q is not a declared state", name, e.target))
 				}
@@ -206,8 +224,7 @@ func (s *Schema) lookup(state string, t reflect.Type) (dispatchEntry, bool) {
 	if !ok {
 		return dispatchEntry{}, false
 	}
-	e, ok := st.handlers[t]
-	return e, ok
+	return st.lookup(t)
 }
 
 // NumStates returns the number of declared states (program statistics for
@@ -223,8 +240,8 @@ func (s *Schema) NumActionBindings() int { return s.countKind(dispatchAction) }
 func (s *Schema) countKind(k dispatchKind) int {
 	n := 0
 	for _, st := range s.states {
-		for _, e := range st.handlers {
-			if e.kind == k {
+		for i := range st.handlers {
+			if st.handlers[i].entry.kind == k {
 				n++
 			}
 		}

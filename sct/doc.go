@@ -41,4 +41,30 @@
 // same merged counts (for runs that are not stopped early, whose timing is
 // inherently racy), and a bug trace found by any worker replays through
 // ReplayTrace exactly like a sequentially-found one.
+//
+// # Performance model
+//
+// Each worker owns a psharp.TestHarness, so consecutive iterations recycle
+// the serialized runtime, machine instances, parked goroutines, queue
+// slices and trace buffers instead of rebuilding them (see the psharp
+// package's performance model); per-iteration allocations are proportional
+// to machines created, and extra scheduling points are allocation-free.
+//
+// Static sharding (the default) pre-assigns worker w the global iterations
+// congruent to w modulo n, which is what makes parallel runs deterministic
+// and population-equal to sequential ones — but leaves workers idle when
+// iteration costs skew. ParallelOptions.Dynamic trades that determinism
+// away for utilization: workers claim iteration tickets from a shared
+// atomic counter, so the merged counts and FirstBugIteration vary run to
+// run (each WorkerReport records the iterations its worker actually
+// executed), while every found bug still replays deterministically from
+// its trace.
+//
+// BENCH_sct.json, emitted by psharp-bench -json, records the throughput
+// trajectory across changes: schedules_per_sec and total_scheduling_points
+// for the probe run, alloc_probes comparing allocs/iteration through the
+// pooled harness vs one-shot RunTest per workload (the relay-hotpath entry
+// isolates runtime overhead; the protocol entry includes user machine
+// rebuild costs), and worker_iterations showing the per-worker split
+// (uneven under Dynamic).
 package sct

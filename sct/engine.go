@@ -170,6 +170,12 @@ type shared struct {
 	// progress reporting.
 	iterations atomic.Int64
 
+	// budget and ticket implement work-stealing (ParallelOptions.Dynamic):
+	// dynamic workers claim global iteration tickets from the shared counter
+	// until the budget is spent, instead of working a pre-assigned shard.
+	budget int
+	ticket atomic.Int64
+
 	fingerprints fingerprintSet
 
 	// progressMu serializes Options.Progress across workers.
@@ -177,7 +183,7 @@ type shared struct {
 }
 
 func newShared(opts Options, start time.Time) *shared {
-	sh := &shared{opts: opts}
+	sh := &shared{opts: opts, budget: opts.Iterations}
 	if opts.Timeout > 0 {
 		sh.deadline = start.Add(opts.Timeout)
 	}
@@ -192,7 +198,9 @@ func (sh *shared) expired() bool {
 // worker identifies one exploration worker and its slice of the global
 // iteration space: the worker runs local iterations 0..quota-1, and local
 // iteration i is global iteration offset + i*stride. Sequential Run uses
-// the identity mapping {0, 1, quota=Iterations}.
+// the identity mapping {0, 1, quota=Iterations}. A dynamic worker ignores
+// the static shard and instead claims global iteration tickets from the
+// shared counter until the budget is spent (work stealing).
 type worker struct {
 	id       int
 	strategy Strategy
@@ -200,35 +208,72 @@ type worker struct {
 	offset   int
 	stride   int
 	quota    int
+	dynamic  bool
 }
 
 // globalIter maps a local iteration index to its global index.
 func (w *worker) globalIter(local int) int { return w.offset + local*w.stride }
 
+// nextIteration decides whether the worker runs local iteration local and
+// returns the global index it accounts against. Static workers walk their
+// pre-assigned shard; dynamic workers claim the next ticket from the shared
+// budget, so fast workers absorb the iterations slow workers never reach.
+func (w *worker) nextIteration(sh *shared, local int) (int, bool) {
+	if w.dynamic {
+		t := sh.ticket.Add(1) - 1
+		if t >= int64(sh.budget) {
+			return 0, false
+		}
+		return int(t), true
+	}
+	if local >= w.quota {
+		return 0, false
+	}
+	return w.globalIter(local), true
+}
+
 // runWorker is the core exploration loop shared by Run and RunParallel.
+// Every worker owns a psharp.TestHarness, so runtime machinery (machine
+// instances, goroutines, queues, trace buffers) is recycled across its
+// iterations instead of rebuilt.
 func runWorker(setup func(*psharp.Runtime), sh *shared, w worker) Report {
 	opts := sh.opts
 	var rep Report
 	var races raceSet
 	start := time.Now()
 	interrupt := func() bool { return sh.stop.Load() || sh.expired() }
-	for local := 0; local < w.quota; local++ {
+	h := psharp.NewTestHarness(setup)
+	defer h.Close()
+	cfg := psharp.TestConfig{
+		Strategy:      w.strategy,
+		MaxSteps:      opts.MaxSteps,
+		LivelockAsBug: opts.LivelockAsBug,
+		ChessLike:     opts.ChessLike,
+		RaceDetect:    opts.RaceDetect,
+		RaceAsBug:     opts.RaceAsBug,
+		Interrupt:     interrupt,
+	}
+	for local := 0; ; local++ {
 		if interrupt() {
 			break
 		}
-		if !w.strategy.PrepareIteration(local) {
+		// Dynamic workers prepare before claiming a ticket: an exhausted
+		// strategy must not burn budget that another worker could execute.
+		// (The final prepared-but-unclaimed iteration is discarded, which is
+		// harmless — the worker stops either way.)
+		if w.dynamic && !w.strategy.PrepareIteration(local) {
 			rep.Exhausted = true
 			break
 		}
-		res := psharp.RunTest(setup, psharp.TestConfig{
-			Strategy:      w.strategy,
-			MaxSteps:      opts.MaxSteps,
-			LivelockAsBug: opts.LivelockAsBug,
-			ChessLike:     opts.ChessLike,
-			RaceDetect:    opts.RaceDetect,
-			RaceAsBug:     opts.RaceAsBug,
-			Interrupt:     interrupt,
-		})
+		global, ok := w.nextIteration(sh, local)
+		if !ok {
+			break
+		}
+		if !w.dynamic && !w.strategy.PrepareIteration(local) {
+			rep.Exhausted = true
+			break
+		}
+		res := h.Run(cfg)
 		if res.Interrupted {
 			break // partial schedule: not counted
 		}
@@ -252,8 +297,9 @@ func runWorker(setup func(*psharp.Runtime), sh *shared, w worker) Report {
 			rep.BuggyIterations++
 			if rep.FirstBug == nil {
 				rep.FirstBug = res.Bug
-				rep.FirstBugIteration = w.globalIter(local)
-				rep.FirstBugTrace = res.Trace
+				rep.FirstBugIteration = global
+				// The harness reuses its trace buffer; detach the copy we keep.
+				rep.FirstBugTrace = res.Trace.Clone()
 			}
 			if opts.StopOnFirstBug {
 				sh.stop.Store(true)

@@ -24,6 +24,23 @@ type ParallelOptions struct {
 	// Portfolio, if non-nil, assigns heterogeneous strategies to workers
 	// round-robin and overrides Options.Strategy.
 	Portfolio *Portfolio
+	// Dynamic opts into work stealing: instead of pre-assigning each worker
+	// a static 1/n shard of the iteration budget, workers claim global
+	// iteration tickets from a shared atomic counter, so fast workers absorb
+	// the iterations slow workers never reach and nobody idles while budget
+	// remains (useful when iteration costs are skewed, e.g. heterogeneous
+	// portfolios or bound-sensitive strategies).
+	//
+	// The trade-off is reproducibility of the *population*: each worker
+	// still walks its own deterministically sharded strategy stream, but how
+	// many iterations of that stream it executes now depends on relative
+	// worker speed, so the explored schedule set, the merged counts, and
+	// FirstBugIteration (the claim order of the winning ticket) vary from
+	// run to run and are not comparable to the sequential run. Every found
+	// bug still carries a trace that replays deterministically through
+	// ReplayTrace, and WorkerReport sub-reports record how many iterations
+	// each worker actually executed.
+	Dynamic bool
 }
 
 // WorkerReport is one worker's sub-report of a parallel run.
@@ -56,9 +73,11 @@ type ParallelReport struct {
 // RunParallel fans schedule exploration out over opts.Workers concurrent
 // workers, each running an independent strategy instance over its shard of
 // the global iteration budget, and merges the per-worker statistics into
-// one Report. Cancellation is cooperative and prompt: StopOnFirstBug and
-// the hard Timeout deadline are polled by every worker at every scheduling
-// point, so a single long iteration cannot keep the run alive.
+// one Report. Shards are static (and the run deterministic) by default;
+// opts.Dynamic switches to work-stealing ticket assignment. Cancellation is
+// cooperative and prompt: StopOnFirstBug and the hard Timeout deadline are
+// polled by every worker at every scheduling point, so a single long
+// iteration cannot keep the run alive.
 func RunParallel(setup func(*psharp.Runtime), opts ParallelOptions) ParallelReport {
 	if opts.Iterations <= 0 {
 		panic("sct: Options.Iterations must be positive")
@@ -83,6 +102,12 @@ func RunParallel(setup func(*psharp.Runtime), opts ParallelOptions) ParallelRepo
 			offset:   w,
 			stride:   n,
 			quota:    shardQuota(opts.Iterations, w, n),
+			dynamic:  opts.Dynamic,
+		}
+		if opts.Dynamic {
+			// quota only bounds the progress display; the shared ticket
+			// counter decides how much of the budget each worker executes.
+			workers[w].quota = opts.Iterations
 		}
 	}
 

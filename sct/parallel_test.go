@@ -291,6 +291,137 @@ func TestParsePortfolio(t *testing.T) {
 	}
 }
 
+// TestDynamicShardingExecutesFullBudget checks the work-stealing accounting:
+// a dynamic run with no early stop executes exactly the global budget, the
+// per-worker sub-reports record the actual (uneven) iteration counts, and
+// the bug-rich program still exposes its bug.
+func TestDynamicShardingExecutesFullBudget(t *testing.T) {
+	const iterations = 400
+	for _, workers := range []int{2, 4, 7} {
+		par := sct.RunParallel(orderingBugSetup(), sct.ParallelOptions{
+			Options: sct.Options{
+				Strategy:   sct.NewRandom(42),
+				Iterations: iterations,
+				MaxSteps:   100,
+			},
+			Workers: workers,
+			Dynamic: true,
+		})
+		if par.Iterations != iterations {
+			t.Errorf("workers=%d: dynamic run executed %d iterations, want the full budget %d",
+				workers, par.Iterations, iterations)
+		}
+		if !par.BugFound() {
+			t.Errorf("workers=%d: dynamic run found no bug in a bug-rich program", workers)
+		}
+		sum := 0
+		for _, w := range par.Workers {
+			sum += w.Report.Iterations
+		}
+		if sum != par.Iterations {
+			t.Errorf("workers=%d: sub-report iterations sum %d != merged %d", workers, sum, par.Iterations)
+		}
+		if par.FirstBugIteration < 0 || par.FirstBugIteration >= iterations {
+			t.Errorf("workers=%d: FirstBugIteration %d outside ticket range [0,%d)",
+				workers, par.FirstBugIteration, iterations)
+		}
+	}
+}
+
+// TestDynamicFirstBugReplays checks the determinism trade-off boundary:
+// dynamic sharding gives up population-level reproducibility, but any bug it
+// finds still carries a trace that replays deterministically and reproduces
+// the same failure — including with StopOnFirstBug cancellation racing the
+// workers.
+func TestDynamicFirstBugReplays(t *testing.T) {
+	par := sct.RunParallel(orderingBugSetup(), sct.ParallelOptions{
+		Options: sct.Options{
+			Strategy:       sct.NewRandom(5),
+			Iterations:     100_000,
+			MaxSteps:       100,
+			StopOnFirstBug: true,
+		},
+		Workers: 4,
+		Dynamic: true,
+	})
+	if !par.BugFound() {
+		t.Fatal("no bug found")
+	}
+	if par.Iterations >= 100_000 {
+		t.Fatalf("StopOnFirstBug did not halt the dynamic workers: %d iterations", par.Iterations)
+	}
+	res := sct.ReplayTrace(orderingBugSetup(), par.FirstBugTrace, psharp.TestConfig{MaxSteps: 100})
+	if res.Bug == nil {
+		t.Fatal("replay of the dynamically-found bug trace found no bug")
+	}
+	if res.Bug.Kind != par.FirstBug.Kind || res.Bug.Message != par.FirstBug.Message {
+		t.Fatalf("replay reproduced %v, want %v", res.Bug, par.FirstBug)
+	}
+}
+
+// TestDynamicExhaustedMemberDoesNotBurnBudget pins the ticket protocol: a
+// dynamic worker whose strategy exhausts (DFS on a tiny tree) must stop
+// without claiming budget, leaving its remaining iterations to the other
+// workers, so the run still executes the full global budget.
+func TestDynamicExhaustedMemberDoesNotBurnBudget(t *testing.T) {
+	const iterations = 300
+	pf, err := sct.ParsePortfolio("dfs,random", 7, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fanInSetup(2) has a 72-schedule DFS tree, so the DFS worker exhausts
+	// well within the 300-ticket budget and random must absorb the rest.
+	par := sct.RunParallel(fanInSetup(2), sct.ParallelOptions{
+		Options:   sct.Options{Iterations: iterations, MaxSteps: 1000},
+		Workers:   2,
+		Portfolio: pf,
+		Dynamic:   true,
+	})
+	var dfsRep, randRep *sct.WorkerReport
+	for i := range par.Workers {
+		switch par.Workers[i].Strategy {
+		case "dfs":
+			dfsRep = &par.Workers[i]
+		case "random":
+			randRep = &par.Workers[i]
+		}
+	}
+	if dfsRep == nil || randRep == nil {
+		t.Fatalf("portfolio workers missing: %+v", par.Workers)
+	}
+	if !dfsRep.Report.Exhausted {
+		t.Fatalf("DFS worker did not exhaust its tree (%d iterations); shrink the program", dfsRep.Report.Iterations)
+	}
+	if par.Iterations != iterations {
+		t.Errorf("dynamic run executed %d iterations, want the full budget %d (exhausted worker must not burn tickets)",
+			par.Iterations, iterations)
+	}
+}
+
+// TestDynamicFindsSameBugAsStatic checks that on the existing parallel test
+// program both sharding modes expose the same (kind, message) bug: dynamic
+// mode changes who explores what, not what is explorable.
+func TestDynamicFindsSameBugAsStatic(t *testing.T) {
+	run := func(dynamic bool) sct.ParallelReport {
+		return sct.RunParallel(orderingBugSetup(), sct.ParallelOptions{
+			Options: sct.Options{
+				Strategy:   sct.NewRandom(42),
+				Iterations: 400,
+				MaxSteps:   100,
+			},
+			Workers: 4,
+			Dynamic: dynamic,
+		})
+	}
+	static, dynamic := run(false), run(true)
+	if !static.BugFound() || !dynamic.BugFound() {
+		t.Fatalf("bug found: static=%v dynamic=%v", static.BugFound(), dynamic.BugFound())
+	}
+	if static.FirstBug.Kind != dynamic.FirstBug.Kind || static.FirstBug.Message != dynamic.FirstBug.Message {
+		t.Errorf("dynamic found %v, static found %v", dynamic.FirstBug, static.FirstBug)
+	}
+}
+
 // TestRunParallelSingleWorkerMatchesRun pins the refactoring invariant that
 // sequential Run is the one-worker case of the parallel engine.
 func TestRunParallelSingleWorkerMatchesRun(t *testing.T) {

@@ -36,7 +36,7 @@ func (s *Random) CloneForWorker(worker, workers int) Strategy {
 // never exhausts its search space.
 func (s *Random) PrepareIteration(iter int) bool {
 	g := uint64(s.offset) + uint64(iter)*uint64(s.stride)
-	s.rng = newRNG(s.seed + g*0x9e3779b97f4a7c15)
+	s.rng.reseed(s.seed + g*0x9e3779b97f4a7c15)
 	return true
 }
 

@@ -8,6 +8,10 @@ type splitMix64 struct{ state uint64 }
 
 func newRNG(seed uint64) *splitMix64 { return &splitMix64{state: seed} }
 
+// reseed rewinds the generator to the given seed in place, so per-iteration
+// reseeding (Random.PrepareIteration) allocates nothing.
+func (r *splitMix64) reseed(seed uint64) { r.state = seed }
+
 func (r *splitMix64) next() uint64 {
 	r.state += 0x9e3779b97f4a7c15
 	z := r.state

@@ -5,7 +5,10 @@ package psharp
 // scheduling point (before send and create-machine operations, and when the
 // current machine blocks), and NextBool/NextInt for each controlled
 // nondeterministic choice. The enabled slice is sorted by creation order and
-// is never empty; the returned machine must be one of its elements.
+// is never empty; the returned machine must be one of its elements. The
+// slice is a scratch buffer the runtime reuses across scheduling points:
+// it is only valid for the duration of the call, so strategies that keep
+// the enabled set must copy it.
 //
 // All calls within one iteration are serialized by the runtime, so Strategy
 // implementations need no internal locking. Concrete strategies (random,

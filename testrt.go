@@ -3,7 +3,9 @@ package psharp
 import (
 	"fmt"
 	"io"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/psharp-go/psharp/internal/vclock"
 )
@@ -93,7 +95,21 @@ type controller struct {
 	yield chan yieldMsg
 	wg    sync.WaitGroup
 
-	statuses    []machineStatus // indexed by MachineID.Seq-1
+	// instances mirrors rt.machines indexed by MachineID.Seq-1 but is owned
+	// by the controller, so the scheduling loop never takes rt.mu.
+	instances []*machineInstance
+	statuses  []machineStatus // indexed by MachineID.Seq-1
+
+	// ready is the incrementally maintained enabled set, kept sorted by
+	// creation order (Seq); scratch is the reusable copy handed to
+	// Strategy.NextMachine so strategies can never corrupt the ready list.
+	ready   []MachineID
+	scratch []MachineID
+
+	// free holds recycled machine instances whose goroutines are parked on
+	// their job channels, awaiting the next iteration.
+	free []*machineInstance
+
 	current     MachineID
 	steps       int
 	trace       *Trace
@@ -102,26 +118,35 @@ type controller struct {
 	interrupted bool
 	det         *vclock.Detector
 
-	mu       sync.Mutex
-	aborting bool
+	aborting atomic.Bool
 }
 
-func (c *controller) isAborting() bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.aborting
-}
+func (c *controller) isAborting() bool { return c.aborting.Load() }
 
-func (c *controller) setAborting() {
-	c.mu.Lock()
-	c.aborting = true
-	c.mu.Unlock()
+// acquireInstance returns a pooled machine instance (its goroutine already
+// parked on the job channel) or spins up a fresh one. Execution is
+// serialized, so no locking is needed around the freelist.
+func (c *controller) acquireInstance(r *Runtime, id MachineID, logic Machine, schema *Schema) *machineInstance {
+	if n := len(c.free); n > 0 {
+		m := c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		m.id, m.logic, m.schema = id, logic, schema
+		return m
+	}
+	m := newMachineInstance(r, id, logic, schema)
+	m.job = make(chan Event)
+	go m.poolLoop()
+	return m
 }
 
 // onCreate registers a newly created machine as ready to run its initial
-// entry action.
+// entry action. New machines carry the highest Seq so far, so appending
+// keeps the ready list sorted by creation order.
 func (c *controller) onCreate(m *machineInstance, creatorIdx int) {
+	c.instances = append(c.instances, m)
 	c.statuses = append(c.statuses, msReady)
+	c.ready = append(c.ready, m.id)
 	if c.det != nil {
 		c.det.Fork(creatorIdx, int(m.id.Seq))
 	}
@@ -131,7 +156,26 @@ func (c *controller) onCreate(m *machineInstance, creatorIdx int) {
 func (c *controller) onEnqueue(m *machineInstance) {
 	if c.statuses[m.id.Seq-1] == msBlocked {
 		c.statuses[m.id.Seq-1] = msReady
+		c.readyAdd(m.id)
 	}
+}
+
+// readyAdd inserts id into the ready list at its creation-order position.
+func (c *controller) readyAdd(id MachineID) {
+	i := sort.Search(len(c.ready), func(i int) bool { return c.ready[i].Seq >= id.Seq })
+	c.ready = append(c.ready, MachineID{})
+	copy(c.ready[i+1:], c.ready[i:])
+	c.ready[i] = id
+}
+
+// readyRemove deletes id from the ready list (no-op if absent).
+func (c *controller) readyRemove(id MachineID) {
+	i := sort.Search(len(c.ready), func(i int) bool { return c.ready[i].Seq >= id.Seq })
+	if i >= len(c.ready) || c.ready[i].Seq != id.Seq {
+		return
+	}
+	copy(c.ready[i:], c.ready[i+1:])
+	c.ready = c.ready[:len(c.ready)-1]
 }
 
 // onDequeue feeds the happens-before edge from send to receive.
@@ -156,31 +200,15 @@ func (c *controller) nextInt(n int) int {
 	return v
 }
 
-// enabled returns the IDs of all runnable machines in creation order.
-func (c *controller) enabled() []MachineID {
-	var out []MachineID
-	c.rt.mu.Lock()
-	machines := c.rt.machines
-	c.rt.mu.Unlock()
-	for i, st := range c.statuses {
-		if st == msReady {
-			out = append(out, machines[i].id)
-		}
-	}
-	return out
-}
-
 // anyQueuedWhileBlocked detects the deadlock case: machines hold only
-// deferred events and nobody is runnable.
+// deferred events and nobody is runnable. It reads the controller-owned
+// instances slice, so no runtime lock or copy is needed.
 func (c *controller) anyQueuedWhileBlocked() *machineInstance {
-	c.rt.mu.Lock()
-	machines := append([]*machineInstance(nil), c.rt.machines...)
-	c.rt.mu.Unlock()
 	for i, st := range c.statuses {
 		if st != msBlocked {
 			continue
 		}
-		m := machines[i]
+		m := c.instances[i]
 		m.mu.Lock()
 		n := len(m.queue)
 		m.mu.Unlock()
@@ -199,8 +227,7 @@ func (c *controller) loop() {
 			c.interrupted = true
 			break
 		}
-		enabled := c.enabled()
-		if len(enabled) == 0 {
+		if len(c.ready) == 0 {
 			if m := c.anyQueuedWhileBlocked(); m != nil {
 				c.bug = &Bug{Kind: BugDeadlock, Machine: m.id, State: m.state,
 					Message: "all machines blocked but deferred events remain queued"}
@@ -215,8 +242,9 @@ func (c *controller) loop() {
 			}
 			break
 		}
-		next := c.cfg.Strategy.NextMachine(c.current, enabled)
-		if !contains(enabled, next) {
+		c.scratch = append(c.scratch[:0], c.ready...)
+		next := c.cfg.Strategy.NextMachine(c.current, c.scratch)
+		if !contains(c.scratch, next) {
 			c.bug = &Bug{Kind: BugPanic, Machine: next,
 				Message: fmt.Sprintf("strategy chose %s, which is not enabled", next)}
 			break
@@ -224,18 +252,21 @@ func (c *controller) loop() {
 		c.trace.addSchedule(next)
 		c.current = next
 		c.steps++
-		m := c.rt.machineByID(next)
+		m := c.instances[next.Seq-1]
 		m.resume <- struct{}{}
 		msg := <-c.yield
 		switch msg.kind {
 		case ykYield:
-			c.statuses[msg.m.id.Seq-1] = msReady
+			// The machine stays in the ready set.
 		case ykBlocked:
 			c.statuses[msg.m.id.Seq-1] = msBlocked
+			c.readyRemove(msg.m.id)
 		case ykHalted:
 			c.statuses[msg.m.id.Seq-1] = msHalted
+			c.readyRemove(msg.m.id)
 		case ykBug:
 			c.statuses[msg.m.id.Seq-1] = msHalted
+			c.readyRemove(msg.m.id)
 			c.bug = msg.bug
 		}
 		if c.det != nil && c.cfg.RaceAsBug && c.bug == nil {
@@ -248,15 +279,13 @@ func (c *controller) loop() {
 }
 
 // teardown unparks every live machine goroutine so it can observe the abort
-// flag and exit, then waits for all of them.
+// flag and unwind, then waits for all of them. It reads the controller-owned
+// instances slice, so no runtime lock or copy is needed.
 func (c *controller) teardown() {
-	c.setAborting()
-	c.rt.mu.Lock()
-	machines := append([]*machineInstance(nil), c.rt.machines...)
-	c.rt.mu.Unlock()
-	for i, m := range machines {
+	c.aborting.Store(true)
+	for i, m := range c.instances {
 		if c.statuses[i] == msHalted {
-			continue // goroutine already exited
+			continue // goroutine already finished the iteration
 		}
 		m.resume <- struct{}{}
 	}
@@ -279,38 +308,12 @@ func contains(ids []MachineID, id MachineID) bool {
 // bound is reached. This is the paper's embedded-scheduler testing mode
 // (Section 6.2): fully automatic, no false positives, and the returned
 // trace replays the iteration deterministically.
+//
+// RunTest is a thin wrapper over a one-shot TestHarness; callers running
+// many iterations of the same program (like the sct engine) should hold a
+// TestHarness so runtime machinery is recycled instead of rebuilt.
 func RunTest(setup func(*Runtime), cfg TestConfig) IterationResult {
-	if cfg.Strategy == nil {
-		panic("psharp: RunTest requires a Strategy")
-	}
-	rt := &Runtime{factories: make(map[string]func() Machine), rngState: 1, logw: cfg.Log}
-	rt.qcond = sync.NewCond(&rt.mu)
-	c := &controller{
-		rt:    rt,
-		cfg:   cfg,
-		yield: make(chan yieldMsg),
-		trace: &Trace{},
-	}
-	if cfg.RaceDetect {
-		c.det = vclock.NewDetector()
-	}
-	rt.test = c
-
-	setup(rt)
-	c.loop()
-
-	res := IterationResult{
-		Bug:              c.bug,
-		Interrupted:      c.interrupted,
-		BoundReached:     c.bound,
-		SchedulingPoints: c.steps,
-		Machines:         rt.NumMachines(),
-		Trace:            c.trace,
-	}
-	if c.det != nil {
-		for _, r := range c.det.Races() {
-			res.Races = append(res.Races, r.String())
-		}
-	}
-	return res
+	h := NewTestHarness(setup)
+	defer h.Close()
+	return h.Run(cfg)
 }

@@ -52,6 +52,16 @@ func (t *Trace) addInt(v int) {
 // Len returns the number of recorded decisions.
 func (t *Trace) Len() int { return len(t.Decisions) }
 
+// Clone returns a deep copy of the trace. A TestHarness reuses its trace
+// buffer across iterations, so callers that retain an IterationResult.Trace
+// past the next Run must clone it first.
+func (t *Trace) Clone() *Trace {
+	if t == nil {
+		return nil
+	}
+	return &Trace{Decisions: append([]Decision(nil), t.Decisions...)}
+}
+
 // Encode writes the trace in a line-oriented text format:
 //
 //	s <machine-type> <machine-seq>
