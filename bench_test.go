@@ -26,10 +26,7 @@ func BenchmarkTable1Analyzer(b *testing.B) {
 	for _, bench := range benchsrc.All() {
 		prog, err := benchsrc.Source(bench.Name, false)
 		if err != nil {
-			// The seed snapshot ships without the .psl corpus (see ROADMAP);
-			// skip like the Table 1 tests do instead of failing CI's
-			// benchmark smoke run.
-			b.Skipf("Table 1 corpus unavailable: %v", err)
+			b.Fatalf("load: %v", err)
 		}
 		b.Run(bench.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -249,7 +246,7 @@ func BenchmarkAblationXSA(b *testing.B) {
 	for _, name := range []string{"AsyncSystem", "MultiPaxos"} {
 		prog, err := benchsrc.Source(name, false)
 		if err != nil {
-			b.Skipf("Table 1 corpus unavailable: %v", err)
+			b.Fatalf("load: %v", err)
 		}
 		for _, cfg := range []struct {
 			label string

@@ -3,10 +3,15 @@
 //
 // Usage:
 //
-//	psharp-bench -table 1
+//	psharp-bench -table 1 [-check]
 //	psharp-bench -table 2 [-iterations 10000] [-timeout 5m] [-parallel 8 [-dynamic]]
 //	psharp-bench -table all
 //	psharp-bench -table none -json BENCH_sct.json
+//
+// With -check, the Table 1 results are compared against the expected
+// false-positive counts encoded in internal/benchsrc (the paper's published
+// numbers) and the command exits non-zero on any drift; CI uses this as the
+// Table 1 gate.
 package main
 
 import (
@@ -27,6 +32,7 @@ func main() {
 	parallel := flag.Int("parallel", 1, "exploration workers per Table 2 cell (0 = GOMAXPROCS)")
 	dynamic := flag.Bool("dynamic", false, "work-stealing iteration assignment for parallel cells (trades population reproducibility for utilization)")
 	jsonPath := flag.String("json", "", "write a machine-readable perf report (BENCH_sct.json) to this path: schedules/sec, allocs/iteration, per-worker iteration counts")
+	check := flag.Bool("check", false, "compare Table 1 results against the expected counts in internal/benchsrc and exit non-zero on drift")
 	flag.Parse()
 	if *parallel <= 0 {
 		// tables treats Workers 0/1 as the paper's sequential setup, so
@@ -41,6 +47,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *check && *table != "1" && *table != "all" {
+		fmt.Fprintln(os.Stderr, "psharp-bench: -check requires -table 1 or -table all")
+		os.Exit(2)
+	}
+
 	if *table == "1" || *table == "all" {
 		fmt.Println("== Table 1: static data race analysis ==")
 		rows, err := tables.RunTable1()
@@ -50,6 +61,15 @@ func main() {
 		}
 		tables.PrintTable1(os.Stdout, rows)
 		fmt.Println()
+		if *check {
+			if drift := tables.CheckTable1(rows); len(drift) > 0 {
+				for _, d := range drift {
+					fmt.Fprintln(os.Stderr, "psharp-bench: Table 1 drift:", d)
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("Table 1 check: all %d benchmarks match the paper's false-positive counts\n", len(rows))
+		}
 	}
 	if *table == "2" || *table == "all" {
 		fmt.Printf("== Table 2: scheduler comparison (budget: %d schedules / %v per cell) ==\n",

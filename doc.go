@@ -24,6 +24,24 @@
 //     distinct-schedule accounting (see the sct package docs and
 //     examples/parallel).
 //
+// # Reproducing the paper's Table 1
+//
+// The static-analysis half of the evaluation lives in the lang, analysis,
+// interp and internal/benchsrc packages: internal/benchsrc embeds the
+// core-language sources of the 13 Table 1 benchmarks (plus the 8 racy
+// PSharpBench variants), calibrated so the ownership analysis reproduces
+// the paper's false-positive counts exactly — the staged-send pattern that
+// only xSA discharges, and the shared read-only payloads that survive xSA
+// and need the Section 8 read-only extension. Render the table with
+//
+//	go run ./cmd/psharp-bench -table 1
+//
+// and gate on it with -check, which exits non-zero on any drift from the
+// counts encoded in internal/benchsrc (CI runs this as the "Table 1
+// gate"). The same corpus round-trips through the interp package, whose
+// happens-before detector confirms dynamically that the non-racy variants
+// are race-free and the racy ones race. See internal/benchsrc/README.md.
+//
 // # Performance model
 //
 // Bug-finding throughput is dominated by how much each iteration rebuilds.

@@ -227,4 +227,3 @@ func TestHarnessCloseIsIdempotentAndGuarded(t *testing.T) {
 	}()
 	h.Run(psharp.TestConfig{Strategy: mustPrepared(sct.NewRandom(1))})
 }
-

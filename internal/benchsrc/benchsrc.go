@@ -16,6 +16,16 @@
 //
 // The racy variants break ownership for real: the sender keeps writing the
 // payload after sending it.
+//
+// Layout: src/<name>.psl holds the non-racy variant of every benchmark and
+// src/<name>_racy.psl the racy variant of the eight PSharpBench protocols
+// (names lowercased). Each program's first declared machine is its scenario
+// driver: interp.Run(prog, prog.Machines[0].Name, ...) executes the
+// benchmark to quiescence, so the corpus doubles as runnable scenarios.
+// Reproduce the paper's table with `psharp-bench -table 1`, or gate on it
+// with `psharp-bench -table 1 -check` (non-zero exit on any drift from
+// All()'s counts). See README.md in this directory for the full corpus
+// guide.
 package benchsrc
 
 import (
@@ -64,37 +74,46 @@ func All() []Benchmark {
 	}
 }
 
-// Source returns the parsed, checked program for a benchmark variant.
-func Source(name string, racy bool) (*lang.Program, error) {
+// fileOf maps a benchmark variant to its embedded path.
+func fileOf(name string, racy bool) string {
 	file := "src/" + strings.ToLower(name)
 	if racy {
 		file += "_racy"
 	}
-	file += ".psl"
+	return file + ".psl"
+}
+
+// describe names a benchmark variant for error messages, so corpus failures
+// (and psharp-bench -check output) are attributable at a glance.
+func describe(name string, racy bool) string {
+	if racy {
+		return name + " (racy variant)"
+	}
+	return name
+}
+
+// Source returns the parsed, checked program for a benchmark variant.
+func Source(name string, racy bool) (*lang.Program, error) {
+	file := fileOf(name, racy)
 	data, err := sources.ReadFile(file)
 	if err != nil {
-		return nil, fmt.Errorf("benchsrc: %w", err)
+		return nil, fmt.Errorf("benchsrc: benchmark %s: %w", describe(name, racy), err)
 	}
 	prog, err := lang.Parse(string(data))
 	if err != nil {
-		return nil, fmt.Errorf("benchsrc: %s: %w", file, err)
+		return nil, fmt.Errorf("benchsrc: benchmark %s: %s: %w", describe(name, racy), file, err)
 	}
 	if err := lang.Check(prog); err != nil {
-		return nil, fmt.Errorf("benchsrc: %s: %w", file, err)
+		return nil, fmt.Errorf("benchsrc: benchmark %s: %s: %w", describe(name, racy), file, err)
 	}
 	return prog, nil
 }
 
 // RawSource returns the source text (for LoC statistics and tooling).
 func RawSource(name string, racy bool) (string, error) {
-	file := "src/" + strings.ToLower(name)
-	if racy {
-		file += "_racy"
-	}
-	file += ".psl"
-	data, err := sources.ReadFile(file)
+	data, err := sources.ReadFile(fileOf(name, racy))
 	if err != nil {
-		return "", err
+		return "", fmt.Errorf("benchsrc: benchmark %s: %w", describe(name, racy), err)
 	}
 	return string(data), nil
 }

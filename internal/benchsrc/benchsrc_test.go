@@ -1,21 +1,10 @@
 package benchsrc
 
 import (
-	"errors"
-	"io/fs"
 	"testing"
 
 	"github.com/psharp-go/psharp/analysis"
 )
-
-// skipIfNoCorpus skips tests that need the embedded .psl benchmark corpus,
-// which the seed snapshot ships without (see src/placeholder.psl).
-func skipIfNoCorpus(t *testing.T, err error) {
-	t.Helper()
-	if errors.Is(err, fs.ErrNotExist) {
-		t.Skipf("Table 1 .psl corpus not present in this snapshot: %v", err)
-	}
-}
 
 // TestTable1FalsePositiveCounts checks every non-racy benchmark against the
 // paper's Table 1: the number of reported violations (all false positives,
@@ -27,7 +16,6 @@ func TestTable1FalsePositiveCounts(t *testing.T) {
 		t.Run(b.Name, func(t *testing.T) {
 			prog, err := Source(b.Name, false)
 			if err != nil {
-				skipIfNoCorpus(t, err)
 				t.Fatalf("load: %v", err)
 			}
 			res := analysis.Analyze(prog, analysis.Options{XSA: true})
@@ -63,7 +51,6 @@ func TestTable1RacyVariantsFlagged(t *testing.T) {
 		t.Run(b.Name, func(t *testing.T) {
 			prog, err := Source(b.Name, true)
 			if err != nil {
-				skipIfNoCorpus(t, err)
 				t.Fatalf("load: %v", err)
 			}
 			res := analysis.Analyze(prog, analysis.Options{XSA: true})
@@ -90,7 +77,6 @@ func TestTable1ReadOnlyExtension(t *testing.T) {
 		t.Run(b.Name, func(t *testing.T) {
 			prog, err := Source(b.Name, false)
 			if err != nil {
-				skipIfNoCorpus(t, err)
 				t.Fatalf("load: %v", err)
 			}
 			res := analysis.Analyze(prog, analysis.Options{XSA: true, ReadOnly: true})
@@ -109,7 +95,6 @@ func TestStats(t *testing.T) {
 	for _, b := range All() {
 		s, err := StatsOf(b.Name)
 		if err != nil {
-			skipIfNoCorpus(t, err)
 			t.Fatalf("%s: %v", b.Name, err)
 		}
 		if s.Machines < 2 {

@@ -1,0 +1,106 @@
+package benchsrc
+
+import (
+	"errors"
+	"io/fs"
+	"strings"
+	"testing"
+
+	"github.com/psharp-go/psharp/interp"
+)
+
+// TestCorpusIntegrity checks the structural invariants of the embedded
+// corpus: every roster entry parses and checks, a racy variant exists
+// exactly when the roster says so, and the Table 1 statistics columns are
+// all non-zero.
+func TestCorpusIntegrity(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			if _, err := Source(b.Name, false); err != nil {
+				t.Fatalf("non-racy variant: %v", err)
+			}
+			_, err := Source(b.Name, true)
+			if b.HasRacy && err != nil {
+				t.Errorf("racy variant must exist: %v", err)
+			}
+			if !b.HasRacy {
+				if err == nil {
+					t.Error("unexpected racy variant for a benchmark with HasRacy=false")
+				} else if !errors.Is(err, fs.ErrNotExist) {
+					t.Errorf("missing racy variant should surface fs.ErrNotExist, got %v", err)
+				}
+			}
+			s, err := StatsOf(b.Name)
+			if err != nil {
+				t.Fatalf("stats: %v", err)
+			}
+			if s.LoC == 0 || s.Machines == 0 || s.StateTransitions+s.ActionBindings == 0 {
+				t.Errorf("degenerate stats %+v", s)
+			}
+		})
+	}
+}
+
+// TestCorpusRoundTripsThroughInterp executes every benchmark under the
+// operational semantics: the first machine of each program is its scenario
+// driver. Non-racy variants must quiesce with no runtime error and no
+// dynamic race on every schedule tried; racy variants must also quiesce
+// cleanly but exhibit the data race the static analysis flags, which
+// cross-validates the ownership analysis against the happens-before
+// detector.
+func TestCorpusRoundTripsThroughInterp(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			for _, racy := range []bool{false, true} {
+				if racy && !b.HasRacy {
+					continue
+				}
+				prog, err := Source(b.Name, racy)
+				if err != nil {
+					t.Fatalf("racy=%v: %v", racy, err)
+				}
+				main := prog.Machines[0].Name
+				raceSeen := false
+				for seed := uint64(1); seed <= 10; seed++ {
+					out := interp.Run(prog, main, interp.Options{Seed: seed, RaceDetect: true})
+					if out.Err != nil {
+						t.Fatalf("racy=%v seed=%d: %v", racy, seed, out.Err)
+					}
+					if !out.Quiescent {
+						t.Fatalf("racy=%v seed=%d: did not quiesce after %d steps", racy, seed, out.Steps)
+					}
+					if len(out.Races) > 0 {
+						raceSeen = true
+					}
+				}
+				if racy && !raceSeen {
+					t.Error("racy variant: the ownership violation never raced dynamically")
+				}
+				if !racy && raceSeen {
+					t.Error("non-racy variant: unexpected dynamic race")
+				}
+			}
+		})
+	}
+}
+
+// TestSourceErrorsNameBenchmark checks that corpus load failures are
+// attributable: the error must name the benchmark (and variant), not just
+// the lowercased file path, so a -check failure in CI reads at a glance.
+func TestSourceErrorsNameBenchmark(t *testing.T) {
+	_, err := Source("AsyncSystem", true) // no racy variant exists
+	if err == nil {
+		t.Fatal("want an error for the missing racy variant")
+	}
+	if !strings.Contains(err.Error(), "AsyncSystem") {
+		t.Errorf("error %q does not name the benchmark", err)
+	}
+	if !strings.Contains(err.Error(), "racy") {
+		t.Errorf("error %q does not name the variant", err)
+	}
+	if _, err := Source("NoSuchBenchmark", false); err == nil || !strings.Contains(err.Error(), "NoSuchBenchmark") {
+		t.Errorf("error %v does not name the unknown benchmark", err)
+	}
+}

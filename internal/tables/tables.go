@@ -73,6 +73,39 @@ func RunTable1() ([]Table1Row, error) {
 	return rows, nil
 }
 
+// CheckTable1 compares measured rows against the benchsrc roster (the
+// paper's published Table 1 numbers) and returns one human-readable drift
+// description per mismatch. An empty result means the analyzer still
+// reproduces the paper exactly; psharp-bench -check turns any drift into a
+// non-zero exit so CI can gate on it.
+func CheckTable1(rows []Table1Row) []string {
+	var drift []string
+	want := benchsrc.All()
+	if len(rows) != len(want) {
+		return []string{fmt.Sprintf("row count = %d, want %d", len(rows), len(want))}
+	}
+	for i, w := range want {
+		got := rows[i]
+		if got.Name != w.Name {
+			drift = append(drift, fmt.Sprintf("row %d: benchmark %q, want %q", i, got.Name, w.Name))
+			continue
+		}
+		if got.FPsNoXSA != w.FPsNoXSA {
+			drift = append(drift, fmt.Sprintf("%s: FPs without xSA = %d, want %d", w.Name, got.FPsNoXSA, w.FPsNoXSA))
+		}
+		if got.FPsXSA != w.FPsXSA {
+			drift = append(drift, fmt.Sprintf("%s: FPs with xSA = %d, want %d", w.Name, got.FPsXSA, w.FPsXSA))
+		}
+		if got.Verified != w.Verified {
+			drift = append(drift, fmt.Sprintf("%s: verified = %v, want %v", w.Name, got.Verified, w.Verified))
+		}
+		if w.HasRacy && !got.RacesFound {
+			drift = append(drift, fmt.Sprintf("%s: racy variant not flagged", w.Name))
+		}
+	}
+	return drift
+}
+
 // PrintTable1 renders rows like the paper's Table 1.
 func PrintTable1(w io.Writer, rows []Table1Row) {
 	fmt.Fprintf(w, "%-18s %5s %4s %4s %4s %10s %8s %6s %9s %10s %6s\n",
