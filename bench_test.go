@@ -96,8 +96,11 @@ func BenchmarkTable2(b *testing.B) {
 // once on the spin hot-path program (where the runtime's own overhead
 // dominates and pooling saves most of it — the ≥50% claim, gated hard by
 // TestHarnessHalvesAllocations and recorded in BENCH_sct.json) and once on
-// a protocol benchmark (where per-machine user Configure closures, rebuilt
-// by design every iteration, dilute the relative saving).
+// a protocol benchmark. Both workloads declare their machines in the
+// static form, so the pooled numbers reflect per-type schema caching: the
+// steady state pays only machine logic and wiring, never schema rebuilds
+// (locked in by TestProtocolAllocationCap and the schema_cache_probe entry
+// of BENCH_sct.json).
 func BenchmarkIterationAllocs(b *testing.B) {
 	tpc := protocols.MustByName("TwoPhaseCommit", true)
 	workloads := []struct {

@@ -102,5 +102,8 @@ func main() {
 		fmt.Printf("perf report written to %s (%.1f schedules/s, allocs/iteration pooled %.1f vs one-shot %.1f on %s)\n",
 			*jsonPath, rep.SchedulesPerSec,
 			rep.AllocProbes[0].Pooled, rep.AllocProbes[0].OneShot, rep.AllocProbes[0].Workload)
+		fmt.Printf("schema cache on %s: %.1f allocs/iteration cached vs %.1f per-instance (%.1f%% saved)\n",
+			rep.SchemaProbe.Workload, rep.SchemaProbe.Cached, rep.SchemaProbe.PerInstance,
+			rep.SchemaProbe.SavedPercent)
 	}
 }

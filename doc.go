@@ -42,6 +42,55 @@
 // happens-before detector confirms dynamically that the non-racy variants
 // are race-free and the racy ones race. See internal/benchsrc/README.md.
 //
+// # Declaring machines
+//
+// A machine type declares its states, transitions and action bindings on a
+// Schema builder, in one of two forms.
+//
+// The static form (preferred) matches the paper's design, where the
+// transition and action-binding tables of Figure 1 are properties of the
+// machine class, compiled once. The type embeds StaticBase and implements
+// StaticMachine: ConfigureType runs a single time, at Register, and the
+// compiled schema is frozen and shared by every instance. Actions use the
+// M-suffixed builders (OnEntryM, OnExitM, OnEventDoM) and receive the
+// machine instance as their first parameter — assert it to the concrete
+// type — instead of closing over it:
+//
+//	type Ping struct{ psharp.EventBase }
+//
+//	type Server struct {
+//		psharp.StaticBase
+//		count int
+//	}
+//
+//	func (*Server) ConfigureType(sc *psharp.Schema) {
+//		sc.Start("Init").
+//			OnEventDoM(&Ping{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+//				m.(*Server).count++
+//			})
+//	}
+//
+// ConfigureType must be instance-independent. It may read fields the
+// factory sets identically on every instance — registration parameters,
+// like a buggy-variant flag that adds or removes bindings — but its action
+// closures must not capture the receiver, which is a discarded probe.
+// Per-instance initialization that the closure form did inside Configure
+// (seeding a map, say) moves into the registered factory. Handlers that
+// touch no per-instance state can keep the plain closure signatures
+// (OnEntry, OnEventDo) inside a static schema. Machines with no instance
+// fields at all can use StaticMachineFunc.
+//
+// The closure form remains fully supported: implement Machine, whose
+// Configure runs once per instance with actions closing over it. It is the
+// right tool when the declaration itself must vary per instance — but
+// because each instance's actions are fresh closures, its schema is
+// rebuilt and revalidated on every create, which on the exploration hot
+// path is the dominant allocation cost (see below). Migrating a machine is
+// mechanical: embed StaticBase, rename Configure to ConfigureType, switch
+// the builders to the M variants, and open each handler with
+// `s := m.(*YourType)`. The two forms are behaviorally indistinguishable —
+// the equivalence tests replay identical traces through both.
+//
 // # Performance model
 //
 // Bug-finding throughput is dominated by how much each iteration rebuilds.
@@ -54,29 +103,22 @@
 // machine), the controller's incrementally maintained ready list and the
 // scratch slice handed to Strategy.NextMachine, and the trace buffer
 // (reset with retained capacity — clone a Trace you keep past the next
-// Run). What is NOT recycled, by design, is the per-machine user state:
-// setup runs every iteration and machine factories rebuild their logic and
-// Schema, because action closures capture per-instance state. Steady-state
-// allocations per iteration are therefore proportional to the number of
-// machines created, not to schedule length: the marginal cost of an extra
-// scheduling point is zero allocations (enforced by the allocation
-// regression tests). The sct engine holds one harness per exploration
-// worker; BENCH_sct.json (psharp-bench -json) tracks the resulting
-// schedules/sec and allocs/iteration across changes.
+// Run).
 //
-// Machines are declared by implementing the Machine interface: Configure
-// receives a Schema builder on which states, transitions and bindings are
-// registered. Example:
-//
-//	type Ping struct{ psharp.EventBase }
-//
-//	type Server struct{ count int }
-//
-//	func (s *Server) Configure(sc *psharp.Schema) {
-//		sc.Start("Init").
-//			OnEntry(func(ctx *psharp.Context, ev psharp.Event) { s.count = 0 }).
-//			OnEventDo(&Ping{}, func(ctx *psharp.Context, ev psharp.Event) {
-//				s.count++
-//			})
-//	}
+// Machine schemas follow the compile-once discipline: Register compiles a
+// static type's schema one time and every create reuses the frozen form,
+// and the harness keeps that per-type cache across recycled iterations, so
+// a static-form program pays zero schema allocations from iteration 2 on.
+// (The interp package applies the same discipline to .psl programs: one
+// schema per machine declaration per loaded Program.) What still rebuilds
+// each iteration is per-machine user state — setup runs every time and
+// factories produce fresh logic values — plus, for closure-form machines
+// only, the per-instance schema. Steady-state allocations per iteration
+// are therefore proportional to the number of machines created, not to
+// schedule length: the marginal cost of an extra scheduling point is zero
+// allocations (enforced by the allocation regression tests, including a
+// protocol-class cap that a returning schema rebuild cannot pass). The sct
+// engine holds one harness per exploration worker; BENCH_sct.json
+// (psharp-bench -json) tracks schedules/sec, allocs/iteration, and the
+// schema-cache saving across changes.
 package psharp

@@ -47,8 +47,12 @@ type eDispatchCfg struct {
 }
 
 // service is Figure 1's BaseService/UserService: Init, Worker and Master
-// states with the four abstract actions implemented as methods.
+// states with the four abstract actions implemented as methods. Machines
+// use the static declaration form (ConfigureType + StaticBase), matching
+// the paper's design where the state-machine tables are class properties
+// compiled once.
 type service struct {
+	psharp.StaticBase
 	id         int
 	dispatcher psharp.MachineID
 	data       []int
@@ -58,8 +62,9 @@ func (s *service) initializeState()    { s.data = []int{0} }
 func (s *service) updateState()        { s.data = append(s.data, s.id) }
 func (s *service) copyState(src []int) { s.data = append([]int(nil), src...) }
 
-func (s *service) Configure(sc *psharp.Schema) {
-	toMaster := func(ctx *psharp.Context, ev psharp.Event) {
+func (*service) ConfigureType(sc *psharp.Schema) {
+	toMaster := func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+		s := m.(*service)
 		ctx.Send(s.dispatcher, &eAck{})
 		for _, w := range ev.(*eChangeToMaster).Workers {
 			if w != ctx.ID() {
@@ -71,8 +76,8 @@ func (s *service) Configure(sc *psharp.Schema) {
 		}
 		ctx.Goto("Master")
 	}
-	toWorker := func(ctx *psharp.Context, ev psharp.Event) {
-		ctx.Send(s.dispatcher, &eAck{})
+	toWorker := func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+		ctx.Send(m.(*service).dispatcher, &eAck{})
 		ctx.Goto("Worker")
 	}
 	sc.Start("Init").
@@ -80,7 +85,8 @@ func (s *service) Configure(sc *psharp.Schema) {
 		Defer(&eChangeToWorker{}).
 		Defer(&eUpdateState{}).
 		Defer(&eCopyState{}).
-		OnEventDo(&eServiceInit{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&eServiceInit{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			s := m.(*service)
 			cfg := ev.(*eServiceInit)
 			s.id = cfg.ID
 			s.dispatcher = cfg.Dispatcher
@@ -88,19 +94,21 @@ func (s *service) Configure(sc *psharp.Schema) {
 			ctx.Goto("Worker")
 		})
 	sc.State("Worker").
-		OnEventDo(&eUpdateState{}, func(ctx *psharp.Context, ev psharp.Event) { s.updateState() }).
-		OnEventDo(&eCopyState{}, func(ctx *psharp.Context, ev psharp.Event) {
-			s.copyState(ev.(*eCopyState).Data)
+		OnEventDoM(&eUpdateState{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			m.(*service).updateState()
 		}).
-		OnEventDo(&eChangeToMaster{}, toMaster).
-		OnEventDo(&eChangeToWorker{}, toWorker).
+		OnEventDoM(&eCopyState{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			m.(*service).copyState(ev.(*eCopyState).Data)
+		}).
+		OnEventDoM(&eChangeToMaster{}, toMaster).
+		OnEventDoM(&eChangeToWorker{}, toWorker).
 		Ignore(&eClientRequest{})
 	sc.State("Master").
-		OnEventDo(&eClientRequest{}, func(ctx *psharp.Context, ev psharp.Event) {
-			ctx.Assert(len(s.data) > 0, "master serving with empty state")
+		OnEventDoM(&eClientRequest{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			ctx.Assert(len(m.(*service).data) > 0, "master serving with empty state")
 		}).
-		OnEventDo(&eChangeToWorker{}, toWorker).
-		OnEventDo(&eChangeToMaster{}, toMaster).
+		OnEventDoM(&eChangeToWorker{}, toWorker).
+		OnEventDoM(&eChangeToMaster{}, toMaster).
 		Defer(&eUpdateState{}).
 		Defer(&eCopyState{})
 }
@@ -108,13 +116,15 @@ func (s *service) Configure(sc *psharp.Schema) {
 // dispatcher is Figure 1's Dispatcher: in Querying it loops, picking a
 // service and one of four request kinds nondeterministically.
 type dispatcher struct {
+	psharp.StaticBase
 	services []psharp.MachineID
 	rounds   int
 }
 
-func (d *dispatcher) Configure(sc *psharp.Schema) {
+func (*dispatcher) ConfigureType(sc *psharp.Schema) {
 	sc.Start("Boot").
-		OnEventDo(&eDispatchCfg{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&eDispatchCfg{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			d := m.(*dispatcher)
 			cfg := ev.(*eDispatchCfg)
 			d.services = cfg.Services
 			d.rounds = cfg.Rounds
@@ -122,7 +132,8 @@ func (d *dispatcher) Configure(sc *psharp.Schema) {
 		}).
 		OnEventGoto(&eAck{}, "Querying")
 	sc.State("Querying").
-		OnEntry(func(ctx *psharp.Context, ev psharp.Event) {
+		OnEntryM(func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			d := m.(*dispatcher)
 			if d.rounds == 0 {
 				for _, s := range d.services {
 					ctx.Send(s, &psharp.HaltEvent{})

@@ -29,28 +29,36 @@ type evPong struct {
 	Round int
 }
 
-// server answers every ping with a pong.
-type server struct{ served int }
+// server answers every ping with a pong. It uses the static declaration
+// form (ConfigureType + StaticBase): the schema is a property of the type,
+// compiled once per registration, and handlers receive the instance as a
+// parameter instead of closing over it.
+type server struct {
+	psharp.StaticBase
+	served int
+}
 
-func (s *server) Configure(sc *psharp.Schema) {
+func (*server) ConfigureType(sc *psharp.Schema) {
 	sc.Start("Serving").
-		OnEventDo(&evPing{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&evPing{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
 			ping := ev.(*evPing)
-			s.served++
+			m.(*server).served++
 			ctx.Send(ping.From, &evPong{Round: ping.Round})
 		})
 }
 
 // client plays a fixed number of rounds, then halts.
 type client struct {
+	psharp.StaticBase
 	server psharp.MachineID
 	rounds int
 	round  int
 }
 
-func (c *client) Configure(sc *psharp.Schema) {
+func (*client) ConfigureType(sc *psharp.Schema) {
 	sc.Start("Init").
-		OnEventDo(&evConfig{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&evConfig{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			c := m.(*client)
 			cfg := ev.(*evConfig)
 			c.server = cfg.Server
 			c.rounds = cfg.Rounds
@@ -58,7 +66,8 @@ func (c *client) Configure(sc *psharp.Schema) {
 			ctx.Goto("Playing")
 		})
 	sc.State("Playing").
-		OnEventDo(&evPong{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&evPong{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			c := m.(*client)
 			pong := ev.(*evPong)
 			ctx.Assert(pong.Round == c.round+1, "out-of-order pong: %d after %d", pong.Round, c.round)
 			c.round = pong.Round

@@ -1,0 +1,31 @@
+package psharp
+
+// Test-only accessors for the compiled-schema cache, used by the
+// compile-once assertions in the external test package.
+
+// SchemaCompiles reports how many machine schemas this runtime has compiled
+// (both declaration forms) since construction.
+func (r *Runtime) SchemaCompiles() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.schemaCompiles
+}
+
+// SchemaCompiles reports how many machine schemas the harness's recycled
+// runtime has compiled across all Run calls so far.
+func (h *TestHarness) SchemaCompiles() int { return h.rt.SchemaCompiles() }
+
+// CachedSchemas reports how many machine types currently have a compiled
+// schema cached (static types only; closure-form registrations record a
+// negative entry that this does not count).
+func (h *TestHarness) CachedSchemas() int {
+	h.rt.mu.Lock()
+	defer h.rt.mu.Unlock()
+	n := 0
+	for _, cs := range h.rt.schemas {
+		if cs != nil {
+			n++
+		}
+	}
+	return n
+}

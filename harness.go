@@ -1,6 +1,7 @@
 package psharp
 
 import (
+	"io"
 	"sync"
 
 	"github.com/psharp-go/psharp/internal/vclock"
@@ -22,16 +23,35 @@ type TestHarness struct {
 	rt     *Runtime
 	c      *controller
 	closed bool
+
+	// baseSeed and baseLog preserve what the construction Options set, so
+	// reset restores them every Run instead of silently discarding them.
+	baseSeed uint64
+	baseLog  io.Writer
 }
 
 // NewTestHarness returns a harness that executes the program constructed by
 // setup. setup runs once per Run call, against a recycled Runtime.
-func NewTestHarness(setup func(*Runtime)) *TestHarness {
-	rt := &Runtime{factories: make(map[string]func() Machine), rngState: 1}
+//
+// The harness keeps the runtime's per-type compiled-schema cache across
+// iterations: setup re-registers its machine types every Run, but a type
+// whose schema is already cached is not recompiled, so static-form
+// machines pay zero schema allocations from iteration 2 on. This assumes
+// setup registers the same declaration under the same type name every
+// iteration — which any deterministic setup does.
+func NewTestHarness(setup func(*Runtime), opts ...Option) *TestHarness {
+	rt := &Runtime{
+		factories: make(map[string]func() Machine),
+		schemas:   make(map[string]*compiledSchema),
+		rngState:  1,
+	}
 	rt.qcond = sync.NewCond(&rt.mu)
+	for _, o := range opts {
+		o(rt)
+	}
 	c := &controller{rt: rt, yield: make(chan yieldMsg), trace: &Trace{}}
 	rt.test = c
-	return &TestHarness{setup: setup, rt: rt, c: c}
+	return &TestHarness{setup: setup, rt: rt, c: c, baseSeed: rt.rngState, baseLog: rt.logw}
 }
 
 // Run executes one bug-finding iteration, exactly like RunTest but against
@@ -71,7 +91,9 @@ func (h *TestHarness) Run(cfg TestConfig) IterationResult {
 
 // reset rewinds the runtime and controller to their pre-setup state while
 // retaining every allocation: the factories map is cleared in place and all
-// slices are truncated with their capacity kept.
+// slices are truncated with their capacity kept. The compiled-schema cache
+// (rt.schemas) deliberately survives: schemas are per-type, not
+// per-iteration, so recompiling them would be pure waste.
 func (h *TestHarness) reset(cfg TestConfig) {
 	rt, c := h.rt, h.c
 	clear(rt.factories)
@@ -79,8 +101,11 @@ func (h *TestHarness) reset(cfg TestConfig) {
 	rt.busy = 0
 	rt.failure = nil
 	rt.stopped = false
-	rt.rngState = 1
+	rt.rngState = h.baseSeed
 	rt.logw = cfg.Log
+	if cfg.Log == nil {
+		rt.logw = h.baseLog // WithLog default when the iteration sets none
+	}
 
 	c.cfg = cfg
 	c.instances = c.instances[:0]

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"github.com/psharp-go/psharp"
+	"github.com/psharp-go/psharp/internal/protocols"
 	"github.com/psharp-go/psharp/sct"
 )
 
@@ -24,23 +25,25 @@ type evBallot struct {
 
 // spinSetup builds a single machine that bounces one preallocated event to
 // itself n times and halts. The program itself allocates nothing per step,
-// so it isolates the runtime's own per-scheduling-point allocations.
+// so it isolates the runtime's own per-scheduling-point allocations. The
+// spinner keeps its state in the event, so it can use the static
+// declaration form (its schema is compiled once per harness, not per
+// iteration).
 func spinSetup(n int) func(*psharp.Runtime) {
-	return func(r *psharp.Runtime) {
-		r.MustRegister("Spinner", func() psharp.Machine {
-			return psharp.MachineFunc(func(sc *psharp.Schema) {
-				sc.Start("Spin").
-					OnEventDo(&evSpin{}, func(ctx *psharp.Context, ev psharp.Event) {
-						e := ev.(*evSpin)
-						if e.Left == 0 {
-							ctx.Halt()
-							return
-						}
-						e.Left--
-						ctx.Send(ctx.ID(), e)
-					})
+	spin := psharp.StaticMachineFunc(func(sc *psharp.Schema) {
+		sc.Start("Spin").
+			OnEventDo(&evSpin{}, func(ctx *psharp.Context, ev psharp.Event) {
+				e := ev.(*evSpin)
+				if e.Left == 0 {
+					ctx.Halt()
+					return
+				}
+				e.Left--
+				ctx.Send(ctx.ID(), e)
 			})
-		})
+	})
+	return func(r *psharp.Runtime) {
+		r.MustRegister("Spinner", func() psharp.Machine { return spin })
 		id := r.MustCreate("Spinner", nil)
 		if err := r.SendEvent(id, &evSpin{Left: n}); err != nil {
 			panic(err)
@@ -81,6 +84,56 @@ func ballotSetup() func(*psharp.Runtime) {
 					})
 			})
 		})
+		collector := r.MustCreate("Collector", nil)
+		for i := 0; i < 3; i++ {
+			v := r.MustCreate("Voter", nil)
+			if err := r.SendEvent(v, &evBallot{From: collector}); err != nil {
+				panic(err)
+			}
+		}
+	}
+}
+
+// Static twins of ballotSetup's machines, identical to the closure form
+// line for line except that the instance arrives as a parameter. Used by
+// the declaration-form equivalence test.
+
+type sbCollector struct {
+	psharp.StaticBase
+	first psharp.MachineID
+}
+
+func (*sbCollector) ConfigureType(sc *psharp.Schema) {
+	sc.Start("Collect").
+		OnEventDoM(&evBallot{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			c := m.(*sbCollector)
+			from := ev.(*evBallot).From
+			if c.first.IsNil() {
+				c.first = from
+				return
+			}
+			ctx.Assert(c.first.Seq < from.Seq, "ballots arrived out of creation order")
+		})
+}
+
+type sbVoter struct{ psharp.StaticBase }
+
+func (*sbVoter) ConfigureType(sc *psharp.Schema) {
+	sc.Start("Vote").
+		OnEventDo(&evBallot{}, func(ctx *psharp.Context, ev psharp.Event) {
+			target := ev.(*evBallot).From
+			ctx.Send(target, &evBallot{From: ctx.ID()})
+			if ctx.RandomBool() || ctx.RandomInt(3) == 0 {
+				ctx.Halt()
+			}
+		})
+}
+
+// staticBallotSetup is ballotSetup with the machines in static form.
+func staticBallotSetup() func(*psharp.Runtime) {
+	return func(r *psharp.Runtime) {
+		r.MustRegister("Collector", func() psharp.Machine { return &sbCollector{} })
+		r.MustRegister("Voter", func() psharp.Machine { return &sbVoter{} })
 		collector := r.MustCreate("Collector", nil)
 		for i := 0; i < 3; i++ {
 			v := r.MustCreate("Voter", nil)
@@ -136,6 +189,53 @@ func TestHarnessMatchesRunTest(t *testing.T) {
 	}
 }
 
+// TestDeclarationFormsEquivalent checks that the static and closure
+// declaration forms of the same machine are behaviorally indistinguishable
+// across recycled harness iterations: same bug (or none), same counts, and
+// byte-identical traces for every seed — while only the static harness
+// gets to reuse compiled schemas.
+func TestDeclarationFormsEquivalent(t *testing.T) {
+	hStatic := psharp.NewTestHarness(staticBallotSetup())
+	defer hStatic.Close()
+	hClosure := psharp.NewTestHarness(ballotSetup())
+	defer hClosure.Close()
+	sawBug, sawClean := false, false
+	for i := 0; i < 25; i++ {
+		seed := uint64(i) + 1
+		static := hStatic.Run(psharp.TestConfig{Strategy: mustPrepared(sct.NewRandom(seed)), MaxSteps: 500})
+		closure := hClosure.Run(psharp.TestConfig{Strategy: mustPrepared(sct.NewRandom(seed)), MaxSteps: 500})
+		if (static.Bug == nil) != (closure.Bug == nil) {
+			t.Fatalf("seed %d: static bug %v, closure bug %v", seed, static.Bug, closure.Bug)
+		}
+		if static.Bug != nil {
+			sawBug = true
+			if static.Bug.Kind != closure.Bug.Kind || static.Bug.Message != closure.Bug.Message {
+				t.Fatalf("seed %d: static bug %v, closure bug %v", seed, static.Bug, closure.Bug)
+			}
+		} else {
+			sawClean = true
+		}
+		if static.SchedulingPoints != closure.SchedulingPoints || static.Machines != closure.Machines {
+			t.Fatalf("seed %d: static (SP=%d, M=%d), closure (SP=%d, M=%d)", seed,
+				static.SchedulingPoints, static.Machines, closure.SchedulingPoints, closure.Machines)
+		}
+		if a, b := encodeTrace(t, static.Trace), encodeTrace(t, closure.Trace); a != b {
+			t.Fatalf("seed %d: traces diverge:\nstatic:\n%s\nclosure:\n%s", seed, a, b)
+		}
+	}
+	if !sawBug || !sawClean {
+		t.Fatalf("test program not exercising both outcomes (bug=%v clean=%v); strengthen the setup", sawBug, sawClean)
+	}
+	// The static harness compiled one schema per type, ever; the closure
+	// harness compiled one per machine instance per iteration.
+	if got := hStatic.SchemaCompiles(); got != 2 {
+		t.Errorf("static harness schema compiles = %d, want 2", got)
+	}
+	if got := hClosure.SchemaCompiles(); got < 25*4 {
+		t.Errorf("closure harness schema compiles = %d, want >= %d (one per instance per iteration)", got, 25*4)
+	}
+}
+
 // harnessAllocs measures steady-state allocations per iteration through a
 // warmed-up harness, and returns the scheduling points of one iteration.
 func harnessAllocs(t *testing.T, rounds int) (allocs float64, sp int) {
@@ -166,11 +266,14 @@ func TestHarnessAllocationCaps(t *testing.T) {
 	allocsShort, spShort := harnessRound(t, 32)
 	allocsLong, spLong := harnessRound(t, 512)
 
-	// Per-iteration budget: one machine's schema/factory rebuild plus the
-	// fixed iteration bookkeeping. The seed's RunTest needed hundreds of
-	// allocations for the same program; regressing past this cap means a
-	// per-iteration allocation crept back into the recycled path.
-	const perIterationCap = 40
+	// Per-iteration budget: with the spinner's schema compiled once per
+	// harness (static declaration) and every buffer recycled, an iteration
+	// costs a couple of allocations of setup wiring. The seed's RunTest
+	// needed hundreds for the same program and the pre-cache harness ~8;
+	// even one machine's schema rebuild (builder, state table, handler
+	// slice, frozen form) blows this cap, so schema work cannot silently
+	// return to the per-iteration path.
+	const perIterationCap = 6
 	if allocsShort > perIterationCap {
 		t.Errorf("steady-state allocations per iteration = %.1f, want <= %d", allocsShort, perIterationCap)
 	}
@@ -190,6 +293,102 @@ func harnessRound(t *testing.T, rounds int) (float64, int) {
 		t.Fatalf("spin program with %d rounds took only %d scheduling points", rounds, sp)
 	}
 	return allocs, sp
+}
+
+// TestProtocolAllocationCap locks in the schema-cache win on a real
+// protocol workload: TwoPhaseCommit creates six machines of five static
+// types per iteration, and with their schemas compiled once per type the
+// pooled steady state measures ~70 allocs/iteration (it was 163.8 when
+// every create rebuilt its machine's schema, and ~155 with the cache
+// disabled). The cap sits between the two regimes so any per-instance
+// schema rebuild sneaking back in fails the test.
+func TestProtocolAllocationCap(t *testing.T) {
+	b := protocols.MustByName("TwoPhaseCommit", true)
+	h := psharp.NewTestHarness(b.Setup)
+	defer h.Close()
+	strategy := sct.NewRandom(1)
+	cfg := psharp.TestConfig{Strategy: strategy, MaxSteps: b.MaxSteps}
+	iter := 0
+	for ; iter < 5; iter++ { // warm the pools and grow every buffer
+		strategy.PrepareIteration(iter)
+		h.Run(cfg)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		strategy.PrepareIteration(iter)
+		iter++
+		h.Run(cfg)
+	})
+	const protocolCap = 100
+	if allocs > protocolCap {
+		t.Errorf("TwoPhaseCommit steady-state allocations per iteration = %.1f, want <= %d", allocs, protocolCap)
+	}
+	t.Logf("TwoPhaseCommit allocs/iteration through warmed harness: %.1f", allocs)
+}
+
+// TestStaticSchemasCompileOncePerHarness asserts the compile-once
+// discipline end to end: a harness running a protocol whose machines all
+// use the static declaration form compiles exactly one schema per machine
+// type, across however many recycled iterations (and machine creates)
+// follow.
+func TestStaticSchemasCompileOncePerHarness(t *testing.T) {
+	b := protocols.MustByName("TwoPhaseCommit", true)
+	const types = 5 // coordinator, participant, checker, timer, logger
+	h := psharp.NewTestHarness(b.Setup)
+	defer h.Close()
+	strategy := sct.NewRandom(1)
+	for i := 0; i < 10; i++ {
+		strategy.PrepareIteration(i)
+		h.Run(psharp.TestConfig{Strategy: strategy, MaxSteps: b.MaxSteps})
+	}
+	if got := h.SchemaCompiles(); got != types {
+		t.Errorf("schema compiles across 10 iterations = %d, want %d (once per type)", got, types)
+	}
+	if got := h.CachedSchemas(); got != types {
+		t.Errorf("cached schemas = %d, want %d", got, types)
+	}
+}
+
+// TestStaticSchemasCompileOncePerRuntime covers the production runtime: N
+// creates of one static type share the schema compiled at registration.
+func TestStaticSchemasCompileOncePerRuntime(t *testing.T) {
+	r := psharp.NewRuntime()
+	r.MustRegister("Spinner", func() psharp.Machine {
+		return psharp.StaticMachineFunc(func(sc *psharp.Schema) {
+			sc.Start("Spin").Ignore(&evSpin{})
+		})
+	})
+	for i := 0; i < 8; i++ {
+		r.MustCreate("Spinner", nil)
+	}
+	if err := r.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	r.Stop()
+	if got := r.SchemaCompiles(); got != 1 {
+		t.Errorf("schema compiles for 8 creates of one static type = %d, want 1", got)
+	}
+}
+
+// TestInvalidStaticSchemaFailsAtRegister locks Register's error contract:
+// a static machine with an invalid schema is rejected at registration,
+// whether the per-type cache is enabled or not.
+func TestInvalidStaticSchemaFailsAtRegister(t *testing.T) {
+	bad := psharp.StaticMachineFunc(func(sc *psharp.Schema) {
+		sc.Start("A")
+		sc.Start("B") // duplicate start state
+	})
+	for _, tc := range []struct {
+		name string
+		opts []psharp.Option
+	}{
+		{"cached", nil},
+		{"cache-off", []psharp.Option{psharp.WithoutSchemaCache()}},
+	} {
+		r := psharp.NewRuntime(tc.opts...)
+		if err := r.Register("Bad", func() psharp.Machine { return bad }); err == nil {
+			t.Errorf("%s: Register accepted an invalid static schema", tc.name)
+		}
+	}
 }
 
 // TestHarnessHalvesAllocations pins the headline perf claim: the pooled

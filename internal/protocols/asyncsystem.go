@@ -57,6 +57,7 @@ type asDispatcherConfig struct {
 // base-service state machine (Init / Worker / Master) and implements the
 // four abstract actions as ordinary methods.
 type asService struct {
+	psharp.StaticBase
 	id         int
 	dispatcher psharp.MachineID
 	workers    []psharp.MachineID
@@ -68,8 +69,9 @@ func (s *asService) updateState()                     { s.data = append(s.data, 
 func (s *asService) copyState(src []int)              { s.data = append([]int(nil), src...) }
 func (s *asService) processClientRequest(req int) int { return req + s.id }
 
-func (s *asService) Configure(sc *psharp.Schema) {
-	toMaster := func(ctx *psharp.Context, ev psharp.Event) {
+func (*asService) ConfigureType(sc *psharp.Schema) {
+	toMaster := func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+		s := m.(*asService)
 		s.workers = ev.(*asChangeToMaster).Workers
 		ctx.Send(s.dispatcher, &asAck{})
 		for _, w := range s.workers {
@@ -81,8 +83,8 @@ func (s *asService) Configure(sc *psharp.Schema) {
 		}
 		ctx.Goto("Master")
 	}
-	toWorker := func(ctx *psharp.Context, ev psharp.Event) {
-		ctx.Send(s.dispatcher, &asAck{})
+	toWorker := func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+		ctx.Send(m.(*asService).dispatcher, &asAck{})
 		ctx.Goto("Worker")
 	}
 
@@ -91,7 +93,8 @@ func (s *asService) Configure(sc *psharp.Schema) {
 		Defer(&asChangeToWorker{}).
 		Defer(&asUpdateState{}).
 		Defer(&asCopyState{}).
-		OnEventDo(&asServiceInit{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&asServiceInit{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			s := m.(*asService)
 			cfg := ev.(*asServiceInit)
 			s.id = cfg.ID
 			s.dispatcher = cfg.Dispatcher
@@ -100,25 +103,25 @@ func (s *asService) Configure(sc *psharp.Schema) {
 		})
 
 	sc.State("Worker").
-		OnEventDo(&asUpdateState{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&asUpdateState{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
 			ctx.Write("service.data")
-			s.updateState()
+			m.(*asService).updateState()
 		}).
-		OnEventDo(&asCopyState{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&asCopyState{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
 			ctx.Write("service.data")
-			s.copyState(ev.(*asCopyState).Data)
+			m.(*asService).copyState(ev.(*asCopyState).Data)
 		}).
-		OnEventDo(&asChangeToMaster{}, toMaster).
-		OnEventDo(&asChangeToWorker{}, toWorker).
+		OnEventDoM(&asChangeToMaster{}, toMaster).
+		OnEventDoM(&asChangeToWorker{}, toWorker).
 		Ignore(&asClientRequest{}) // stale requests for a demoted master
 
 	sc.State("Master").
-		OnEventDo(&asClientRequest{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&asClientRequest{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
 			ctx.Read("service.data")
-			_ = s.processClientRequest(ev.(*asClientRequest).Data)
+			_ = m.(*asService).processClientRequest(ev.(*asClientRequest).Data)
 		}).
-		OnEventDo(&asChangeToWorker{}, toWorker).
-		OnEventDo(&asChangeToMaster{}, toMaster).
+		OnEventDoM(&asChangeToWorker{}, toWorker).
+		OnEventDoM(&asChangeToMaster{}, toMaster).
 		// A master keeps serving; state mutations during its reign arrive
 		// once it is demoted back to a worker.
 		Defer(&asUpdateState{}).
@@ -128,13 +131,15 @@ func (s *asService) Configure(sc *psharp.Schema) {
 // asDispatcher is the Dispatcher of Figure 1: in the Querying state it
 // loops, picking a service and one of four request kinds nondeterministically.
 type asDispatcher struct {
+	psharp.StaticBase
 	services []psharp.MachineID
 	rounds   int
 }
 
-func (d *asDispatcher) Configure(sc *psharp.Schema) {
+func (*asDispatcher) ConfigureType(sc *psharp.Schema) {
 	sc.Start("Boot").
-		OnEventDo(&asDispatcherConfig{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&asDispatcherConfig{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			d := m.(*asDispatcher)
 			cfg := ev.(*asDispatcherConfig)
 			d.services = cfg.Services
 			d.rounds = cfg.Rounds
@@ -143,7 +148,8 @@ func (d *asDispatcher) Configure(sc *psharp.Schema) {
 		OnEventGoto(&asAck{}, "Querying")
 
 	sc.State("Querying").
-		OnEntry(func(ctx *psharp.Context, ev psharp.Event) {
+		OnEntryM(func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			d := m.(*asDispatcher)
 			if d.rounds == 0 {
 				for _, s := range d.services {
 					ctx.Send(s, &psharp.HaltEvent{})

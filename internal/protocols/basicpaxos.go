@@ -77,8 +77,11 @@ type pxPersistAck struct {
 	Ballot int
 }
 
-// pxAcceptor implements the acceptor role.
+// pxAcceptor implements the acceptor role. The injected bug is a runtime
+// branch on the buggy instance field (not a schema difference), so the
+// static schema is shared by both variants.
 type pxAcceptor struct {
+	psharp.StaticBase
 	learner        psharp.MachineID
 	promised       int
 	acceptedBallot int
@@ -91,16 +94,17 @@ type pxAcceptorConfig struct {
 	Learner psharp.MachineID
 }
 
-func (a *pxAcceptor) Configure(sc *psharp.Schema) {
+func (*pxAcceptor) ConfigureType(sc *psharp.Schema) {
 	sc.Start("Boot").
 		Defer(&pxPrepare{}).
 		Defer(&pxAccept{}).
-		OnEventDo(&pxAcceptorConfig{}, func(ctx *psharp.Context, ev psharp.Event) {
-			a.learner = ev.(*pxAcceptorConfig).Learner
+		OnEventDoM(&pxAcceptorConfig{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			m.(*pxAcceptor).learner = ev.(*pxAcceptorConfig).Learner
 			ctx.Goto("Active")
 		})
 	sc.State("Active").
-		OnEventDo(&pxPrepare{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&pxPrepare{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			a := m.(*pxAcceptor)
 			p := ev.(*pxPrepare)
 			if p.Ballot <= a.promised {
 				ctx.Send(p.Proposer, &pxNack{Ballot: p.Ballot, Promised: a.promised})
@@ -119,7 +123,8 @@ func (a *pxAcceptor) Configure(sc *psharp.Schema) {
 				AcceptedValue:  a.acceptedValue,
 			})
 		}).
-		OnEventDo(&pxAccept{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&pxAccept{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			a := m.(*pxAcceptor)
 			acc := ev.(*pxAccept)
 			if acc.Ballot < a.promised {
 				ctx.Send(acc.Proposer, &pxNack{Ballot: acc.Ballot, Promised: a.promised})
@@ -136,6 +141,7 @@ func (a *pxAcceptor) Configure(sc *psharp.Schema) {
 // pxProposer runs phases 1 and 2, retrying with a higher ballot on
 // rejection, up to a bounded number of rounds.
 type pxProposer struct {
+	psharp.StaticBase
 	acceptors []psharp.MachineID
 	learner   psharp.MachineID
 	registry  psharp.MachineID
@@ -152,9 +158,10 @@ type pxProposer struct {
 	majorityNeed int
 }
 
-func (p *pxProposer) Configure(sc *psharp.Schema) {
+func (*pxProposer) ConfigureType(sc *psharp.Schema) {
 	sc.Start("Boot").
-		OnEventDo(&pxConfig{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&pxConfig{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			p := m.(*pxProposer)
 			cfg := ev.(*pxConfig)
 			p.acceptors = cfg.Acceptors
 			p.learner = cfg.Learner
@@ -179,7 +186,8 @@ func (p *pxProposer) Configure(sc *psharp.Schema) {
 		})
 
 	sc.State("Phase1").
-		OnEntry(func(ctx *psharp.Context, ev psharp.Event) {
+		OnEntryM(func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			p := m.(*pxProposer)
 			p.round++
 			p.ballot = p.round*10 + p.ballotOff
 			p.promises = 0
@@ -189,7 +197,8 @@ func (p *pxProposer) Configure(sc *psharp.Schema) {
 				ctx.Send(a, &pxPrepare{Ballot: p.ballot, Proposer: ctx.ID()})
 			}
 		}).
-		OnEventDo(&pxPromise{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&pxPromise{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			p := m.(*pxProposer)
 			pr := ev.(*pxPromise)
 			if pr.Ballot != p.ballot {
 				return // stale promise from an earlier round
@@ -206,26 +215,29 @@ func (p *pxProposer) Configure(sc *psharp.Schema) {
 				ctx.Goto("Persisting")
 			}
 		}).
-		OnEventDo(&pxNack{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&pxNack{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			p := m.(*pxProposer)
 			if ev.(*pxNack).Ballot != p.ballot {
 				return
 			}
 			p.retry(ctx)
 		}).
 		// A persist acknowledgement from a ballot abandoned by a retry.
-		OnEventDo(&pxPersistAck{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&pxPersistAck{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			p := m.(*pxProposer)
 			ctx.Assert(ev.(*pxPersistAck).Ballot != p.ballot,
 				"persist ack for the current ballot %d before persisting", p.ballot)
 		})
 
 	sc.State("Persisting").
-		OnEventDo(&pxPersistAck{}, func(ctx *psharp.Context, ev psharp.Event) {
-			if ev.(*pxPersistAck).Ballot != p.ballot {
+		OnEventDoM(&pxPersistAck{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			if ev.(*pxPersistAck).Ballot != m.(*pxProposer).ballot {
 				return
 			}
 			ctx.Goto("Phase2")
 		}).
-		OnEventDo(&pxNack{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&pxNack{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			p := m.(*pxProposer)
 			if ev.(*pxNack).Ballot != p.ballot {
 				return
 			}
@@ -234,7 +246,8 @@ func (p *pxProposer) Configure(sc *psharp.Schema) {
 		Ignore(&pxPromise{})
 
 	sc.State("Phase2").
-		OnEntry(func(ctx *psharp.Context, ev psharp.Event) {
+		OnEntryM(func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			p := m.(*pxProposer)
 			value := p.myValue
 			if p.bestBallot > 0 {
 				// Paxos's value-adoption rule: propose the value of the
@@ -246,7 +259,8 @@ func (p *pxProposer) Configure(sc *psharp.Schema) {
 				ctx.Send(a, &pxAccept{Ballot: p.ballot, Value: value, Proposer: ctx.ID()})
 			}
 		}).
-		OnEventDo(&pxNack{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&pxNack{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			p := m.(*pxProposer)
 			if ev.(*pxNack).Ballot != p.ballot {
 				return
 			}
@@ -266,9 +280,9 @@ func (p *pxProposer) Configure(sc *psharp.Schema) {
 // pxRegistry persists proposer ballots (one round trip between winning
 // phase 1 and streaming phase-2 accepts, widening the window in which the
 // proposers' rounds overlap).
-type pxRegistry struct{}
+type pxRegistry struct{ psharp.StaticBase }
 
-func (g *pxRegistry) Configure(sc *psharp.Schema) {
+func (*pxRegistry) ConfigureType(sc *psharp.Schema) {
 	sc.Start("Ready").
 		OnEventDo(&pxPersist{}, func(ctx *psharp.Context, ev psharp.Event) {
 			// Writing the ballot durably takes a beat: the write request
@@ -301,6 +315,7 @@ func (p *pxProposer) retry(ctx *psharp.Context) {
 // pxLearner watches accepted ballots; once some ballot reaches a majority
 // its value is chosen, and every chosen value must be identical.
 type pxLearner struct {
+	psharp.StaticBase
 	majorityNeed int
 	perBallot    map[int]int
 	valueOf      map[int]int
@@ -313,17 +328,16 @@ type pxLearnerConfig struct {
 	NumAcceptors int
 }
 
-func (l *pxLearner) Configure(sc *psharp.Schema) {
-	l.perBallot = make(map[int]int)
-	l.valueOf = make(map[int]int)
+func (*pxLearner) ConfigureType(sc *psharp.Schema) {
 	sc.Start("Boot").
 		Defer(&pxAccepted{}).
-		OnEventDo(&pxLearnerConfig{}, func(ctx *psharp.Context, ev psharp.Event) {
-			l.majorityNeed = ev.(*pxLearnerConfig).NumAcceptors/2 + 1
+		OnEventDoM(&pxLearnerConfig{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			m.(*pxLearner).majorityNeed = ev.(*pxLearnerConfig).NumAcceptors/2 + 1
 			ctx.Goto("Learning")
 		})
 	sc.State("Learning").
-		OnEventDo(&pxAccepted{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&pxAccepted{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			l := m.(*pxLearner)
 			acc := ev.(*pxAccepted)
 			l.perBallot[acc.Ballot]++
 			l.valueOf[acc.Ballot] = acc.Value
@@ -352,7 +366,9 @@ func basicPaxosBenchmark(buggy bool) Benchmark {
 		Setup: func(r *psharp.Runtime) {
 			r.MustRegister("PaxosAcceptor", func() psharp.Machine { return &pxAcceptor{buggy: buggy} })
 			r.MustRegister("PaxosProposer", func() psharp.Machine { return &pxProposer{} })
-			r.MustRegister("PaxosLearner", func() psharp.Machine { return &pxLearner{} })
+			r.MustRegister("PaxosLearner", func() psharp.Machine {
+				return &pxLearner{perBallot: make(map[int]int), valueOf: make(map[int]int)}
+			})
 			r.MustRegister("PaxosRegistry", func() psharp.Machine { return &pxRegistry{} })
 			learner := r.MustCreate("PaxosLearner", nil)
 			registry := r.MustCreate("PaxosRegistry", nil)

@@ -45,6 +45,7 @@ type baSchedulerSetup struct {
 }
 
 type baScheduler struct {
+	psharp.StaticBase
 	procs    []psharp.MachineID
 	ticker   psharp.MachineID
 	reqCount int
@@ -53,10 +54,13 @@ type baScheduler struct {
 	buggy    bool
 }
 
-func (s *baScheduler) Configure(sc *psharp.Schema) {
+// ConfigureType declares the scheduler's schema once per registered type;
+// buggy is a registration parameter the factory bakes into the probe.
+func (probe *baScheduler) ConfigureType(sc *psharp.Schema) {
 	sc.Start("Init").
 		Defer(&baReq{}).
-		OnEventDo(&baSchedulerSetup{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&baSchedulerSetup{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			s := m.(*baScheduler)
 			cfg := ev.(*baSchedulerSetup)
 			s.procs = cfg.Procs
 			s.ticker = cfg.Ticker
@@ -65,7 +69,8 @@ func (s *baScheduler) Configure(sc *psharp.Schema) {
 		})
 
 	sc.State("Counting").
-		OnEventDo(&baReq{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&baReq{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			s := m.(*baScheduler)
 			s.reqCount++
 			ctx.Write("scheduler.reqCount")
 			if s.reqCount < len(s.procs) {
@@ -94,7 +99,7 @@ func (s *baScheduler) Configure(sc *psharp.Schema) {
 
 	broadcasting := sc.State("Broadcasting")
 	broadcasting.OnEventGoto(&baTock{}, "Counting")
-	if !s.buggy {
+	if !probe.buggy {
 		// The fix: requests that race ahead of the ticker round trip stay
 		// queued until the scheduler is counting again.
 		broadcasting.Defer(&baReq{})
@@ -103,39 +108,46 @@ func (s *baScheduler) Configure(sc *psharp.Schema) {
 
 // baRelay is the network hop between the processes and the scheduler: it
 // forwards requests unchanged.
-type baRelay struct{ sched psharp.MachineID }
+type baRelay struct {
+	psharp.StaticBase
+	sched psharp.MachineID
+}
 
-func (rl *baRelay) Configure(sc *psharp.Schema) {
+func (*baRelay) ConfigureType(sc *psharp.Schema) {
 	sc.Start("Forwarding").
-		OnEntry(func(ctx *psharp.Context, ev psharp.Event) {
-			rl.sched = ev.(*baConfig).Scheduler
+		OnEntryM(func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			m.(*baRelay).sched = ev.(*baConfig).Scheduler
 		}).
 		OnEventDo(&baReq{}, func(ctx *psharp.Context, ev psharp.Event) {
 			// Two queue passes per request: the relay models a network with
 			// store-and-forward latency.
 			ctx.Send(ctx.ID(), &baFwd{})
 		}).
-		OnEventDo(&baFwd{}, func(ctx *psharp.Context, ev psharp.Event) {
-			ctx.Send(rl.sched, &baReq{})
+		OnEventDoM(&baFwd{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			ctx.Send(m.(*baRelay).sched, &baReq{})
 		})
 }
 
 // baFwd paces a relayed request through the relay's own queue.
 type baFwd struct{ psharp.EventBase }
 
-type baTicker struct{ sched psharp.MachineID }
+type baTicker struct {
+	psharp.StaticBase
+	sched psharp.MachineID
+}
 
-func (t *baTicker) Configure(sc *psharp.Schema) {
+func (*baTicker) ConfigureType(sc *psharp.Schema) {
 	sc.Start("Idle").
-		OnEntry(func(ctx *psharp.Context, ev psharp.Event) {
-			t.sched = ev.(*baConfig).Scheduler
+		OnEntryM(func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			m.(*baTicker).sched = ev.(*baConfig).Scheduler
 		}).
-		OnEventDo(&baTick{}, func(ctx *psharp.Context, ev psharp.Event) {
-			ctx.Send(t.sched, &baTock{})
+		OnEventDoM(&baTick{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			ctx.Send(m.(*baTicker).sched, &baTock{})
 		})
 }
 
 type baProcess struct {
+	psharp.StaticBase
 	sched psharp.MachineID
 	right psharp.MachineID
 	round int
@@ -146,12 +158,13 @@ type baProcess struct {
 // ahead of the ticker's one-hop round trip — keeping the buggy missing
 // defer a rare event, as in the paper (6% of schedules).
 
-func (p *baProcess) Configure(sc *psharp.Schema) {
+func (*baProcess) ConfigureType(sc *psharp.Schema) {
 	sc.Start("Init").
 		// A configured left neighbour may exchange values before this
 		// process has seen its own configuration event.
 		Defer(&baVal{}).
-		OnEventDo(&baConfig{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&baConfig{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			p := m.(*baProcess)
 			cfg := ev.(*baConfig)
 			p.sched = cfg.Scheduler
 			p.right = cfg.Right
@@ -159,13 +172,15 @@ func (p *baProcess) Configure(sc *psharp.Schema) {
 			ctx.Goto("Syncing")
 		})
 	sc.State("Syncing").
-		OnEventDo(&baResp{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&baResp{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			p := m.(*baProcess)
 			p.round++
 			ctx.Write("process.round")
 			ctx.Send(p.right, &baVal{Round: p.round})
 			ctx.Send(p.sched, &baReq{})
 		}).
-		OnEventDo(&baVal{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&baVal{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			p := m.(*baProcess)
 			v := ev.(*baVal)
 			ctx.Read("process.round")
 			diff := v.Round - p.round

@@ -97,23 +97,26 @@ type crAuditChk struct {
 	Expect int
 }
 
-// crHead is the chain's head replica.
+// crHead is the chain's head replica. The seeded bug is a runtime branch on
+// the buggy instance field, so both variants share one schema.
 type crHead struct {
+	psharp.StaticBase
 	succ    psharp.MachineID
 	buggy   bool
 	lastSeq int
 	unacked []crUpdate
 }
 
-func (h *crHead) Configure(sc *psharp.Schema) {
+func (*crHead) ConfigureType(sc *psharp.Schema) {
 	sc.Start("Boot").
 		Defer(&crWrite{}).
-		OnEventDo(&crServerConfig{}, func(ctx *psharp.Context, ev psharp.Event) {
-			h.succ = ev.(*crServerConfig).Succ
+		OnEventDoM(&crServerConfig{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			m.(*crHead).succ = ev.(*crServerConfig).Succ
 			ctx.Goto("Serving")
 		})
 	sc.State("Serving").
-		OnEventDo(&crWrite{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&crWrite{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			h := m.(*crHead)
 			w := ev.(*crWrite)
 			u := crUpdate{Seq: w.Seq, Val: w.Val}
 			h.unacked = append(h.unacked, u)
@@ -121,12 +124,14 @@ func (h *crHead) Configure(sc *psharp.Schema) {
 			ctx.Write("head.history")
 			ctx.Send(h.succ, &crUpdate{Seq: u.Seq, Val: u.Val})
 		}).
-		OnEventDo(&crAudit{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&crAudit{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			h := m.(*crHead)
 			// The check rides the same successor path as the updates, so it
 			// arrives at the tail behind everything the head forwarded.
 			ctx.Send(h.succ, &crAuditChk{Expect: h.lastSeq})
 		}).
-		OnEventDo(&crAck{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&crAck{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			h := m.(*crHead)
 			seq := ev.(*crAck).Seq
 			for i, u := range h.unacked {
 				if u.Seq == seq {
@@ -135,7 +140,8 @@ func (h *crHead) Configure(sc *psharp.Schema) {
 				}
 			}
 		}).
-		OnEventDo(&crNewConfig{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&crNewConfig{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			h := m.(*crHead)
 			h.succ = ev.(*crNewConfig).Succ
 			if h.buggy {
 				// The seeded bug: the Update Propagation Invariant is not
@@ -151,29 +157,32 @@ func (h *crHead) Configure(sc *psharp.Schema) {
 
 // crMid is the middle replica; it can be crashed by the failure detector.
 type crMid struct {
+	psharp.StaticBase
 	succ     psharp.MachineID
 	detector psharp.MachineID
 }
 
-func (m *crMid) Configure(sc *psharp.Schema) {
+func (*crMid) ConfigureType(sc *psharp.Schema) {
 	sc.Start("Boot").
 		Defer(&crUpdate{}).
 		Defer(&crFail{}).
-		OnEventDo(&crServerConfig{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&crServerConfig{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			md := m.(*crMid)
 			cfg := ev.(*crServerConfig)
-			m.succ = cfg.Succ
-			m.detector = cfg.Detector
+			md.succ = cfg.Succ
+			md.detector = cfg.Detector
 			ctx.Goto("Serving")
 		})
 	sc.State("Serving").
-		OnEventDo(&crUpdate{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&crUpdate{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			md := m.(*crMid)
 			u := ev.(*crUpdate)
 			ctx.Write("mid.history")
-			ctx.Send(m.succ, &crUpdate{Seq: u.Seq, Val: u.Val})
-			if u.Seq >= 2 && !m.detector.IsNil() {
+			ctx.Send(md.succ, &crUpdate{Seq: u.Seq, Val: u.Val})
+			if u.Seq >= 2 && !md.detector.IsNil() {
 				// The failure detector watches this replica's own traffic,
 				// so the crash always lands while the replica is active.
-				ctx.Send(m.detector, &crObserved{Seq: u.Seq})
+				ctx.Send(md.detector, &crObserved{Seq: u.Seq})
 			}
 		}).
 		OnEventDo(&crFail{}, func(ctx *psharp.Context, ev psharp.Event) {
@@ -186,17 +195,19 @@ func (m *crMid) Configure(sc *psharp.Schema) {
 // crTail asserts the gap-free delivery invariant and the end-to-end audit,
 // and acknowledges applied updates.
 type crTail struct {
+	psharp.StaticBase
 	head     psharp.MachineID
 	client   psharp.MachineID
 	detector psharp.MachineID
 	last     int
 }
 
-func (t *crTail) Configure(sc *psharp.Schema) {
+func (*crTail) ConfigureType(sc *psharp.Schema) {
 	sc.Start("Boot").
 		Defer(&crUpdate{}).
 		Defer(&crAuditChk{}).
-		OnEventDo(&crServerConfig{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&crServerConfig{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			t := m.(*crTail)
 			cfg := ev.(*crServerConfig)
 			t.head = cfg.Head
 			t.client = cfg.Client
@@ -204,7 +215,8 @@ func (t *crTail) Configure(sc *psharp.Schema) {
 			ctx.Goto("Serving")
 		})
 	sc.State("Serving").
-		OnEventDo(&crUpdate{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&crUpdate{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			t := m.(*crTail)
 			u := ev.(*crUpdate)
 			ctx.Assert(u.Seq <= t.last+1,
 				"update propagation invariant violated: tail received seq %d after %d (gap of %d lost updates)",
@@ -217,7 +229,8 @@ func (t *crTail) Configure(sc *psharp.Schema) {
 			ctx.Send(t.head, &crAck{Seq: u.Seq})
 			ctx.Send(t.client, &crAck{Seq: u.Seq})
 		}).
-		OnEventDo(&crAuditChk{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&crAuditChk{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			t := m.(*crTail)
 			chk := ev.(*crAuditChk)
 			ctx.Assert(t.last == chk.Expect,
 				"audit failed: head accepted up to seq %d but the tail only holds up to %d (%d updates lost)",
@@ -227,14 +240,16 @@ func (t *crTail) Configure(sc *psharp.Schema) {
 
 // crClient pumps a fixed number of sequenced writes on a self-paced loop.
 type crClient struct {
+	psharp.StaticBase
 	head   psharp.MachineID
 	writes int
 	seq    int
 }
 
-func (c *crClient) Configure(sc *psharp.Schema) {
+func (*crClient) ConfigureType(sc *psharp.Schema) {
 	sc.Start("Boot").
-		OnEventDo(&crClientConfig{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&crClientConfig{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			c := m.(*crClient)
 			cfg := ev.(*crClientConfig)
 			c.head = cfg.Head
 			c.writes = cfg.Writes
@@ -242,7 +257,8 @@ func (c *crClient) Configure(sc *psharp.Schema) {
 			ctx.Goto("Pumping")
 		})
 	sc.State("Pumping").
-		OnEventDo(&crPump{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&crPump{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			c := m.(*crClient)
 			// Writes go out in bursts of two, as a batching client would
 			// send them, so the chain almost always has updates in flight.
 			for i := 0; i < 2 && c.seq < c.writes; i++ {
@@ -258,23 +274,26 @@ func (c *crClient) Configure(sc *psharp.Schema) {
 
 // crMaster reconfigures the chain when the middle replica fails.
 type crMaster struct {
+	psharp.StaticBase
 	head psharp.MachineID
 	tail psharp.MachineID
 }
 
-func (m *crMaster) Configure(sc *psharp.Schema) {
+func (*crMaster) ConfigureType(sc *psharp.Schema) {
 	sc.Start("Boot").
 		Defer(&crMidFailed{}).
-		OnEventDo(&crMasterConfig{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&crMasterConfig{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			ms := m.(*crMaster)
 			cfg := ev.(*crMasterConfig)
-			m.head = cfg.Head
-			m.tail = cfg.Tail
+			ms.head = cfg.Head
+			ms.tail = cfg.Tail
 			ctx.Goto("Watching")
 		})
 	sc.State("Watching").
-		OnEventDo(&crMidFailed{}, func(ctx *psharp.Context, ev psharp.Event) {
-			ctx.Send(m.head, &crNewConfig{Succ: m.tail})
-			ctx.Send(m.head, &crAudit{})
+		OnEventDoM(&crMidFailed{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			ms := m.(*crMaster)
+			ctx.Send(ms.head, &crNewConfig{Succ: ms.tail})
+			ctx.Send(ms.head, &crAudit{})
 		})
 }
 
@@ -282,21 +301,24 @@ func (m *crMaster) Configure(sc *psharp.Schema) {
 // with a couple of coin flips deciding exactly when (the "several random
 // binary choices" of the paper's description).
 type crDetector struct {
+	psharp.StaticBase
 	mid    psharp.MachineID
 	master psharp.MachineID
 }
 
-func (d *crDetector) Configure(sc *psharp.Schema) {
+func (*crDetector) ConfigureType(sc *psharp.Schema) {
 	sc.Start("Boot").
 		Defer(&crObserved{}).
-		OnEventDo(&crDetectorConfig{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&crDetectorConfig{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			d := m.(*crDetector)
 			cfg := ev.(*crDetectorConfig)
 			d.mid = cfg.Mid
 			d.master = cfg.Master
 			ctx.Goto("Waiting")
 		})
 	sc.State("Waiting").
-		OnEventDo(&crObserved{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&crObserved{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			d := m.(*crDetector)
 			seq := ev.(*crObserved).Seq
 			if seq < 2 {
 				return

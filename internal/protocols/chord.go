@@ -95,6 +95,7 @@ func inHalfOpen(key, from, to int) bool {
 }
 
 type chordNode struct {
+	psharp.StaticBase
 	id     int
 	succ   psharp.MachineID
 	succID int
@@ -104,8 +105,10 @@ type chordNode struct {
 	pendingClient psharp.MachineID
 }
 
-func (n *chordNode) Configure(sc *psharp.Schema) {
-	route := func(ctx *psharp.Context, l *chordLookup) {
+// ConfigureType declares the node's schema once per registered type; buggy
+// is a registration parameter the factory bakes into the probe.
+func (probe *chordNode) ConfigureType(sc *psharp.Schema) {
+	route := func(n *chordNode, ctx *psharp.Context, l *chordLookup) {
 		ctx.Read("node.successor")
 		if inHalfOpen(l.Key, n.id, n.succID) {
 			ctx.Send(n.succ, &chordClaim{Key: l.Key, Client: l.Client})
@@ -118,14 +121,16 @@ func (n *chordNode) Configure(sc *psharp.Schema) {
 		Defer(&chordLookup{}).
 		Defer(&chordClaim{}).
 		Defer(&chordUpdateSucc{}).
-		OnEventDo(&chordNodeConfig{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&chordNodeConfig{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			n := m.(*chordNode)
 			cfg := ev.(*chordNodeConfig)
 			n.id = cfg.ID
 			n.succ = cfg.Successor
 			n.succID = cfg.SuccID
 			ctx.Goto("Active")
 		}).
-		OnEventDo(&chordJoin{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&chordJoin{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			n := m.(*chordNode)
 			j := ev.(*chordJoin)
 			n.id = j.ID
 			n.succ = j.Successor
@@ -140,10 +145,10 @@ func (n *chordNode) Configure(sc *psharp.Schema) {
 
 	joining := sc.State("Joining")
 	joining.OnEventGoto(&chordJoinAck{}, "Active")
-	joining.OnEventDo(&chordUpdateAck{}, func(ctx *psharp.Context, ev psharp.Event) {
-		ctx.Send(n.pendingClient, &chordJoinStarted{})
+	joining.OnEventDoM(&chordUpdateAck{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+		ctx.Send(m.(*chordNode).pendingClient, &chordJoinStarted{})
 	})
-	if !n.buggy {
+	if !probe.buggy {
 		// The fix: traffic routed through the half-joined node waits until
 		// the join handshake completes.
 		joining.Defer(&chordLookup{})
@@ -151,14 +156,15 @@ func (n *chordNode) Configure(sc *psharp.Schema) {
 	}
 
 	sc.State("Active").
-		OnEventDo(&chordLookup{}, func(ctx *psharp.Context, ev psharp.Event) {
-			route(ctx, ev.(*chordLookup))
+		OnEventDoM(&chordLookup{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			route(m.(*chordNode), ctx, ev.(*chordLookup))
 		}).
-		OnEventDo(&chordClaim{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&chordClaim{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
 			cl := ev.(*chordClaim)
-			ctx.Send(cl.Client, &chordResult{Key: cl.Key, OwnerID: n.id})
+			ctx.Send(cl.Client, &chordResult{Key: cl.Key, OwnerID: m.(*chordNode).id})
 		}).
-		OnEventDo(&chordUpdateSucc{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&chordUpdateSucc{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			n := m.(*chordNode)
 			u := ev.(*chordUpdateSucc)
 			ctx.Write("node.successor")
 			n.succ = u.Joiner
@@ -167,7 +173,8 @@ func (n *chordNode) Configure(sc *psharp.Schema) {
 		}).
 		// The predecessor's acknowledgement can trail the supervisor's join
 		// acknowledgement, in which case it lands after the transition.
-		OnEventDo(&chordUpdateAck{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&chordUpdateAck{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			n := m.(*chordNode)
 			if !n.pendingClient.IsNil() {
 				ctx.Send(n.pendingClient, &chordJoinStarted{})
 				n.pendingClient = psharp.MachineID{}
@@ -178,7 +185,7 @@ func (n *chordNode) Configure(sc *psharp.Schema) {
 // chordSupervisor authorizes joins; it is deliberately the last-created
 // machine so that on the default schedule its acknowledgement trails the
 // client's lookups, keeping the join window open.
-type chordSupervisor struct{}
+type chordSupervisor struct{ psharp.StaticBase }
 
 // chordGrant paces the supervisor's authorization through its own queue,
 // widening the join window the way the key transfer of a real deployment
@@ -188,7 +195,7 @@ type chordGrant struct {
 	Joiner psharp.MachineID
 }
 
-func (s *chordSupervisor) Configure(sc *psharp.Schema) {
+func (*chordSupervisor) ConfigureType(sc *psharp.Schema) {
 	sc.Start("Ready").
 		OnEventDo(&chordJoinReq{}, func(ctx *psharp.Context, ev psharp.Event) {
 			ctx.Send(ctx.ID(), &chordGrant{Joiner: ev.(*chordJoinReq).Joiner})
@@ -199,6 +206,7 @@ func (s *chordSupervisor) Configure(sc *psharp.Schema) {
 }
 
 type chordClient struct {
+	psharp.StaticBase
 	nodes   []psharp.MachineID
 	nodeIDs []int
 	joiner  psharp.MachineID
@@ -217,9 +225,10 @@ type chordClientConfig struct {
 	Supervisor psharp.MachineID
 }
 
-func (c *chordClient) Configure(sc *psharp.Schema) {
+func (*chordClient) ConfigureType(sc *psharp.Schema) {
 	sc.Start("Boot").
-		OnEventDo(&chordClientConfig{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&chordClientConfig{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			c := m.(*chordClient)
 			cfg := ev.(*chordClientConfig)
 			c.nodes = cfg.Nodes
 			c.nodeIDs = cfg.NodeIDs
@@ -233,7 +242,8 @@ func (c *chordClient) Configure(sc *psharp.Schema) {
 		})
 
 	sc.State("FirstLookup").
-		OnEventDo(&chordResult{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&chordResult{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			c := m.(*chordClient)
 			res := ev.(*chordResult)
 			want := successorOf(res.Key, c.nodeIDs)
 			ctx.Assert(res.OwnerID == want,
@@ -250,7 +260,8 @@ func (c *chordClient) Configure(sc *psharp.Schema) {
 		})
 
 	sc.State("WaitJoin").
-		OnEventDo(&chordJoinStarted{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&chordJoinStarted{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			c := m.(*chordClient)
 			c.lookups = 2
 			for i := 0; i < c.lookups; i++ {
 				ctx.Send(c.nodes[0], &chordLookup{Key: c.joinID, Client: ctx.ID()})
@@ -259,7 +270,8 @@ func (c *chordClient) Configure(sc *psharp.Schema) {
 		})
 
 	sc.State("JoinLookup").
-		OnEventDo(&chordResult{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&chordResult{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			c := m.(*chordClient)
 			res := ev.(*chordResult)
 			// During a join, a lookup may legitimately be answered by the
 			// old owner (the splice is not atomic across the ring); what

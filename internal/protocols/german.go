@@ -82,8 +82,11 @@ type gerDetach struct {
 
 type gerDetachAck struct{ psharp.EventBase }
 
-// gerHost is the directory.
+// gerHost is the directory. The sharers map is per-instance state, so the
+// factory initializes it; the off-by-one bug is a runtime branch on the
+// buggy instance field, so both variants share one schema.
 type gerHost struct {
+	psharp.StaticBase
 	sharers map[psharp.MachineID]bool
 	owner   psharp.MachineID
 	buggy   bool
@@ -93,11 +96,10 @@ type gerHost struct {
 	waiting       map[psharp.MachineID]bool
 }
 
-func (h *gerHost) Configure(sc *psharp.Schema) {
-	h.sharers = make(map[psharp.MachineID]bool)
-
+func (*gerHost) ConfigureType(sc *psharp.Schema) {
 	idle := sc.Start("Idle")
-	idle.OnEventDo(&gerReqShared{}, func(ctx *psharp.Context, ev psharp.Event) {
+	idle.OnEventDoM(&gerReqShared{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+		h := m.(*gerHost)
 		c := ev.(*gerReqShared).Client
 		if !h.owner.IsNil() {
 			ctx.Send(h.owner, &gerInvalidate{})
@@ -106,7 +108,8 @@ func (h *gerHost) Configure(sc *psharp.Schema) {
 		}
 		h.grantShared(ctx, c)
 	})
-	idle.OnEventDo(&gerReqExcl{}, func(ctx *psharp.Context, ev psharp.Event) {
+	idle.OnEventDoM(&gerReqExcl{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+		h := m.(*gerHost)
 		c := ev.(*gerReqExcl).Client
 		targets := h.invalidationTargets(c)
 		if len(targets) == 0 {
@@ -118,21 +121,21 @@ func (h *gerHost) Configure(sc *psharp.Schema) {
 		}
 		h.beginInvalidation(ctx, c, true, targets)
 	})
-	idle.OnEventDo(&gerRelease{}, func(ctx *psharp.Context, ev psharp.Event) {
-		h.release(ev.(*gerRelease).Client)
+	idle.OnEventDoM(&gerRelease{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+		m.(*gerHost).release(ev.(*gerRelease).Client)
 	})
-	idle.OnEventDo(&gerDetach{}, func(ctx *psharp.Context, ev psharp.Event) {
+	idle.OnEventDoM(&gerDetach{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
 		c := ev.(*gerDetach).Client
-		h.release(c)
+		m.(*gerHost).release(c)
 		ctx.Send(c, &gerDetachAck{})
 	})
 	// Acknowledgements for invalidations answered by clients that had
 	// already released can trickle in while the host is idle.
-	idle.OnEventDo(&gerInvAck{}, func(ctx *psharp.Context, ev psharp.Event) {
-		h.release(ev.(*gerInvAck).Client)
+	idle.OnEventDoM(&gerInvAck{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+		m.(*gerHost).release(ev.(*gerInvAck).Client)
 	})
 
-	ackOrRelease := func(ctx *psharp.Context, c psharp.MachineID) {
+	ackOrRelease := func(h *gerHost, ctx *psharp.Context, c psharp.MachineID) {
 		h.release(c)
 		if !h.waiting[c] {
 			return
@@ -154,15 +157,15 @@ func (h *gerHost) Configure(sc *psharp.Schema) {
 		Defer(&gerReqShared{}).
 		Defer(&gerReqExcl{}).
 		Defer(&gerDetach{}).
-		OnEventDo(&gerInvAck{}, func(ctx *psharp.Context, ev psharp.Event) {
-			ackOrRelease(ctx, ev.(*gerInvAck).Client)
+		OnEventDoM(&gerInvAck{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			ackOrRelease(m.(*gerHost), ctx, ev.(*gerInvAck).Client)
 		}).
-		OnEventDo(&gerRelease{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&gerRelease{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
 			// A release that raced with our invalidation drops the copy,
 			// but the invalidation is still in flight and its
 			// acknowledgement still settles the wait — settling here would
 			// let a stale acknowledgement leak into a later round.
-			h.release(ev.(*gerRelease).Client)
+			m.(*gerHost).release(ev.(*gerRelease).Client)
 		})
 }
 
@@ -223,36 +226,37 @@ func (h *gerHost) grantExclusive(ctx *psharp.Context, c psharp.MachineID) {
 
 // gerClient requests access for a number of rounds and then stops.
 type gerClient struct {
+	psharp.StaticBase
 	host     psharp.MachineID
 	rounds   int
 	buggy    bool
 	heldExcl bool // the most recent grant was exclusive
 }
 
-func (c *gerClient) Configure(sc *psharp.Schema) {
-	ackInvalidate := func(ctx *psharp.Context, ev psharp.Event) {
-		ctx.Send(c.host, &gerInvAck{Client: ctx.ID()})
+func (*gerClient) ConfigureType(sc *psharp.Schema) {
+	ackInvalidate := func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+		ctx.Send(m.(*gerClient).host, &gerInvAck{Client: ctx.ID()})
 	}
 	// staleInvalidate handles an invalidation that raced with this client's
 	// release: the correct client acknowledges it; the buggy one has the
 	// mistake in its exclusive-copy (writer) teardown path, where it spins
-	// on a self-sent retry event forever instead.
-	staleInvalidate := ackInvalidate
-	if c.buggy {
-		staleInvalidate = func(ctx *psharp.Context, ev psharp.Event) {
-			if c.heldExcl {
-				ctx.Send(ctx.ID(), &gerSpin{})
-				return
-			}
-			ackInvalidate(ctx, ev)
+	// on a self-sent retry event forever instead. The variants share one
+	// schema; the mistake is a runtime branch on the buggy instance field.
+	staleInvalidate := func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+		c := m.(*gerClient)
+		if c.buggy && c.heldExcl {
+			ctx.Send(ctx.ID(), &gerSpin{})
+			return
 		}
+		ackInvalidate(m, ctx, ev)
 	}
 	spin := func(ctx *psharp.Context, ev psharp.Event) {
 		ctx.Send(ctx.ID(), &gerSpin{})
 	}
 
 	sc.Start("Boot").
-		OnEventDo(&gerConfig{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&gerConfig{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			c := m.(*gerClient)
 			cfg := ev.(*gerConfig)
 			c.host = cfg.Host
 			c.rounds = cfg.Rounds
@@ -260,7 +264,8 @@ func (c *gerClient) Configure(sc *psharp.Schema) {
 		})
 
 	sc.State("Deciding").
-		OnEntry(func(ctx *psharp.Context, ev psharp.Event) {
+		OnEntryM(func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			c := m.(*gerClient)
 			if c.rounds == 0 {
 				ctx.Send(c.host, &gerDetach{Client: ctx.ID()})
 				ctx.Goto("Detaching")
@@ -270,7 +275,8 @@ func (c *gerClient) Configure(sc *psharp.Schema) {
 			// requests spread out in time as real workloads do.
 			ctx.Send(ctx.ID(), &gerThink{Left: 2})
 		}).
-		OnEventDo(&gerThink{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&gerThink{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			c := m.(*gerClient)
 			t := ev.(*gerThink)
 			if t.Left > 1 {
 				ctx.Send(ctx.ID(), &gerThink{Left: t.Left - 1})
@@ -286,13 +292,13 @@ func (c *gerClient) Configure(sc *psharp.Schema) {
 				ctx.Goto("AskedShared")
 			}
 		}).
-		OnEventDo(&gerInvalidate{}, ackInvalidate).
+		OnEventDoM(&gerInvalidate{}, ackInvalidate).
 		Ignore(&gerNext{})
 
 	asked := func(name string, grantProto psharp.Event, target string) {
 		b := sc.State(name)
 		b.OnEventGoto(grantProto, target)
-		b.OnEventDo(&gerInvalidate{}, ackInvalidate)
+		b.OnEventDoM(&gerInvalidate{}, ackInvalidate)
 		b.Ignore(&gerNext{})
 	}
 	asked("AskedShared", &gerGrantShared{}, "HaveShared")
@@ -300,8 +306,8 @@ func (c *gerClient) Configure(sc *psharp.Schema) {
 
 	have := func(name, access string) {
 		sc.State(name).
-			OnEntry(func(ctx *psharp.Context, ev psharp.Event) {
-				c.heldExcl = access == "write"
+			OnEntryM(func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+				m.(*gerClient).heldExcl = access == "write"
 				if access == "write" {
 					ctx.Write("the.cache.line")
 				} else {
@@ -309,12 +315,12 @@ func (c *gerClient) Configure(sc *psharp.Schema) {
 				}
 				ctx.Send(ctx.ID(), &gerNext{}) // done using the copy
 			}).
-			OnEventDo(&gerInvalidate{}, func(ctx *psharp.Context, ev psharp.Event) {
-				ackInvalidate(ctx, ev)
+			OnEventDoM(&gerInvalidate{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+				ackInvalidate(m, ctx, ev)
 				ctx.Goto("Deciding")
 			}).
-			OnEventDo(&gerNext{}, func(ctx *psharp.Context, ev psharp.Event) {
-				ctx.Send(c.host, &gerRelease{Client: ctx.ID()})
+			OnEventDoM(&gerNext{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+				ctx.Send(m.(*gerClient).host, &gerRelease{Client: ctx.ID()})
 				ctx.Goto("Deciding")
 			})
 	}
@@ -326,13 +332,13 @@ func (c *gerClient) Configure(sc *psharp.Schema) {
 	// host is waiting!), the buggy one spins forever.
 	sc.State("Detaching").
 		OnEventGoto(&gerDetachAck{}, "Done").
-		OnEventDo(&gerInvalidate{}, staleInvalidate).
+		OnEventDoM(&gerInvalidate{}, staleInvalidate).
 		OnEventDo(&gerSpin{}, spin).
 		Ignore(&gerNext{})
 
 	sc.State("Done").
 		Ignore(&gerNext{}).
-		OnEventDo(&gerInvalidate{}, ackInvalidate)
+		OnEventDoM(&gerInvalidate{}, ackInvalidate)
 }
 
 func germanBenchmark(buggy bool) Benchmark {
@@ -345,7 +351,9 @@ func germanBenchmark(buggy bool) Benchmark {
 		Machines:      numClients + 1,
 		LivelockAsBug: buggy,
 		Setup: func(r *psharp.Runtime) {
-			r.MustRegister("GermanHost", func() psharp.Machine { return &gerHost{buggy: buggy} })
+			r.MustRegister("GermanHost", func() psharp.Machine {
+				return &gerHost{buggy: buggy, sharers: make(map[psharp.MachineID]bool)}
+			})
 			r.MustRegister("GermanClient", func() psharp.Machine { return &gerClient{buggy: buggy} })
 			host := r.MustCreate("GermanHost", nil)
 			for i := 0; i < numClients; i++ {

@@ -86,22 +86,23 @@ type mpTakeOver struct{ psharp.EventBase }
 type mpTick struct{ psharp.EventBase }
 
 type mpAcceptor struct {
+	psharp.StaticBase
 	learner  psharp.MachineID
 	promised int
 	accepted map[int]mpSlotVal
 }
 
-func (a *mpAcceptor) Configure(sc *psharp.Schema) {
-	a.accepted = make(map[int]mpSlotVal)
+func (*mpAcceptor) ConfigureType(sc *psharp.Schema) {
 	sc.Start("Boot").
 		Defer(&mpPrepare{}).
 		Defer(&mpAccept{}).
-		OnEventDo(&mpAcceptorConfig{}, func(ctx *psharp.Context, ev psharp.Event) {
-			a.learner = ev.(*mpAcceptorConfig).Learner
+		OnEventDoM(&mpAcceptorConfig{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			m.(*mpAcceptor).learner = ev.(*mpAcceptorConfig).Learner
 			ctx.Goto("Active")
 		})
 	sc.State("Active").
-		OnEventDo(&mpPrepare{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&mpPrepare{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			a := m.(*mpAcceptor)
 			p := ev.(*mpPrepare)
 			if p.Ballot <= a.promised {
 				ctx.Send(p.Leader, &mpNack{Ballot: p.Ballot, Promised: a.promised})
@@ -122,7 +123,8 @@ func (a *mpAcceptor) Configure(sc *psharp.Schema) {
 			}
 			ctx.Send(p.Leader, &mpPromise{Ballot: p.Ballot, Accepted: snap})
 		}).
-		OnEventDo(&mpAccept{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&mpAccept{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			a := m.(*mpAcceptor)
 			acc := ev.(*mpAccept)
 			if acc.Ballot < a.promised {
 				ctx.Send(acc.Leader, &mpNack{Ballot: acc.Ballot, Promised: a.promised})
@@ -136,6 +138,7 @@ func (a *mpAcceptor) Configure(sc *psharp.Schema) {
 }
 
 type mpLeader struct {
+	psharp.StaticBase
 	acceptors []psharp.MachineID
 	ballotOff int
 	values    []int
@@ -149,10 +152,11 @@ type mpLeader struct {
 	adopted  map[int]mpSlotVal
 }
 
-func (l *mpLeader) Configure(sc *psharp.Schema) {
+func (*mpLeader) ConfigureType(sc *psharp.Schema) {
 	sc.Start("Boot").
 		Defer(&mpTakeOver{}).
-		OnEventDo(&mpLeaderConfig{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&mpLeaderConfig{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			l := m.(*mpLeader)
 			cfg := ev.(*mpLeaderConfig)
 			l.acceptors = cfg.Acceptors
 			l.ballotOff = cfg.BallotOff
@@ -170,7 +174,8 @@ func (l *mpLeader) Configure(sc *psharp.Schema) {
 		OnEventGoto(&mpTakeOver{}, "Phase1")
 
 	sc.State("Phase1").
-		OnEntry(func(ctx *psharp.Context, ev psharp.Event) {
+		OnEntryM(func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			l := m.(*mpLeader)
 			l.round++
 			l.ballot = l.round*10 + l.ballotOff
 			l.promises = 0
@@ -179,7 +184,8 @@ func (l *mpLeader) Configure(sc *psharp.Schema) {
 				ctx.Send(a, &mpPrepare{Ballot: l.ballot, Leader: ctx.ID()})
 			}
 		}).
-		OnEventDo(&mpPromise{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&mpPromise{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			l := m.(*mpLeader)
 			pr := ev.(*mpPromise)
 			if pr.Ballot != l.ballot {
 				return
@@ -194,7 +200,8 @@ func (l *mpLeader) Configure(sc *psharp.Schema) {
 				l.streamAccepts(ctx)
 			}
 		}).
-		OnEventDo(&mpNack{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&mpNack{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			l := m.(*mpLeader)
 			if ev.(*mpNack).Ballot != l.ballot {
 				return
 			}
@@ -203,7 +210,8 @@ func (l *mpLeader) Configure(sc *psharp.Schema) {
 		Ignore(&mpTakeOver{})
 
 	sc.State("Streaming").
-		OnEventDo(&mpNack{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&mpNack{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			l := m.(*mpLeader)
 			if ev.(*mpNack).Ballot != l.ballot {
 				return
 			}
@@ -256,6 +264,7 @@ func (l *mpLeader) retry(ctx *psharp.Context) {
 }
 
 type mpLearner struct {
+	psharp.StaticBase
 	majority int
 	counts   map[[2]int]int // (slot, ballot) -> acceptor count
 	chosen   map[int]int    // slot -> chosen value
@@ -266,17 +275,16 @@ type mpLearnerConfig struct {
 	NumAcceptors int
 }
 
-func (ln *mpLearner) Configure(sc *psharp.Schema) {
-	ln.counts = make(map[[2]int]int)
-	ln.chosen = make(map[int]int)
+func (*mpLearner) ConfigureType(sc *psharp.Schema) {
 	sc.Start("Boot").
 		Defer(&mpAccepted{}).
-		OnEventDo(&mpLearnerConfig{}, func(ctx *psharp.Context, ev psharp.Event) {
-			ln.majority = ev.(*mpLearnerConfig).NumAcceptors/2 + 1
+		OnEventDoM(&mpLearnerConfig{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			m.(*mpLearner).majority = ev.(*mpLearnerConfig).NumAcceptors/2 + 1
 			ctx.Goto("Learning")
 		})
 	sc.State("Learning").
-		OnEventDo(&mpAccepted{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&mpAccepted{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			ln := m.(*mpLearner)
 			acc := ev.(*mpAccepted)
 			key := [2]int{acc.Slot, acc.Ballot}
 			ln.counts[key]++
@@ -297,20 +305,23 @@ func (ln *mpLearner) Configure(sc *psharp.Schema) {
 // mpDetector is the nondeterministic failure detector: after a random number
 // of self-paced ticks it tells the standby leader to take over.
 type mpDetector struct {
+	psharp.StaticBase
 	standby psharp.MachineID
 	ticks   int
 }
 
-func (d *mpDetector) Configure(sc *psharp.Schema) {
+func (*mpDetector) ConfigureType(sc *psharp.Schema) {
 	sc.Start("Boot").
-		OnEventDo(&mpDetectorConfig{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&mpDetectorConfig{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			d := m.(*mpDetector)
 			d.standby = ev.(*mpDetectorConfig).Standby
 			d.ticks = 3
 			ctx.Send(ctx.ID(), &mpTick{})
 			ctx.Goto("Watching")
 		})
 	sc.State("Watching").
-		OnEventDo(&mpTick{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&mpTick{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			d := m.(*mpDetector)
 			d.ticks--
 			if d.ticks == 0 || ctx.RandomBool() {
 				ctx.Send(d.standby, &mpTakeOver{})
@@ -329,9 +340,13 @@ func multiPaxosBenchmark(buggy bool) Benchmark {
 		MaxSteps: 3000,
 		Machines: numAcceptors + 4,
 		Setup: func(r *psharp.Runtime) {
-			r.MustRegister("MPAcceptor", func() psharp.Machine { return &mpAcceptor{} })
+			r.MustRegister("MPAcceptor", func() psharp.Machine {
+				return &mpAcceptor{accepted: make(map[int]mpSlotVal)}
+			})
 			r.MustRegister("MPLeader", func() psharp.Machine { return &mpLeader{buggy: buggy} })
-			r.MustRegister("MPLearner", func() psharp.Machine { return &mpLearner{} })
+			r.MustRegister("MPLearner", func() psharp.Machine {
+				return &mpLearner{counts: make(map[[2]int]int), chosen: make(map[int]int)}
+			})
 			r.MustRegister("MPDetector", func() psharp.Machine { return &mpDetector{} })
 			learner := r.MustCreate("MPLearner", nil)
 			mustSend(r, learner, &mpLearnerConfig{NumAcceptors: numAcceptors})

@@ -61,6 +61,7 @@ type rfLeaderElected struct {
 }
 
 type rfServer struct {
+	psharp.StaticBase
 	peers   []psharp.MachineID
 	timer   psharp.MachineID
 	checker psharp.MachineID
@@ -73,12 +74,14 @@ type rfServer struct {
 	retried  bool
 }
 
-func (s *rfServer) Configure(sc *psharp.Schema) {
-	majority := func() int { return (len(s.peers)+1)/2 + 1 }
+// The seeded bug is a runtime branch on the buggy instance field (bare
+// counter vs per-voter set), so both variants share one schema.
+func (*rfServer) ConfigureType(sc *psharp.Schema) {
+	majority := func(s *rfServer) int { return (len(s.peers)+1)/2 + 1 }
 
 	// vote handles a RequestVote in any role; it returns true when the
 	// server stepped down to a newer term.
-	vote := func(ctx *psharp.Context, rv *rfRequestVote) bool {
+	vote := func(s *rfServer, ctx *psharp.Context, rv *rfRequestVote) bool {
 		stepDown := false
 		if rv.Term > s.term {
 			s.term = rv.Term
@@ -95,7 +98,7 @@ func (s *rfServer) Configure(sc *psharp.Schema) {
 		return stepDown
 	}
 
-	startElection := func(ctx *psharp.Context) {
+	startElection := func(s *rfServer, ctx *psharp.Context) {
 		s.term++
 		s.votedFor = ctx.ID()
 		s.votes = map[psharp.MachineID]bool{ctx.ID(): true}
@@ -107,7 +110,7 @@ func (s *rfServer) Configure(sc *psharp.Schema) {
 		ctx.Send(s.timer, &rfArm{})
 	}
 
-	tally := func(ctx *psharp.Context, resp *rfVoteResp) int {
+	tally := func(s *rfServer, resp *rfVoteResp) int {
 		if s.buggy {
 			// The seeded bug: a bare counter double-counts the duplicate
 			// grant a voter sends in response to the retry broadcast.
@@ -122,7 +125,8 @@ func (s *rfServer) Configure(sc *psharp.Schema) {
 		Defer(&rfRequestVote{}).
 		Defer(&rfHeartbeat{}).
 		Defer(&rfTimeout{}).
-		OnEventDo(&rfServerConfig{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&rfServerConfig{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			s := m.(*rfServer)
 			cfg := ev.(*rfServerConfig)
 			s.peers = cfg.Peers
 			s.timer = cfg.Timer
@@ -132,14 +136,15 @@ func (s *rfServer) Configure(sc *psharp.Schema) {
 		})
 
 	sc.State("Follower").
-		OnEventDo(&rfTimeout{}, func(ctx *psharp.Context, ev psharp.Event) {
-			startElection(ctx)
+		OnEventDoM(&rfTimeout{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			startElection(m.(*rfServer), ctx)
 			ctx.Goto("Candidate")
 		}).
-		OnEventDo(&rfRequestVote{}, func(ctx *psharp.Context, ev psharp.Event) {
-			vote(ctx, ev.(*rfRequestVote))
+		OnEventDoM(&rfRequestVote{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			vote(m.(*rfServer), ctx, ev.(*rfRequestVote))
 		}).
-		OnEventDo(&rfHeartbeat{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&rfHeartbeat{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			s := m.(*rfServer)
 			hb := ev.(*rfHeartbeat)
 			if hb.Term > s.term {
 				s.term = hb.Term
@@ -149,12 +154,13 @@ func (s *rfServer) Configure(sc *psharp.Schema) {
 		Ignore(&rfVoteResp{})
 
 	sc.State("Candidate").
-		OnEventDo(&rfVoteResp{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&rfVoteResp{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			s := m.(*rfServer)
 			resp := ev.(*rfVoteResp)
 			if resp.Term != s.term || !resp.Granted {
 				return
 			}
-			if tally(ctx, resp) < majority() {
+			if tally(s, resp) < majority(s) {
 				return
 			}
 			ctx.Send(s.checker, &rfLeaderElected{Term: s.term, Leader: ctx.ID()})
@@ -163,7 +169,8 @@ func (s *rfServer) Configure(sc *psharp.Schema) {
 			}
 			ctx.Goto("Leader")
 		}).
-		OnEventDo(&rfTimeout{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&rfTimeout{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			s := m.(*rfServer)
 			if !s.retried {
 				// Retry the stalled election once: re-broadcast the vote
 				// request for the same term.
@@ -174,14 +181,15 @@ func (s *rfServer) Configure(sc *psharp.Schema) {
 				ctx.Send(s.timer, &rfArm{})
 				return
 			}
-			startElection(ctx)
+			startElection(s, ctx)
 		}).
-		OnEventDo(&rfRequestVote{}, func(ctx *psharp.Context, ev psharp.Event) {
-			if vote(ctx, ev.(*rfRequestVote)) {
+		OnEventDoM(&rfRequestVote{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			if vote(m.(*rfServer), ctx, ev.(*rfRequestVote)) {
 				ctx.Goto("Follower")
 			}
 		}).
-		OnEventDo(&rfHeartbeat{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&rfHeartbeat{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			s := m.(*rfServer)
 			hb := ev.(*rfHeartbeat)
 			if hb.Term >= s.term {
 				if hb.Term > s.term {
@@ -193,12 +201,13 @@ func (s *rfServer) Configure(sc *psharp.Schema) {
 		})
 
 	sc.State("Leader").
-		OnEventDo(&rfRequestVote{}, func(ctx *psharp.Context, ev psharp.Event) {
-			if vote(ctx, ev.(*rfRequestVote)) {
+		OnEventDoM(&rfRequestVote{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			if vote(m.(*rfServer), ctx, ev.(*rfRequestVote)) {
 				ctx.Goto("Follower")
 			}
 		}).
-		OnEventDo(&rfHeartbeat{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&rfHeartbeat{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			s := m.(*rfServer)
 			hb := ev.(*rfHeartbeat)
 			if hb.Term > s.term {
 				s.term = hb.Term
@@ -214,6 +223,7 @@ func (s *rfServer) Configure(sc *psharp.Schema) {
 // budget. The *scheduling* of the timeout delivery is the paper's timing
 // nondeterminism.
 type rfTimer struct {
+	psharp.StaticBase
 	server psharp.MachineID
 	budget int
 }
@@ -224,17 +234,19 @@ type rfTimerConfig struct {
 	Budget int
 }
 
-func (t *rfTimer) Configure(sc *psharp.Schema) {
+func (*rfTimer) ConfigureType(sc *psharp.Schema) {
 	sc.Start("Boot").
 		Defer(&rfArm{}).
-		OnEventDo(&rfTimerConfig{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&rfTimerConfig{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			t := m.(*rfTimer)
 			cfg := ev.(*rfTimerConfig)
 			t.server = cfg.Server
 			t.budget = cfg.Budget
 			ctx.Goto("Armed")
 		})
 	sc.State("Armed").
-		OnEventDo(&rfArm{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&rfArm{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			t := m.(*rfTimer)
 			if t.budget == 0 {
 				return
 			}
@@ -245,13 +257,14 @@ func (t *rfTimer) Configure(sc *psharp.Schema) {
 
 // rfChecker asserts Election Safety.
 type rfChecker struct {
+	psharp.StaticBase
 	leaders map[int]psharp.MachineID
 }
 
-func (c *rfChecker) Configure(sc *psharp.Schema) {
-	c.leaders = make(map[int]psharp.MachineID)
+func (*rfChecker) ConfigureType(sc *psharp.Schema) {
 	sc.Start("Checking").
-		OnEventDo(&rfLeaderElected{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&rfLeaderElected{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			c := m.(*rfChecker)
 			e := ev.(*rfLeaderElected)
 			prev, ok := c.leaders[e.Term]
 			if !ok {
@@ -274,7 +287,9 @@ func raftBenchmark(buggy bool) Benchmark {
 		Setup: func(r *psharp.Runtime) {
 			r.MustRegister("RaftServer", func() psharp.Machine { return &rfServer{buggy: buggy} })
 			r.MustRegister("RaftTimer", func() psharp.Machine { return &rfTimer{} })
-			r.MustRegister("RaftChecker", func() psharp.Machine { return &rfChecker{} })
+			r.MustRegister("RaftChecker", func() psharp.Machine {
+				return &rfChecker{leaders: make(map[int]psharp.MachineID)}
+			})
 			checker := r.MustCreate("RaftChecker", nil)
 			servers := make([]psharp.MachineID, numServers)
 			timers := make([]psharp.MachineID, numServers)

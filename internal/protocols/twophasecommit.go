@@ -82,6 +82,7 @@ type tpcLogAck struct {
 }
 
 type tpcCoordinator struct {
+	psharp.StaticBase
 	participants []psharp.MachineID
 	timer        psharp.MachineID
 	logger       psharp.MachineID
@@ -93,9 +94,12 @@ type tpcCoordinator struct {
 	commitOK bool
 }
 
-func (c *tpcCoordinator) Configure(sc *psharp.Schema) {
+// ConfigureType declares the coordinator's schema once per registered type;
+// buggy is a registration parameter the factory bakes into the probe.
+func (probe *tpcCoordinator) ConfigureType(sc *psharp.Schema) {
 	sc.Start("Boot").
-		OnEventDo(&tpcCoordinatorConfig{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&tpcCoordinatorConfig{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			c := m.(*tpcCoordinator)
 			cfg := ev.(*tpcCoordinatorConfig)
 			c.participants = cfg.Participants
 			c.timer = cfg.Timer
@@ -105,7 +109,8 @@ func (c *tpcCoordinator) Configure(sc *psharp.Schema) {
 		})
 
 	sc.State("Deciding").
-		OnEntry(func(ctx *psharp.Context, ev psharp.Event) {
+		OnEntryM(func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			c := m.(*tpcCoordinator)
 			c.tx++
 			if c.tx > c.transactions {
 				for _, p := range c.participants {
@@ -130,17 +135,19 @@ func (c *tpcCoordinator) Configure(sc *psharp.Schema) {
 	// Stale timeouts from transactions that decided on full votes drift in
 	// while the decision is being logged.
 	logging.OnEventDo(&tpcTimeout{}, func(ctx *psharp.Context, ev psharp.Event) {})
-	if !c.buggy {
+	if !probe.buggy {
 		// The fix: a vote for an aborted (timed-out) transaction can still
 		// arrive while the decision is being logged; discard it.
-		logging.OnEventDo(&tpcVote{}, func(ctx *psharp.Context, ev psharp.Event) {
+		logging.OnEventDoM(&tpcVote{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			c := m.(*tpcCoordinator)
 			v := ev.(*tpcVote)
 			ctx.Assert(v.Tx <= c.tx, "future vote for tx %d while logging tx %d", v.Tx, c.tx)
 		})
 	}
 
 	sc.State("WaitVotes").
-		OnEventDo(&tpcVote{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&tpcVote{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			c := m.(*tpcCoordinator)
 			v := ev.(*tpcVote)
 			if v.Tx != c.tx {
 				return // stale vote from a previous, timed-out transaction
@@ -155,7 +162,8 @@ func (c *tpcCoordinator) Configure(sc *psharp.Schema) {
 			}
 			c.decide(ctx, c.commitOK)
 		}).
-		OnEventDo(&tpcTimeout{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&tpcTimeout{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			c := m.(*tpcCoordinator)
 			if ev.(*tpcTimeout).Tx != c.tx {
 				return // stale timeout from an earlier transaction
 			}
@@ -172,62 +180,69 @@ func (c *tpcCoordinator) decide(ctx *psharp.Context, commit bool) {
 }
 
 // tpcLogger is the coordinator's write-ahead log.
-type tpcLogger struct{ coordinator psharp.MachineID }
+type tpcLogger struct {
+	psharp.StaticBase
+	coordinator psharp.MachineID
+}
 
-func (l *tpcLogger) Configure(sc *psharp.Schema) {
+func (*tpcLogger) ConfigureType(sc *psharp.Schema) {
 	sc.Start("Boot").
 		Defer(&tpcWriteLog{}).
-		OnEventDo(&tpcTimerConfig{}, func(ctx *psharp.Context, ev psharp.Event) {
-			l.coordinator = ev.(*tpcTimerConfig).Coordinator
+		OnEventDoM(&tpcTimerConfig{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			m.(*tpcLogger).coordinator = ev.(*tpcTimerConfig).Coordinator
 			ctx.Goto("Ready")
 		})
 	sc.State("Ready").
-		OnEventDo(&tpcWriteLog{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&tpcWriteLog{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
 			ctx.Write("coordinator.log")
-			ctx.Send(l.coordinator, &tpcLogAck{Tx: ev.(*tpcWriteLog).Tx})
+			ctx.Send(m.(*tpcLogger).coordinator, &tpcLogAck{Tx: ev.(*tpcWriteLog).Tx})
 		})
 }
 
 type tpcParticipant struct {
+	psharp.StaticBase
 	coordinator psharp.MachineID
 	checker     psharp.MachineID
 }
 
-func (p *tpcParticipant) Configure(sc *psharp.Schema) {
+func (*tpcParticipant) ConfigureType(sc *psharp.Schema) {
 	sc.Start("Boot").
 		Defer(&tpcPrepare{}).
 		Defer(&tpcDecision{}).
-		OnEventDo(&tpcParticipantConfig{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&tpcParticipantConfig{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			p := m.(*tpcParticipant)
 			cfg := ev.(*tpcParticipantConfig)
 			p.coordinator = cfg.Coordinator
 			p.checker = cfg.Checker
 			ctx.Goto("Working")
 		})
 	sc.State("Working").
-		OnEventDo(&tpcPrepare{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&tpcPrepare{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
 			prep := ev.(*tpcPrepare)
 			// Resource managers are free to vote either way; this is the
 			// nondeterministic environment the paper models explicitly.
-			ctx.Send(p.coordinator, &tpcVote{Tx: prep.Tx, Commit: ctx.RandomBool(), From: ctx.ID()})
+			ctx.Send(m.(*tpcParticipant).coordinator, &tpcVote{Tx: prep.Tx, Commit: ctx.RandomBool(), From: ctx.ID()})
 		}).
-		OnEventDo(&tpcDecision{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&tpcDecision{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
 			d := ev.(*tpcDecision)
 			ctx.Write("participant.log")
-			ctx.Send(p.checker, &tpcOutcome{Tx: d.Tx, Commit: d.Commit, From: ctx.ID()})
+			ctx.Send(m.(*tpcParticipant).checker, &tpcOutcome{Tx: d.Tx, Commit: d.Commit, From: ctx.ID()})
 		})
 }
 
 // tpcChecker asserts per-transaction atomicity. Outcomes are keyed by
 // transaction, so cross-machine message reordering cannot produce false
-// alarms.
+// alarms. The outcome map is per-instance state, so the factory (not the
+// type-level declaration) initializes it.
 type tpcChecker struct {
+	psharp.StaticBase
 	outcome map[int]bool
 }
 
-func (ch *tpcChecker) Configure(sc *psharp.Schema) {
-	ch.outcome = make(map[int]bool)
+func (*tpcChecker) ConfigureType(sc *psharp.Schema) {
 	sc.Start("Checking").
-		OnEventDo(&tpcOutcome{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&tpcOutcome{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			ch := m.(*tpcChecker)
 			o := ev.(*tpcOutcome)
 			prev, seen := ch.outcome[o.Tx]
 			if !seen {
@@ -248,13 +263,16 @@ type tpcTimerConfig struct {
 
 // tpcTimer races a timeout against the coordinator's vote collection; the
 // scheduling of its response is the timing nondeterminism.
-type tpcTimer struct{ coordinator psharp.MachineID }
+type tpcTimer struct {
+	psharp.StaticBase
+	coordinator psharp.MachineID
+}
 
-func (t *tpcTimer) Configure(sc *psharp.Schema) {
+func (*tpcTimer) ConfigureType(sc *psharp.Schema) {
 	sc.Start("Boot").
 		Defer(&tpcStartTimer{}).
-		OnEventDo(&tpcTimerConfig{}, func(ctx *psharp.Context, ev psharp.Event) {
-			t.coordinator = ev.(*tpcTimerConfig).Coordinator
+		OnEventDoM(&tpcTimerConfig{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			m.(*tpcTimer).coordinator = ev.(*tpcTimerConfig).Coordinator
 			ctx.Goto("Armed")
 		})
 	sc.State("Armed").
@@ -266,13 +284,13 @@ func (t *tpcTimer) Configure(sc *psharp.Schema) {
 			// bug rather than a frequent one.
 			ctx.Send(ctx.ID(), &tpcTick{Tx: ev.(*tpcStartTimer).Tx, Left: 4})
 		}).
-		OnEventDo(&tpcTick{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&tpcTick{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
 			tick := ev.(*tpcTick)
 			if tick.Left > 0 {
 				ctx.Send(ctx.ID(), &tpcTick{Tx: tick.Tx, Left: tick.Left - 1})
 				return
 			}
-			ctx.Send(t.coordinator, &tpcTimeout{Tx: tick.Tx})
+			ctx.Send(m.(*tpcTimer).coordinator, &tpcTimeout{Tx: tick.Tx})
 		})
 }
 
@@ -294,7 +312,7 @@ func twoPhaseCommitBenchmark(buggy bool) Benchmark {
 		Setup: func(r *psharp.Runtime) {
 			r.MustRegister("TPCCoordinator", func() psharp.Machine { return &tpcCoordinator{buggy: buggy} })
 			r.MustRegister("TPCParticipant", func() psharp.Machine { return &tpcParticipant{} })
-			r.MustRegister("TPCChecker", func() psharp.Machine { return &tpcChecker{} })
+			r.MustRegister("TPCChecker", func() psharp.Machine { return &tpcChecker{outcome: make(map[int]bool)} })
 			r.MustRegister("TPCTimer", func() psharp.Machine { return &tpcTimer{} })
 			r.MustRegister("TPCLogger", func() psharp.Machine { return &tpcLogger{} })
 			checker := r.MustCreate("TPCChecker", nil)

@@ -17,8 +17,9 @@ type AllocProbe struct {
 	// Workload names the probed program: "relay-hotpath" is the synthetic
 	// message-relay ring whose per-step work isolates the runtime's own
 	// overhead (the ≥50%-saving gate runs against it); the other entry is
-	// the protocol benchmark, where per-machine user Configure closures
-	// (rebuilt by design every iteration) dilute the relative saving.
+	// the protocol benchmark, whose machines use the static declaration
+	// form, so their schemas are compiled once per type and the pooled
+	// steady state pays only per-machine logic and wiring allocations.
 	Workload string `json:"workload"`
 	// Pooled is the steady-state heap allocations per iteration through a
 	// warmed psharp.TestHarness.
@@ -50,9 +51,29 @@ type PerfReport struct {
 	TotalSchedulingPoints int64 `json:"total_scheduling_points"`
 	// AllocProbes holds the per-workload allocation measurements.
 	AllocProbes []AllocProbe `json:"alloc_probes"`
+	// SchemaProbe quantifies the per-type compiled-schema cache.
+	SchemaProbe SchemaCacheProbe `json:"schema_cache_probe"`
 	// WorkerIterations records how many iterations each worker actually
 	// executed (uneven under Dynamic; the static shard sizes otherwise).
 	WorkerIterations []int `json:"worker_iterations"`
+}
+
+// SchemaCacheProbe records steady-state allocations per iteration through
+// the pooled harness on the same protocol under both schema regimes: the
+// per-type compiled-schema cache on (static declarations, compiled once at
+// registration) vs off (schemas rebuilt and revalidated for every machine
+// instance — the cost the closure declaration form pays by design, and
+// what every create paid before the cache existed).
+type SchemaCacheProbe struct {
+	// Workload names the probed protocol (buggy variant).
+	Workload string `json:"workload"`
+	// Cached is allocs/iteration with schemas compiled once per type.
+	Cached float64 `json:"allocs_per_iteration_schema_cached"`
+	// PerInstance is the same workload with the cache disabled
+	// (psharp.WithoutSchemaCache), i.e. closure-form schema costs.
+	PerInstance float64 `json:"allocs_per_iteration_schema_per_instance"`
+	// SavedPercent is what the cache saves (higher is better).
+	SavedPercent float64 `json:"schema_cache_saved_percent"`
 }
 
 // PerfProbeOptions configures RunPerfProbe. Zero values select defaults.
@@ -98,9 +119,21 @@ func RunPerfProbe(o PerfProbeOptions) (PerfReport, error) {
 	}
 
 	// Allocation probes: same workloads, one-shot vs pooled.
+	protocolCfg := psharp.TestConfig{MaxSteps: b.MaxSteps, LivelockAsBug: b.LivelockAsBug}
+	protocolProbe := probeAllocs(o.Benchmark, b.Setup, protocolCfg, o)
 	rep.AllocProbes = []AllocProbe{
 		probeAllocs("relay-hotpath", relaySetup(2, 256), psharp.TestConfig{}, o),
-		probeAllocs(o.Benchmark, b.Setup, psharp.TestConfig{MaxSteps: b.MaxSteps, LivelockAsBug: b.LivelockAsBug}, o),
+		protocolProbe,
+	}
+	// The cached side of the schema probe is the protocol's pooled number
+	// measured above; only the cache-disabled side needs its own run.
+	rep.SchemaProbe = SchemaCacheProbe{
+		Workload:    o.Benchmark,
+		Cached:      protocolProbe.Pooled,
+		PerInstance: pooledAllocs(b.Setup, protocolCfg, o, psharp.WithoutSchemaCache()),
+	}
+	if rep.SchemaProbe.PerInstance > 0 {
+		rep.SchemaProbe.SavedPercent = 100 * (1 - rep.SchemaProbe.Cached/rep.SchemaProbe.PerInstance)
 	}
 
 	// Throughput probe.
@@ -149,21 +182,27 @@ func probeAllocs(name string, setup func(*psharp.Runtime), cfg psharp.TestConfig
 		c.Strategy = oneshotStrategy
 		psharp.RunTest(setup, c)
 	})
-	h := psharp.NewTestHarness(setup)
-	defer h.Close()
-	pooledStrategy := sct.NewRandom(o.Seed)
-	iter = 0
-	p.Pooled = allocsPerRun(o.AllocRuns, func() {
-		pooledStrategy.PrepareIteration(iter)
-		iter++
-		c := cfg
-		c.Strategy = pooledStrategy
-		h.Run(c)
-	})
+	p.Pooled = pooledAllocs(setup, cfg, o)
 	if p.OneShot > 0 {
 		p.SavedPercent = 100 * (1 - p.Pooled/p.OneShot)
 	}
 	return p
+}
+
+// pooledAllocs measures steady-state allocations per iteration through a
+// warmed pooled harness built with opts.
+func pooledAllocs(setup func(*psharp.Runtime), cfg psharp.TestConfig, o PerfProbeOptions, opts ...psharp.Option) float64 {
+	h := psharp.NewTestHarness(setup, opts...)
+	defer h.Close()
+	strategy := sct.NewRandom(o.Seed)
+	iter := 0
+	return allocsPerRun(o.AllocRuns, func() {
+		strategy.PrepareIteration(iter)
+		iter++
+		c := cfg
+		c.Strategy = strategy
+		h.Run(c)
+	})
 }
 
 // relaySetup builds the synthetic hot-path workload: a ring of machines

@@ -53,11 +53,13 @@ type message struct {
 	clock   vclock.VC
 }
 
-// machineInst is one machine configuration (m, q, E, ...).
+// machineInst is one machine configuration (m, q, E, ...). Its dispatch
+// behavior lives in the shared, per-declaration compiled schema (reached
+// through the current state); only the fields and queue are per-instance.
 type machineInst struct {
 	id     MachineID
 	decl   *lang.MachineDecl
-	state  *lang.StateDecl
+	state  *stateSchema
 	fields map[string]Value
 	queue  []message
 	halted bool
@@ -117,6 +119,7 @@ type Outcome struct {
 // Interp is the interpreter state: the system configuration (h, M).
 type Interp struct {
 	prog     *lang.Program
+	schemas  *programSchemas
 	heap     []*object
 	machines []*machineInst
 	sched    Scheduler
@@ -138,7 +141,7 @@ func IsAssertion(err error) bool {
 // Run instantiates one instance of the named main machine and executes the
 // system until quiescence, an error, or the step bound.
 func Run(prog *lang.Program, main string, opts Options) Outcome {
-	in := &Interp{prog: prog}
+	in := &Interp{prog: prog, schemas: schemasFor(prog)}
 	if opts.Scheduler != nil {
 		in.sched = opts.Scheduler
 	} else {
@@ -191,12 +194,14 @@ func Run(prog *lang.Program, main string, opts Options) Outcome {
 }
 
 // create implements machine instantiation: allocate fields (set to Null /
-// zero values) and run the start state's entry action.
+// zero values) and run the start state's entry action. The declaration's
+// compiled schema is shared, never rebuilt per instance.
 func (in *Interp) create(md *lang.MachineDecl, creator MachineID) (MachineID, error) {
+	ms := in.schemas.machines[md]
 	m := &machineInst{
 		id:     MachineID(len(in.machines)),
 		decl:   md,
-		state:  md.StartState,
+		state:  ms.start,
 		fields: make(map[string]Value, len(md.Fields)),
 	}
 	for _, f := range md.Fields {
@@ -207,8 +212,8 @@ func (in *Interp) create(md *lang.MachineDecl, creator MachineID) (MachineID, er
 		in.det.Fork(int(creator), int(m.id))
 	}
 	in.steps++
-	if m.state.Entry != nil {
-		if err := in.runBlock(m, m.state.Entry, nil, nil); err != nil {
+	if m.state.decl.Entry != nil {
+		if err := in.runBlock(m, m.state.decl.Entry, nil, nil); err != nil {
 			return m.id, err
 		}
 	}
@@ -248,30 +253,36 @@ func (in *Interp) enabled() ([]MachineID, error) {
 	return out, nil
 }
 
-// nextDispatch finds the queue index of the first handleable event; err is
-// non-nil for an unhandled event (a runtime error per Section 6.1).
+// nextDispatch finds the queue index of the first handleable event via the
+// compiled dispatch table (one lookup per queued event); err is non-nil for
+// an unhandled event (a runtime error per Section 6.1).
 func (m *machineInst) nextDispatch() (idx int, msg message, ok bool, err error) {
 	i := 0
 	for i < len(m.queue) {
 		msg := m.queue[i]
-		switch {
-		case m.state.Ignores[msg.event]:
-			m.queue = append(m.queue[:i], m.queue[i+1:]...)
-		case m.state.Defers[msg.event]:
+		switch m.state.dispatch[msg.event].kind {
+		case dispatchIgnore:
+			m.removeQueued(i)
+		case dispatchDefer:
 			i++
+		case dispatchDo, dispatchGoto:
+			return i, msg, true, nil
 		default:
-			if _, ok := m.state.OnDo[msg.event]; ok {
-				return i, msg, true, nil
-			}
-			if _, ok := m.state.OnGoto[msg.event]; ok {
-				return i, msg, true, nil
-			}
 			return 0, message{}, false, fmt.Errorf(
 				"interp: machine %s(%d): event %q cannot be handled in state %q",
-				m.decl.Name, m.id, msg.event, m.state.Name)
+				m.decl.Name, m.id, msg.event, m.state.decl.Name)
 		}
 	}
 	return 0, message{}, false, nil
+}
+
+// removeQueued deletes the i-th queued message, zeroing the vacated tail
+// slot so its payload is not retained beyond len.
+func (m *machineInst) removeQueued(i int) {
+	last := len(m.queue) - 1
+	copy(m.queue[i:], m.queue[i+1:])
+	m.queue[last] = message{}
+	m.queue = m.queue[:last]
 }
 
 // dispatch handles one event on machine m (rule RECEIVE).
@@ -283,7 +294,7 @@ func (in *Interp) dispatch(m *machineInst) error {
 	if !ok {
 		return nil
 	}
-	m.queue = append(m.queue[:idx], m.queue[idx+1:]...)
+	m.removeQueued(idx)
 	if in.det != nil {
 		in.det.Receive(int(m.id), msg.clock)
 	}
@@ -293,30 +304,30 @@ func (in *Interp) dispatch(m *machineInst) error {
 
 // handle runs a transition or bound action for an event.
 func (in *Interp) handle(m *machineInst, event string, payload Value) error {
-	if target, ok := m.state.OnGoto[event]; ok {
-		return in.gotoState(m, target, payload)
-	}
-	methName, ok := m.state.OnDo[event]
-	if !ok {
-		return fmt.Errorf("interp: machine %s(%d): event %q cannot be handled in state %q",
-			m.decl.Name, m.id, event, m.state.Name)
-	}
-	meth := m.decl.MethodByName[methName]
-	locals := make(map[string]Value)
-	if len(meth.Params) == 1 {
-		if payload == nil {
-			payload = zeroValue(meth.Params[0].Type)
+	switch e := m.state.dispatch[event]; e.kind {
+	case dispatchGoto:
+		return in.gotoState(m, e.target, payload)
+	case dispatchDo:
+		meth := e.method
+		locals := make(map[string]Value)
+		if len(meth.Params) == 1 {
+			if payload == nil {
+				payload = zeroValue(meth.Params[0].Type)
+			}
+			locals[meth.Params[0].Name] = payload
 		}
-		locals[meth.Params[0].Name] = payload
+		return in.runBlock(m, meth.Body, locals, nil)
+	default:
+		return fmt.Errorf("interp: machine %s(%d): event %q cannot be handled in state %q",
+			m.decl.Name, m.id, event, m.state.decl.Name)
 	}
-	return in.runBlock(m, meth.Body, locals, nil)
 }
 
-func (in *Interp) gotoState(m *machineInst, target string, payload Value) error {
-	m.state = m.decl.StateByName[target]
+func (in *Interp) gotoState(m *machineInst, target *stateSchema, payload Value) error {
+	m.state = target
 	in.steps++
-	if m.state.Entry != nil {
-		return in.runBlock(m, m.state.Entry, nil, nil)
+	if m.state.decl.Entry != nil {
+		return in.runBlock(m, m.state.decl.Entry, nil, nil)
 	}
 	return nil
 }
@@ -339,17 +350,17 @@ func (in *Interp) runBlock(m *machineInst, body []lang.Stmt, locals map[string]V
 		return err
 	}
 	if r != nil {
-		switch {
-		case m.state.Ignores[r.event]:
+		switch e := m.state.dispatch[r.event]; e.kind {
+		case dispatchIgnore:
 			return nil
-		case m.state.Defers[r.event]:
+		case dispatchDefer:
 			m.queue = append(m.queue, message{event: r.event, payload: r.payload})
 			return nil
+		case dispatchGoto:
+			return in.gotoState(m, e.target, r.payload)
+		default:
+			return in.handle(m, r.event, r.payload)
 		}
-		if target, ok := m.state.OnGoto[r.event]; ok {
-			return in.gotoState(m, target, r.payload)
-		}
-		return in.handle(m, r.event, r.payload)
 	}
 	return nil
 }

@@ -207,6 +207,52 @@ machine main_m {
 	}
 }
 
+// TestSchemaCompiledOncePerProgram asserts the compile-once discipline:
+// every machine declaration of a loaded Program has its dispatch schema
+// compiled exactly once, no matter how many runs and instances follow.
+func TestSchemaCompiledOncePerProgram(t *testing.T) {
+	prog := load(t, `
+event ePing;
+machine main_m {
+	start state Boot {
+		entry {
+			var a: machine;
+			var b: machine;
+			a := create echo();
+			b := create echo();
+			send a, ePing;
+			send b, ePing;
+		}
+	}
+}
+machine echo {
+	var hits: int;
+	start state Waiting {
+		on ePing do count;
+	}
+	method count() { this.hits := this.hits + 1; }
+}
+`)
+	before := schemaCompiles.Load()
+	for seed := uint64(1); seed <= 5; seed++ {
+		out := Run(prog, "main_m", Options{Seed: seed})
+		if out.Err != nil {
+			t.Fatalf("seed %d: %v", seed, out.Err)
+		}
+		if !out.Quiescent {
+			t.Fatalf("seed %d: did not quiesce", seed)
+		}
+	}
+	got := schemaCompiles.Load() - before
+	if want := int64(len(prog.Machines)); got != want {
+		t.Fatalf("schema compiles across 5 runs = %d, want %d (once per machine declaration)", got, want)
+	}
+	// A second lookup must hit the cache, not recompile.
+	if schemasFor(prog) != schemasFor(prog) {
+		t.Fatal("schemasFor returned distinct compilations for the same Program")
+	}
+}
+
 // TestListManagerRuns executes the paper's running example end to end: a
 // driver adds two elements and the machine maintains the linked list.
 func TestListManagerRuns(t *testing.T) {

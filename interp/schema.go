@@ -1,0 +1,117 @@
+package interp
+
+// Compiled dispatch schemas: the paper's per-class transition and
+// action-binding tables for interpreted machines. A machine declaration's
+// schema is a property of the declaration, not of the instance, so it is
+// compiled exactly once per loaded Program — across every Run call and
+// every machine instance — and shared read-only (the same compile-once
+// discipline the runtime applies to static Go machines).
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/psharp-go/psharp/lang"
+)
+
+// dispatchKind says how a state reacts to an event.
+type dispatchKind int
+
+const (
+	dispatchNone dispatchKind = iota
+	dispatchDo
+	dispatchGoto
+	dispatchDefer
+	dispatchIgnore
+)
+
+// dispatchEntry is one resolved (event -> reaction) binding. Method and
+// target-state pointers are resolved at compile time, so dispatching an
+// event costs a single map lookup instead of one per binding table plus
+// the name resolutions.
+type dispatchEntry struct {
+	kind   dispatchKind
+	method *lang.MethodDecl // dispatchDo
+	target *stateSchema     // dispatchGoto
+}
+
+// stateSchema is the compiled form of one state declaration.
+type stateSchema struct {
+	decl     *lang.StateDecl
+	dispatch map[string]dispatchEntry
+}
+
+// machineSchema is the compiled form of one machine declaration.
+type machineSchema struct {
+	start  *stateSchema
+	states map[string]*stateSchema
+}
+
+// programSchemas holds the compiled schemas of one loaded Program.
+type programSchemas struct {
+	machines map[*lang.MachineDecl]*machineSchema
+}
+
+// schemaKey keys this package's compiled schemas in a Program's auxiliary
+// store, so the cache lives and dies with the Program.
+type schemaKey struct{}
+
+var (
+	// schemaCacheMu serializes first-use compilation so each Program is
+	// compiled exactly once even under concurrent Run calls.
+	schemaCacheMu sync.Mutex
+	// schemaCompiles counts machine-schema compilations; the compile-once
+	// test observes it.
+	schemaCompiles atomic.Int64
+)
+
+// schemasFor returns prog's compiled schemas, compiling each machine
+// declaration exactly once per loaded Program. Safe for concurrent Run
+// calls over the same Program.
+func schemasFor(prog *lang.Program) *programSchemas {
+	if v, ok := prog.AuxLoad(schemaKey{}); ok {
+		return v.(*programSchemas)
+	}
+	schemaCacheMu.Lock()
+	defer schemaCacheMu.Unlock()
+	if v, ok := prog.AuxLoad(schemaKey{}); ok {
+		return v.(*programSchemas)
+	}
+	ps := &programSchemas{machines: make(map[*lang.MachineDecl]*machineSchema, len(prog.Machines))}
+	for _, md := range prog.Machines {
+		ps.machines[md] = compileMachine(md)
+	}
+	prog.AuxStore(schemaKey{}, ps)
+	return ps
+}
+
+// compileMachine freezes one machine declaration's dispatch tables. Entries
+// are merged in do < goto < defer < ignore precedence order, matching the
+// interpreter's historical lookup order for an event bound in more than
+// one table of the same state.
+func compileMachine(md *lang.MachineDecl) *machineSchema {
+	ms := &machineSchema{states: make(map[string]*stateSchema, len(md.States))}
+	for _, sd := range md.States {
+		ms.states[sd.Name] = &stateSchema{decl: sd}
+	}
+	for _, sd := range md.States {
+		ss := ms.states[sd.Name]
+		ss.dispatch = make(map[string]dispatchEntry,
+			len(sd.OnDo)+len(sd.OnGoto)+len(sd.Defers)+len(sd.Ignores))
+		for evt, meth := range sd.OnDo {
+			ss.dispatch[evt] = dispatchEntry{kind: dispatchDo, method: md.MethodByName[meth]}
+		}
+		for evt, target := range sd.OnGoto {
+			ss.dispatch[evt] = dispatchEntry{kind: dispatchGoto, target: ms.states[target]}
+		}
+		for evt := range sd.Defers {
+			ss.dispatch[evt] = dispatchEntry{kind: dispatchDefer}
+		}
+		for evt := range sd.Ignores {
+			ss.dispatch[evt] = dispatchEntry{kind: dispatchIgnore}
+		}
+	}
+	ms.start = ms.states[md.StartState.Name]
+	schemaCompiles.Add(1)
+	return ms
+}

@@ -1,5 +1,7 @@
 package lang
 
+import "sync"
+
 // Type is a core-language type: int and bool are scalars; machine and class
 // names are reference types (paper Section 4: "the type of each variable is
 // either scalar ... or a reference type").
@@ -28,7 +30,20 @@ type Program struct {
 	ClassByName   map[string]*ClassDecl
 	MachineByName map[string]*MachineDecl
 	EventByName   map[string]*EventDecl
+
+	// aux carries derived, per-Program artifacts computed lazily by other
+	// packages (e.g. the interpreter's compiled dispatch schemas), so a
+	// cache's lifetime is tied to the Program instead of a process-global
+	// map that would pin every loaded Program forever.
+	aux sync.Map
 }
+
+// AuxLoad returns the auxiliary artifact stored under key, if any.
+func (p *Program) AuxLoad(key any) (any, bool) { return p.aux.Load(key) }
+
+// AuxStore records an auxiliary artifact under key; see AuxLoad. Callers
+// wanting compute-once semantics must serialize their own compute path.
+func (p *Program) AuxStore(key, value any) { p.aux.Store(key, value) }
 
 // EventDecl declares an event name.
 type EventDecl struct {

@@ -13,7 +13,7 @@ type machineInstance struct {
 	id     MachineID
 	rt     *Runtime
 	logic  Machine
-	schema *Schema
+	schema *compiledSchema
 	ctx    *Context
 
 	state  string
@@ -40,7 +40,7 @@ type machineInstance struct {
 	job chan Event
 }
 
-func newMachineInstance(rt *Runtime, id MachineID, logic Machine, schema *Schema) *machineInstance {
+func newMachineInstance(rt *Runtime, id MachineID, logic Machine, schema *compiledSchema) *machineInstance {
 	m := &machineInstance{id: id, rt: rt, logic: logic, schema: schema}
 	m.cond = sync.NewCond(&m.mu)
 	m.ctx = &Context{m: m, rt: rt}
@@ -128,8 +128,8 @@ func (m *machineInstance) run(payload Event) {
 		m.rt.logf("%s: entering initial state %q", m.id, m.state)
 	}
 	st := m.schema.states[m.state]
-	if st.onEntry != nil {
-		if bug := m.execute(st.onEntry, payload); bug != nil {
+	if st.hasEntry() {
+		if bug := m.execute(st.onEntry, st.onEntryM, payload); bug != nil {
 			m.bug = bug
 			return
 		}
@@ -269,7 +269,13 @@ func (m *machineInstance) scanQueueLocked() (envelope, bool, *Bug) {
 }
 
 func (m *machineInstance) removeLocked(i int) {
-	m.queue = append(m.queue[:i], m.queue[i+1:]...)
+	last := len(m.queue) - 1
+	copy(m.queue[i:], m.queue[i+1:])
+	// Zero the vacated tail slot: the shift leaves a duplicate envelope
+	// beyond len that would otherwise retain its Event until the next
+	// recycle or halt.
+	m.queue[last] = envelope{}
+	m.queue = m.queue[:last]
 }
 
 func isHaltEvent(ev Event) bool {
@@ -304,7 +310,7 @@ func (m *machineInstance) handleEvent(ev Event) *Bug {
 		m.rt.enqueue(m.id, ev, m.id, false)
 		return nil
 	case dispatchAction:
-		return m.execute(disp.action, ev)
+		return m.execute(disp.action, disp.maction, ev)
 	case dispatchGoto:
 		return m.gotoState(disp.target, ev)
 	default:
@@ -312,12 +318,18 @@ func (m *machineInstance) handleEvent(ev Event) *Bug {
 	}
 }
 
-// execute runs an action and then applies whatever pending effect (halt,
-// goto, raise) the action requested via its Context.
-func (m *machineInstance) execute(fn Action, ev Event) *Bug {
+// execute runs a bound action — whichever declaration form is set — and
+// then applies whatever pending effect (halt, goto, raise) the action
+// requested via its Context. Static-form actions receive the machine's
+// logic instance explicitly, which is what lets their schema be shared.
+func (m *machineInstance) execute(fn Action, mfn MachineAction, ev Event) *Bug {
 	m.ctx.resetPending()
 	m.ctx.currentEvent = ev
-	fn(m.ctx, ev)
+	if mfn != nil {
+		mfn(m.logic, m.ctx, ev)
+	} else {
+		fn(m.ctx, ev)
+	}
 	return m.applyPending(ev)
 }
 
@@ -343,9 +355,13 @@ func (m *machineInstance) applyPending(trigger Event) *Bug {
 // action with the triggering event as payload.
 func (m *machineInstance) gotoState(target string, payload Event) *Bug {
 	cur := m.schema.states[m.state]
-	if cur != nil && cur.onExit != nil {
+	if cur != nil && cur.hasExit() {
 		m.ctx.resetPending()
-		cur.onExit(m.ctx)
+		if cur.onExitM != nil {
+			cur.onExitM(m.logic, m.ctx)
+		} else {
+			cur.onExit(m.ctx)
+		}
 		if halt, g, r := m.ctx.takePending(); halt || g != "" || r != nil {
 			return &Bug{Kind: BugPanic, Machine: m.id, State: m.state,
 				Message: "exit actions must not call Goto, Raise or Halt"}
@@ -356,8 +372,8 @@ func (m *machineInstance) gotoState(target string, payload Event) *Bug {
 	}
 	m.state = target
 	st := m.schema.states[target]
-	if st.onEntry != nil {
-		return m.execute(st.onEntry, payload)
+	if st.hasEntry() {
+		return m.execute(st.onEntry, st.onEntryM, payload)
 	}
 	return nil
 }

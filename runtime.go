@@ -22,6 +22,20 @@ type Runtime struct {
 	nextSeq   uint64
 	sendSeq   uint64
 
+	// schemas caches the compiled schema per machine type. Static types
+	// (StaticMachine) are compiled exactly once, at registration, and every
+	// create reuses the frozen form; a nil entry records that the type uses
+	// the closure form, whose schema must be rebuilt per instance. A
+	// TestHarness keeps this cache across recycled iterations.
+	schemas map[string]*compiledSchema
+	// schemaCompiles counts schema compilations (both forms) since
+	// construction; the compile-once tests and the schema-cache benchmark
+	// probe observe it.
+	schemaCompiles int
+	// noSchemaCache forces per-create schema rebuilds even for static
+	// types, so benchmarks can quantify what the cache saves.
+	noSchemaCache bool
+
 	test *controller // non-nil in bug-finding mode
 
 	// Production-mode accounting: busy counts outstanding units of work
@@ -45,9 +59,20 @@ func WithLog(w io.Writer) Option { return func(r *Runtime) { r.logw = w } }
 // WithSeed seeds the production runtime's pseudo-random choice source.
 func WithSeed(seed uint64) Option { return func(r *Runtime) { r.rngState = seed } }
 
+// WithoutSchemaCache disables the per-type compiled-schema cache: every
+// create rebuilds and revalidates the machine's schema, which is what the
+// closure declaration form always pays. It exists so the benchmark probes
+// can quantify what the cache saves on a static-form program; there is no
+// reason to use it otherwise.
+func WithoutSchemaCache() Option { return func(r *Runtime) { r.noSchemaCache = true } }
+
 // NewRuntime returns a production-mode runtime.
 func NewRuntime(opts ...Option) *Runtime {
-	r := &Runtime{factories: make(map[string]func() Machine), rngState: 1}
+	r := &Runtime{
+		factories: make(map[string]func() Machine),
+		schemas:   make(map[string]*compiledSchema),
+		rngState:  1,
+	}
 	r.qcond = sync.NewCond(&r.mu)
 	for _, o := range opts {
 		o(r)
@@ -58,6 +83,18 @@ func NewRuntime(opts ...Option) *Runtime {
 // Register associates a machine type name with a factory. All machine types
 // must be registered before any instance is created (the paper requires
 // registration up front so the analyzable machine set is closed).
+//
+// Registration is where static machine types pay their one-time schema
+// cost: one probe instance is taken from the factory, and if it implements
+// StaticMachine its schema is compiled and validated here, once, then
+// reused by every create of the type. Invalid static schemas are therefore
+// reported by Register, not create. Closure-form types are probed once to
+// record the form and keep compiling per instance.
+//
+// Because of the probe, the factory must be a pure constructor: it runs
+// once here with the instance discarded, so a factory with side effects
+// (shared counters, instance tracking, resource pools) would observe one
+// phantom call per registered type.
 func (r *Runtime) Register(name string, factory func() Machine) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -66,6 +103,27 @@ func (r *Runtime) Register(name string, factory func() Machine) error {
 	}
 	if _, dup := r.factories[name]; dup {
 		return fmt.Errorf("psharp: machine type %q registered twice", name)
+	}
+	if _, known := r.schemas[name]; !known {
+		if sm, ok := factory().(StaticMachine); ok {
+			s := newSchema()
+			sm.ConfigureType(s)
+			cs, err := s.compile(name)
+			if err != nil {
+				return err
+			}
+			r.schemaCompiles++
+			if r.noSchemaCache {
+				// Measurement mode: the schema was still validated here
+				// (Register's error contract holds), but create rebuilds it
+				// per instance, so record only that the type is known.
+				r.schemas[name] = nil
+			} else {
+				r.schemas[name] = cs
+			}
+		} else {
+			r.schemas[name] = nil // closure form: compiled per instance
+		}
 	}
 	r.factories[name] = factory
 	return nil
@@ -112,11 +170,17 @@ func (r *Runtime) create(machineType string, payload Event, creator *machineInst
 		return MachineID{}, fmt.Errorf("psharp: unknown machine type %q", machineType)
 	}
 	logic := factory()
-	schema := newSchema()
-	logic.Configure(schema)
-	if err := schema.validate(machineType); err != nil {
-		r.mu.Unlock()
-		return MachineID{}, err
+	schema := r.schemas[machineType]
+	if schema == nil {
+		// Closure form (or cache disabled): build and validate a schema for
+		// this instance. Static types never reach here on the cached path —
+		// their frozen schema was compiled at registration.
+		var err error
+		schema, err = r.compileInstanceLocked(machineType, logic)
+		if err != nil {
+			r.mu.Unlock()
+			return MachineID{}, err
+		}
 	}
 	r.nextSeq++
 	id := MachineID{Type: machineType, Seq: r.nextSeq}
@@ -151,6 +215,21 @@ func (r *Runtime) create(machineType string, payload Event, creator *machineInst
 		m.run(payload)
 	}()
 	return id, nil
+}
+
+// compileInstanceLocked builds, validates and freezes a schema for one
+// machine instance: the closure declaration form's per-create cost, and the
+// WithoutSchemaCache measurement path (where it configures via the static
+// declaration if the type has one).
+func (r *Runtime) compileInstanceLocked(machineType string, logic Machine) (*compiledSchema, error) {
+	s := newSchema()
+	if sm, ok := logic.(StaticMachine); ok {
+		sm.ConfigureType(s)
+	} else {
+		logic.Configure(s)
+	}
+	r.schemaCompiles++
+	return s.compile(machineType)
 }
 
 // enqueue routes an event to target's queue. isMachineSend marks sends

@@ -5,15 +5,52 @@ import (
 	"reflect"
 )
 
-// Machine is implemented by user machine types. Configure is called once per
-// instance, before the initial state's entry action runs; it declares the
-// machine's states, transitions and action bindings on the Schema.
+// Machine is implemented by user machine types. Configure is the legacy
+// closure declaration form: it is called once per instance, before the
+// initial state's entry action runs, and declares the machine's states,
+// transitions and action bindings on the Schema, with actions closing over
+// the instance. Because each instance's actions are distinct closures, a
+// closure-form schema must be rebuilt and revalidated for every create.
+//
+// Machine types whose schema does not depend on the instance should
+// implement StaticMachine instead: the runtime then compiles the schema
+// once per registered type and shares the frozen form across instances.
 //
 // Machines correspond to the paper's Machine subclasses; states to its State
 // nested classes; OnEventGoto entries to the "State Transitions" table and
 // OnEventDo entries to the "Action Bindings" table of Figure 1.
 type Machine interface {
 	Configure(s *Schema)
+}
+
+// StaticMachine is the type-level declaration form, matching the paper's
+// design where a machine's transition and action-binding tables are
+// properties of the machine class, compiled once. ConfigureType declares
+// the schema for the type: it is called a single time, at registration, on
+// one probe instance produced by the registered factory. Bound actions use
+// the static signatures (MachineAction, MachineExitAction), which receive
+// the machine instance as a parameter instead of closing over it.
+//
+// ConfigureType must be instance-independent: it may read fields the
+// factory sets identically on every instance (registration parameters such
+// as a buggy-variant flag), but must not capture the receiver in action
+// bodies — the receiver it runs on is a discarded probe, not the machine
+// the actions will later run against.
+//
+// Static machines embed StaticBase to satisfy the Machine interface.
+type StaticMachine interface {
+	Machine
+	ConfigureType(s *Schema)
+}
+
+// StaticBase is embedded by static-form machine types to satisfy the legacy
+// Machine interface. Its Configure panics: a static machine's schema is
+// declared once per type via ConfigureType, never per instance.
+type StaticBase struct{}
+
+// Configure implements Machine by rejecting per-instance configuration.
+func (StaticBase) Configure(*Schema) {
+	panic("psharp: static machine configured per instance; its schema is declared by ConfigureType")
 }
 
 // MachineFunc adapts a plain configuration function to the Machine
@@ -23,13 +60,38 @@ type MachineFunc func(*Schema)
 // Configure implements Machine.
 func (f MachineFunc) Configure(s *Schema) { f(s) }
 
-// Action is the signature of entry actions and event handlers. Actions must
-// be sequential: they must not spawn goroutines or block on anything other
-// than the Context operations.
+// StaticMachineFunc adapts a standalone declaration function to the
+// StaticMachine interface, for machines that keep no per-instance state in
+// their actions (or keep it in the events they exchange). The function must
+// be instance-independent: it runs once per registered type and the
+// resulting schema is shared by every instance.
+type StaticMachineFunc func(*Schema)
+
+// Configure implements Machine; the declaration is instance-independent by
+// construction, so delegating is safe even on legacy paths.
+func (f StaticMachineFunc) Configure(s *Schema) { f(s) }
+
+// ConfigureType implements StaticMachine.
+func (f StaticMachineFunc) ConfigureType(s *Schema) { f(s) }
+
+// Action is the signature of entry actions and event handlers in the
+// closure declaration form. Actions must be sequential: they must not spawn
+// goroutines or block on anything other than the Context operations.
 type Action func(ctx *Context, ev Event)
 
 // ExitAction runs when a state is exited via a transition.
 type ExitAction func(ctx *Context)
+
+// MachineAction is the static-form action signature: the machine instance
+// arrives as an explicit parameter (assert it to the concrete type) instead
+// of being closed over, so the schema the action is bound in can be
+// compiled once per type and shared across instances and goroutines. The
+// sequentiality rules of Action apply.
+type MachineAction func(m Machine, ctx *Context, ev Event)
+
+// MachineExitAction is the static-form exit action signature; see
+// MachineAction.
+type MachineExitAction func(m Machine, ctx *Context)
 
 // dispatchKind says how a state reacts to an event type.
 type dispatchKind int
@@ -43,9 +105,10 @@ const (
 )
 
 type dispatchEntry struct {
-	kind   dispatchKind
-	target string // goto target state
-	action Action // bound action (dispatchAction, or entry action of goto)
+	kind    dispatchKind
+	target  string        // goto target state
+	action  Action        // closure-form bound action (dispatchAction)
+	maction MachineAction // static-form bound action (dispatchAction)
 }
 
 // handlerBinding is one (event type -> dispatch) binding of a state. States
@@ -59,13 +122,22 @@ type handlerBinding struct {
 	entry dispatchEntry
 }
 
-// stateSpec is the compiled form of one declared state.
+// stateSpec is the compiled form of one declared state. A state holds at
+// most one entry and one exit action, in either declaration form.
 type stateSpec struct {
 	name     string
 	onEntry  Action
+	onEntryM MachineAction
 	onExit   ExitAction
+	onExitM  MachineExitAction
 	handlers []handlerBinding
 }
+
+// hasEntry reports whether the state declares an entry action in any form.
+func (st *stateSpec) hasEntry() bool { return st.onEntry != nil || st.onEntryM != nil }
+
+// hasExit reports whether the state declares an exit action in any form.
+func (st *stateSpec) hasExit() bool { return st.onExit != nil || st.onExitM != nil }
 
 // lookup returns the dispatch entry bound to event type t, if any.
 func (st *stateSpec) lookup(t reflect.Type) (dispatchEntry, bool) {
@@ -127,19 +199,39 @@ func (b *StateBuilder) Name() string { return b.state.name }
 // whose transition entered the state (the payload in the paper's terms); for
 // the initial state it receives the creation payload event, which may be nil.
 func (b *StateBuilder) OnEntry(fn Action) *StateBuilder {
-	if b.state.onEntry != nil {
+	if b.state.hasEntry() {
 		b.schema.err("state %q: duplicate OnEntry", b.state.name)
 	}
 	b.state.onEntry = fn
 	return b
 }
 
+// OnEntryM registers a static-form entry action; see OnEntry and
+// MachineAction.
+func (b *StateBuilder) OnEntryM(fn MachineAction) *StateBuilder {
+	if b.state.hasEntry() {
+		b.schema.err("state %q: duplicate OnEntry", b.state.name)
+	}
+	b.state.onEntryM = fn
+	return b
+}
+
 // OnExit registers the state's exit action, run when leaving via a goto.
 func (b *StateBuilder) OnExit(fn ExitAction) *StateBuilder {
-	if b.state.onExit != nil {
+	if b.state.hasExit() {
 		b.schema.err("state %q: duplicate OnExit", b.state.name)
 	}
 	b.state.onExit = fn
+	return b
+}
+
+// OnExitM registers a static-form exit action; see OnExit and
+// MachineExitAction.
+func (b *StateBuilder) OnExitM(fn MachineExitAction) *StateBuilder {
+	if b.state.hasExit() {
+		b.schema.err("state %q: duplicate OnExit", b.state.name)
+	}
+	b.state.onExitM = fn
 	return b
 }
 
@@ -155,6 +247,13 @@ func (b *StateBuilder) OnEventGoto(proto Event, target string) *StateBuilder {
 // machine stays in the current state.
 func (b *StateBuilder) OnEventDo(proto Event, fn Action) *StateBuilder {
 	b.bind(proto, dispatchEntry{kind: dispatchAction, action: fn})
+	return b
+}
+
+// OnEventDoM registers a static-form action binding; see OnEventDo and
+// MachineAction.
+func (b *StateBuilder) OnEventDoM(proto Event, fn MachineAction) *StateBuilder {
+	b.bind(proto, dispatchEntry{kind: dispatchAction, maction: fn})
 	return b
 }
 
@@ -218,9 +317,29 @@ func (s *Schema) validate(machineType string) error {
 	return fmt.Errorf("%s", msg)
 }
 
+// compiledSchema is the frozen, validated form of a machine Schema: the
+// paper's per-class transition and action-binding tables. It is immutable
+// after compile, and therefore safe to share across machine instances and
+// goroutines — the runtime caches one per registered static machine type,
+// and a TestHarness keeps the cache across recycled iterations.
+type compiledSchema struct {
+	machineType string
+	initial     string
+	states      map[string]*stateSpec
+}
+
+// compile validates the schema and freezes it. The builder hands its state
+// table to the compiled form and must not be used afterwards.
+func (s *Schema) compile(machineType string) (*compiledSchema, error) {
+	if err := s.validate(machineType); err != nil {
+		return nil, err
+	}
+	return &compiledSchema{machineType: machineType, initial: s.initial, states: s.states}, nil
+}
+
 // lookup returns the dispatch entry for event type t in state name.
-func (s *Schema) lookup(state string, t reflect.Type) (dispatchEntry, bool) {
-	st, ok := s.states[state]
+func (cs *compiledSchema) lookup(state string, t reflect.Type) (dispatchEntry, bool) {
+	st, ok := cs.states[state]
 	if !ok {
 		return dispatchEntry{}, false
 	}

@@ -49,6 +49,13 @@
 // slices and trace buffers instead of rebuilding them (see the psharp
 // package's performance model); per-iteration allocations are proportional
 // to machines created, and extra scheduling points are allocation-free.
+// The harness also carries the per-type compiled-schema cache across
+// iterations, so programs whose machines use the static declaration form
+// (psharp.StaticMachine) compile each schema once per worker, ever —
+// setup re-registers the types every iteration, but registration is a
+// cache hit from iteration 2 on. Closure-form machines keep paying one
+// schema build per machine per iteration, which now dominates their
+// allocation profile (see the schema_cache_probe below).
 //
 // Static sharding (the default) pre-assigns worker w the global iterations
 // congruent to w modulo n, which is what makes parallel runs deterministic
@@ -64,7 +71,9 @@
 // trajectory across changes: schedules_per_sec and total_scheduling_points
 // for the probe run, alloc_probes comparing allocs/iteration through the
 // pooled harness vs one-shot RunTest per workload (the relay-hotpath entry
-// isolates runtime overhead; the protocol entry includes user machine
-// rebuild costs), and worker_iterations showing the per-worker split
+// isolates runtime overhead; the protocol entry runs static-form machines
+// against the schema cache), schema_cache_probe comparing the same
+// protocol with the cache on vs off (per-instance rebuilds, the closure
+// form's cost), and worker_iterations showing the per-worker split
 // (uneven under Dynamic).
 package sct

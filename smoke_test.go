@@ -22,9 +22,12 @@ type evConfig struct {
 	Rounds int
 }
 
-type pongServer struct{}
+// The smoke machines use the static declaration form, exercising the
+// per-type schema cache on both execution modes.
 
-func (s *pongServer) Configure(sc *psharp.Schema) {
+type pongServer struct{ psharp.StaticBase }
+
+func (*pongServer) ConfigureType(sc *psharp.Schema) {
 	sc.Start("Serving").
 		OnEventDo(&evPing{}, func(ctx *psharp.Context, ev psharp.Event) {
 			ctx.Send(ev.(*evPing).From, &evPong{})
@@ -32,6 +35,7 @@ func (s *pongServer) Configure(sc *psharp.Schema) {
 }
 
 type pingClient struct {
+	psharp.StaticBase
 	server psharp.MachineID
 	left   int
 	done   *int
@@ -39,15 +43,17 @@ type pingClient struct {
 
 func newPingClient(done *int) *pingClient { return &pingClient{done: done} }
 
-func (c *pingClient) Configure(sc *psharp.Schema) {
+func (*pingClient) ConfigureType(sc *psharp.Schema) {
 	sc.Start("Init").
-		OnEntry(func(ctx *psharp.Context, ev psharp.Event) {
+		OnEntryM(func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			c := m.(*pingClient)
 			cfg := ev.(*evConfig)
 			c.server = cfg.Server
 			c.left = cfg.Rounds
 			ctx.Send(c.server, &evPing{From: ctx.ID()})
 		}).
-		OnEventDo(&evPong{}, func(ctx *psharp.Context, ev psharp.Event) {
+		OnEventDoM(&evPong{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			c := m.(*pingClient)
 			c.left--
 			if c.left > 0 {
 				ctx.Send(c.server, &evPing{From: ctx.ID()})

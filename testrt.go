@@ -126,7 +126,7 @@ func (c *controller) isAborting() bool { return c.aborting.Load() }
 // acquireInstance returns a pooled machine instance (its goroutine already
 // parked on the job channel) or spins up a fresh one. Execution is
 // serialized, so no locking is needed around the freelist.
-func (c *controller) acquireInstance(r *Runtime, id MachineID, logic Machine, schema *Schema) *machineInstance {
+func (c *controller) acquireInstance(r *Runtime, id MachineID, logic Machine, schema *compiledSchema) *machineInstance {
 	if n := len(c.free); n > 0 {
 		m := c.free[n-1]
 		c.free[n-1] = nil
