@@ -105,5 +105,8 @@ func main() {
 		fmt.Printf("schema cache on %s: %.1f allocs/iteration cached vs %.1f per-instance (%.1f%% saved)\n",
 			rep.SchemaProbe.Workload, rep.SchemaProbe.Cached, rep.SchemaProbe.PerInstance,
 			rep.SchemaProbe.SavedPercent)
+		fmt.Printf("monitor overhead on %s: %.1f allocs/iteration monitored vs %.1f plain (+%.1f)\n",
+			rep.MonitorProbe.Workload, rep.MonitorProbe.Monitored, rep.MonitorProbe.Unmonitored,
+			rep.MonitorProbe.DeltaAllocs)
 	}
 }

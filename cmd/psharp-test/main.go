@@ -4,49 +4,123 @@
 // Usage:
 //
 //	psharp-test -bench Raft -buggy -strategy random -iterations 10000
-//	psharp-test -bench Raft -buggy -parallel 8
-//	psharp-test -bench Raft -buggy -parallel 8 -dynamic
+//	psharp-test -bench Raft -buggy -monitors -trace-out raft.trace
+//	psharp-test -bench Raft -buggy -monitors -replay raft.trace
+//	psharp-test -bench FairResponder -buggy -liveness
+//	psharp-test -bench Raft -buggy -parallel 8 [-dynamic]
 //	psharp-test -bench Raft -buggy -parallel 8 -portfolio default
 //	psharp-test -list
+//
+// -monitors attaches the benchmark's specification monitors (global safety
+// invariants such as TwoPhaseCommit atomicity or Raft election safety);
+// -liveness additionally enables hot-state temperature tracking and
+// defaults the strategy to the fair random scheduler, which is what makes
+// liveness verdicts sound — see the sct package docs.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 	"time"
 
+	"github.com/psharp-go/psharp"
 	"github.com/psharp-go/psharp/internal/protocols"
 	"github.com/psharp-go/psharp/sct"
 )
 
 func main() {
-	list := flag.Bool("list", false, "list available benchmarks")
-	bench := flag.String("bench", "", "benchmark name (see -list)")
-	buggy := flag.Bool("buggy", false, "use the buggy variant")
-	strategy := flag.String("strategy", "random", "random | dfs | pct | delay")
-	iterations := flag.Int("iterations", 10000, "schedule budget")
-	timeout := flag.Duration("timeout", 5*time.Minute, "time budget (hard deadline)")
-	seed := flag.Uint64("seed", 1, "seed for randomized strategies")
-	keepGoing := flag.Bool("keep-going", false, "keep exploring after the first bug (reports %buggy)")
-	trace := flag.String("trace", "", "write the first buggy schedule trace to this file")
-	parallel := flag.Int("parallel", 1, "number of exploration workers (0 = GOMAXPROCS)")
-	dynamic := flag.Bool("dynamic", false, "work-stealing iteration assignment across workers (keeps all workers busy under skewed iteration costs; trades run-to-run population reproducibility, bug traces still replay)")
-	portfolio := flag.String("portfolio", "", "comma-separated worker portfolio, e.g. 'random,pct,delay,dfs' or 'default' (implies -parallel)")
-	verbose := flag.Bool("v", false, "print per-worker sub-reports for parallel runs")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the command body, separated from main so the trace round-trip and
+// flag-handling tests can drive it in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("psharp-test", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list available benchmarks (the liveness suite is marked)")
+	bench := fs.String("bench", "", "benchmark name (see -list)")
+	buggy := fs.Bool("buggy", false, "use the buggy variant")
+	strategy := fs.String("strategy", "", "random | fair | dfs | pct | delay (default random; fair under -liveness)")
+	iterations := fs.Int("iterations", 10000, "schedule budget")
+	timeout := fs.Duration("timeout", 5*time.Minute, "time budget (hard deadline)")
+	seed := fs.Uint64("seed", 1, "seed for randomized strategies")
+	keepGoing := fs.Bool("keep-going", false, "keep exploring after the first bug (reports %buggy)")
+	monitors := fs.Bool("monitors", false, "attach the benchmark's specification monitors")
+	liveness := fs.Bool("liveness", false, "enable hot-state liveness checking (implies -monitors; defaults -strategy to fair)")
+	temperature := fs.Int("temperature", 0, "liveness temperature threshold in scheduling decisions (default: the benchmark's recommendation)")
+	fairPrefix := fs.Int("fair-prefix", -1, "random-prefix length of the fair strategy and of portfolio fair members (default: the benchmark's recommendation, else maxsteps/2)")
+	traceOut := fs.String("trace-out", "", "write the first buggy schedule trace to this file (psharp.Trace.Encode format)")
+	traceOld := fs.String("trace", "", "deprecated alias for -trace-out")
+	replay := fs.String("replay", "", "replay a trace file against the benchmark instead of exploring; exits 0 if the bug reproduces")
+	parallel := fs.Int("parallel", 1, "number of exploration workers (0 = GOMAXPROCS)")
+	dynamic := fs.Bool("dynamic", false, "work-stealing iteration assignment across workers (keeps all workers busy under skewed iteration costs; trades run-to-run population reproducibility, bug traces still replay)")
+	portfolio := fs.String("portfolio", "", "comma-separated worker portfolio, e.g. 'random,fair,pct,delay,dfs' or 'default' (implies -parallel)")
+	verbose := fs.Bool("v", false, "print per-worker sub-reports for parallel runs")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
 
 	if *list {
 		for _, b := range protocols.All() {
-			fmt.Println(b.ID())
+			fmt.Fprintln(stdout, b.ID())
 		}
-		return
+		for _, b := range protocols.Liveness() {
+			fmt.Fprintf(stdout, "%s [liveness]\n", b.ID())
+		}
+		return 0
 	}
 	b, ok := protocols.ByName(*bench, *buggy)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "psharp-test: unknown benchmark %q (try -list)\n", *bench)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "psharp-test: unknown benchmark %q (try -list)\n", *bench)
+		return 2
 	}
+	if *liveness {
+		*monitors = true
+		if b.Temperature == 0 && *temperature == 0 {
+			fmt.Fprintf(stderr, "psharp-test: %s declares no liveness specification; pass -temperature explicitly\n", b.ID())
+			return 2
+		}
+	}
+	if *temperature == 0 {
+		*temperature = b.Temperature
+	}
+	if *liveness && *temperature <= 0 {
+		// A non-positive threshold would silently disable temperature
+		// tracking in the controller and report the run clean.
+		fmt.Fprintf(stderr, "psharp-test: -liveness needs a positive -temperature, got %d\n", *temperature)
+		return 2
+	}
+	if *fairPrefix < 0 {
+		*fairPrefix = b.FairPrefix
+		if *fairPrefix <= 0 {
+			*fairPrefix = b.MaxSteps / 2
+		}
+	}
+	if *liveness && *temperature <= *fairPrefix {
+		fmt.Fprintf(stderr, "psharp-test: warning: -temperature %d <= -fair-prefix %d: the threshold can be crossed inside the random (unfair) prefix, which reports scheduler starvation as a violation; raise -temperature or shrink -fair-prefix\n",
+			*temperature, *fairPrefix)
+	}
+	setup := b.Setup
+	if *monitors {
+		setup = b.SetupMonitored()
+	}
+	if *strategy == "" {
+		*strategy = "random"
+		if *liveness {
+			*strategy = "fair"
+		}
+	}
+
+	if *replay != "" {
+		return replayTrace(b, setup, *replay, *liveness, *temperature, stdout, stderr)
+	}
+
 	opts := sct.Options{
 		Iterations:     *iterations,
 		Timeout:        *timeout,
@@ -54,9 +128,14 @@ func main() {
 		StopOnFirstBug: !*keepGoing,
 		LivelockAsBug:  b.LivelockAsBug,
 	}
+	if *liveness {
+		opts.LivenessTemperature = *temperature
+	}
 	switch *strategy {
 	case "random":
 		opts.Strategy = sct.NewRandom(*seed)
+	case "fair":
+		opts.Strategy = sct.NewRandomFair(*seed, *fairPrefix)
 	case "dfs":
 		opts.Strategy = sct.NewDFS()
 	case "pct":
@@ -64,12 +143,26 @@ func main() {
 	case "delay":
 		opts.Strategy = sct.NewDelayBounding(*seed, 2, b.MaxSteps)
 	default:
-		fmt.Fprintf(os.Stderr, "psharp-test: unknown strategy %q\n", *strategy)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "psharp-test: unknown strategy %q\n", *strategy)
+		return 2
+	}
+	if *liveness {
+		if *portfolio != "" {
+			// A portfolio overrides -strategy per worker; warn if any member
+			// is unfair, since temperature tracking applies to all of them.
+			for _, m := range strings.Split(*portfolio, ",") {
+				if name := strings.TrimSpace(m); name != "fair" && name != "" {
+					fmt.Fprintf(stderr, "psharp-test: warning: -liveness with unfair portfolio member %q can report spurious violations (scheduler starvation); use fair members\n", name)
+					break
+				}
+			}
+		} else if *strategy != "fair" {
+			fmt.Fprintf(stderr, "psharp-test: warning: -liveness under the unfair %q strategy can report spurious violations (scheduler starvation); use -strategy fair\n", *strategy)
+		}
 	}
 
 	parallelSet := false
-	flag.Visit(func(f *flag.Flag) {
+	fs.Visit(func(f *flag.Flag) {
 		if f.Name == "parallel" {
 			parallelSet = true
 		}
@@ -78,16 +171,18 @@ func main() {
 	var rep sct.Report
 	label := *strategy
 	if *dynamic && *portfolio == "" && *parallel == 1 {
-		fmt.Fprintln(os.Stderr, "psharp-test: -dynamic requires -parallel or -portfolio")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "psharp-test: -dynamic requires -parallel or -portfolio")
+		return 2
 	}
 	if *portfolio != "" || *parallel != 1 {
 		popts := sct.ParallelOptions{Options: opts, Workers: *parallel, Dynamic: *dynamic}
 		if *portfolio != "" {
-			pf, err := sct.ParsePortfolio(*portfolio, *seed, b.MaxSteps)
+			// Fair members take the same prefix as -strategy fair, so a
+			// -liveness temperature calibrated above the prefix stays sound.
+			pf, err := sct.ParsePortfolioPrefix(*portfolio, *seed, b.MaxSteps, *fairPrefix)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "psharp-test:", err)
-				os.Exit(2)
+				fmt.Fprintln(stderr, "psharp-test:", err)
+				return 2
 			}
 			popts.Portfolio = pf
 			label = "portfolio[" + *portfolio + "]"
@@ -96,14 +191,14 @@ func main() {
 			if !parallelSet {
 				popts.Workers = pf.Size()
 			} else if *parallel > 0 && *parallel < pf.Size() {
-				fmt.Fprintf(os.Stderr, "psharp-test: warning: -parallel %d runs only the first %d of %d portfolio members\n",
+				fmt.Fprintf(stderr, "psharp-test: warning: -parallel %d runs only the first %d of %d portfolio members\n",
 					*parallel, *parallel, pf.Size())
 			}
 		}
-		prep := sct.RunParallel(b.Setup, popts)
+		prep := sct.RunParallel(setup, popts)
 		if *verbose {
 			for _, w := range prep.Workers {
-				fmt.Printf("  worker %d (%s): %s\n", w.Worker, w.Strategy, w.Report.String())
+				fmt.Fprintf(stdout, "  worker %d (%s): %s\n", w.Worker, w.Strategy, w.Report.String())
 			}
 		}
 		rep = prep.Report
@@ -113,26 +208,89 @@ func main() {
 		}
 		label = fmt.Sprintf("%s x%d workers%s", label, len(prep.Workers), sharding)
 	} else {
-		rep = sct.Run(b.Setup, opts)
+		rep = sct.Run(setup, opts)
 	}
-	fmt.Printf("%s under %s: %s\n", b.ID(), label, rep.String())
-	if rep.BugFound() && *trace != "" {
-		f, err := os.Create(*trace)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "psharp-test:", err)
-			os.Exit(1)
+	suffix := ""
+	if *monitors {
+		suffix = " (monitored)"
+	}
+	fmt.Fprintf(stdout, "%s under %s%s: %s\n", b.ID(), label, suffix, rep.String())
+	if rep.BugFound() {
+		if bug := rep.FirstBug; bug.Monitor != "" {
+			fmt.Fprintf(stdout, "specification violated: monitor %q (%s)\n", bug.Monitor, bug.Kind)
 		}
-		if err := rep.FirstBugTrace.Encode(f); err != nil {
-			fmt.Fprintln(os.Stderr, "psharp-test:", err)
-			os.Exit(1)
+	}
+	out := *traceOut
+	if out == "" {
+		out = *traceOld
+	}
+	if rep.BugFound() && out != "" {
+		if err := writeTrace(out, rep.FirstBugTrace); err != nil {
+			fmt.Fprintln(stderr, "psharp-test:", err)
+			return 1
 		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "psharp-test:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("trace written to %s (%d decisions)\n", *trace, rep.FirstBugTrace.Len())
+		fmt.Fprintf(stdout, "trace written to %s (%d decisions)\n", out, rep.FirstBugTrace.Len())
 	}
 	if rep.BugFound() {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// writeTrace encodes tr into path.
+func writeTrace(path string, tr *psharp.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// replayTrace decodes a trace file and re-executes it against the
+// benchmark, reporting whether the recorded bug reproduces. Exit codes: 0
+// when a bug reproduces, 3 when the schedule replays clean, 1/2 on errors.
+func replayTrace(b protocols.Benchmark, setup func(*psharp.Runtime), path string, liveness bool, temperature int, stdout, stderr io.Writer) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "psharp-test:", err)
+		return 2
+	}
+	tr, err := psharp.DecodeTrace(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(stderr, "psharp-test:", err)
+		return 2
+	}
+	cfg := psharp.TestConfig{
+		MaxSteps:      b.MaxSteps,
+		LivelockAsBug: b.LivelockAsBug,
+	}
+	if liveness {
+		cfg.LivenessTemperature = temperature
+	}
+	// A trace recorded against a different program (or stale binary) makes
+	// the replay strategy panic with a divergence report; surface it as a
+	// command error instead of a crash.
+	res, err := func() (res psharp.IterationResult, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("%v", r)
+			}
+		}()
+		return sct.ReplayTrace(setup, tr, cfg), nil
+	}()
+	if err != nil {
+		fmt.Fprintln(stderr, "psharp-test:", err)
+		return 2
+	}
+	if res.Bug != nil {
+		fmt.Fprintf(stdout, "%s: replayed %d decisions: %v\n", b.ID(), tr.Len(), res.Bug)
+		return 0
+	}
+	fmt.Fprintf(stdout, "%s: replayed %d decisions: no bug reproduced\n", b.ID(), tr.Len())
+	return 3
 }

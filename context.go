@@ -10,14 +10,29 @@ import (
 // events, creating machines, controlled nondeterminism, assertions, and
 // state-machine effects (Goto/Raise/Halt). A Context is only valid inside
 // the action it is passed to.
+//
+// Monitor actions receive a restricted Context: Assert, Goto, Raise and
+// Logf work as for machines, but Send, CreateMachine, Halt, RandomBool,
+// RandomInt, Read and Write are forbidden — a specification monitor
+// passively observes the program and must not influence it. Calling a
+// forbidden operation fails the iteration with BugMonitor.
 type Context struct {
-	m  *machineInstance
-	rt *Runtime
+	m   *machineInstance
+	mon *monitorInstance // non-nil when the context belongs to a monitor
+	rt  *Runtime
 
 	currentEvent Event
 	pendingGoto  string
 	pendingRaise Event
 	pendingHalt  bool
+}
+
+// monitorForbids panics (reported as BugMonitor by the observing dispatch)
+// when a monitor action calls an operation reserved for machines.
+func (c *Context) monitorForbids(op string) {
+	if c.mon != nil {
+		panic(assertFailed{msg: fmt.Sprintf("monitors cannot %s: they are passive observers", op)})
+	}
 }
 
 func (c *Context) resetPending() {
@@ -32,15 +47,28 @@ func (c *Context) takePending() (halt bool, gotoState string, raised Event) {
 	return halt, gotoState, raised
 }
 
-// ID returns the machine's identifier.
-func (c *Context) ID() MachineID { return c.m.id }
+// ID returns the machine's identifier. For a monitor context the ID carries
+// the monitor's name with a zero sequence (monitors are not schedulable
+// machines, so their IDs are never valid send targets).
+func (c *Context) ID() MachineID {
+	if c.mon != nil {
+		return MachineID{Type: c.mon.name}
+	}
+	return c.m.id
+}
 
-// State returns the name of the machine's current state.
-func (c *Context) State() string { return c.m.state }
+// State returns the name of the machine's (or monitor's) current state.
+func (c *Context) State() string {
+	if c.mon != nil {
+		return c.mon.state
+	}
+	return c.m.state
+}
 
 // Send enqueues ev in target's event queue. In bug-finding mode this is a
 // scheduling point (the paper's send operation, Section 6.2).
 func (c *Context) Send(target MachineID, ev Event) {
+	c.monitorForbids("Send")
 	if ev == nil {
 		panic(assertFailed{msg: fmt.Sprintf("%s: Send of nil event", c.m.id)})
 	}
@@ -54,6 +82,7 @@ func (c *Context) Send(target MachineID, ev Event) {
 // returns its ID. payload (which may be nil) is passed to the initial
 // state's entry action. In bug-finding mode this is a scheduling point.
 func (c *Context) CreateMachine(machineType string, payload Event) MachineID {
+	c.monitorForbids("CreateMachine")
 	id, err := c.rt.create(machineType, payload, c.m)
 	if err != nil {
 		panic(assertFailed{msg: err.Error()})
@@ -66,11 +95,13 @@ func (c *Context) CreateMachine(machineType string, payload Event) MachineID {
 // recorded in the trace, so buggy schedules replay deterministically; under
 // the production runtime it is pseudo-random.
 func (c *Context) RandomBool() bool {
+	c.monitorForbids("RandomBool")
 	return c.rt.randomBool(c.m)
 }
 
 // RandomInt returns a controlled nondeterministic integer in [0, n).
 func (c *Context) RandomInt(n int) int {
+	c.monitorForbids("RandomInt")
 	if n <= 0 {
 		panic(assertFailed{msg: fmt.Sprintf("%s: RandomInt(%d): n must be positive", c.m.id, n)})
 	}
@@ -90,10 +121,18 @@ func (c *Context) Assert(cond bool, format string, args ...any) {
 // being handled. At most one of Goto/Raise/Halt may be pending.
 func (c *Context) Goto(state string) {
 	c.checkNoPending("Goto")
-	if _, ok := c.m.schema.states[state]; !ok {
-		panic(assertFailed{msg: fmt.Sprintf("%s: Goto(%q): no such state", c.m.id, state)})
+	if _, ok := c.schema().states[state]; !ok {
+		panic(assertFailed{msg: fmt.Sprintf("%s: Goto(%q): no such state", c.ID(), state)})
 	}
 	c.pendingGoto = state
+}
+
+// schema returns the dispatching schema of the context's owner.
+func (c *Context) schema() *compiledSchema {
+	if c.mon != nil {
+		return c.mon.schema
+	}
+	return c.m.schema
 }
 
 // Raise requests that ev be handled immediately after the current action
@@ -101,7 +140,7 @@ func (c *Context) Goto(state string) {
 func (c *Context) Raise(ev Event) {
 	c.checkNoPending("Raise")
 	if ev == nil {
-		panic(assertFailed{msg: fmt.Sprintf("%s: Raise of nil event", c.m.id)})
+		panic(assertFailed{msg: fmt.Sprintf("%s: Raise of nil event", c.ID())})
 	}
 	c.pendingRaise = ev
 }
@@ -109,18 +148,23 @@ func (c *Context) Raise(ev Event) {
 // Halt terminates the machine once the current action returns; queued
 // events are dropped and later sends to it are discarded.
 func (c *Context) Halt() {
+	c.monitorForbids("Halt")
 	c.checkNoPending("Halt")
 	c.pendingHalt = true
 }
 
 func (c *Context) checkNoPending(op string) {
 	if c.pendingGoto != "" || c.pendingRaise != nil || c.pendingHalt {
-		panic(assertFailed{msg: fmt.Sprintf("%s: %s: another Goto/Raise/Halt is already pending", c.m.id, op)})
+		panic(assertFailed{msg: fmt.Sprintf("%s: %s: another Goto/Raise/Halt is already pending", c.ID(), op)})
 	}
 }
 
 // Logf writes a formatted message to the runtime log (if configured).
 func (c *Context) Logf(format string, args ...any) {
+	if c.mon != nil {
+		c.rt.logf("monitor %s: %s", c.mon.name, fmt.Sprintf(format, args...))
+		return
+	}
 	c.rt.logf("%s: %s", c.m.id, fmt.Sprintf(format, args...))
 }
 
@@ -130,10 +174,12 @@ func (c *Context) Logf(format string, args ...any) {
 // what makes the paper's RD-off optimization sound once the static analysis
 // has verified the program.
 func (c *Context) Read(location string) {
+	c.monitorForbids("Read")
 	c.rt.access(c.m, location, vclock.Read)
 }
 
 // Write instruments a write of the named shared location; see Read.
 func (c *Context) Write(location string) {
+	c.monitorForbids("Write")
 	c.rt.access(c.m, location, vclock.Write)
 }

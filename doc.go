@@ -42,6 +42,48 @@
 // happens-before detector confirms dynamically that the non-racy variants
 // are race-free and the racy ones race. See internal/benchsrc/README.md.
 //
+// # Specifying correctness
+//
+// Beyond machine-local assertions (Context.Assert), correctness is
+// specified with monitors — the paper's observer machines. A monitor is
+// declared like a machine (states, event handlers, transitions, either
+// declaration form) and registered with Runtime.RegisterMonitor; from then
+// on every sent and raised event is dispatched to it synchronously, at the
+// send or raise itself, and the monitor handles the events its current
+// state binds, skipping the rest. Monitors are passive: actions may
+// Assert, Goto, Raise and Logf but must not Send, CreateMachine, Halt, or
+// draw nondeterminism — so attaching a monitor never changes the program's
+// schedules, and a monitored run explores byte-identical traces.
+//
+// Two specification classes follow:
+//
+//   - Global safety invariants: the monitor accumulates observations across
+//     machines and asserts over them (e.g. two-phase-commit atomicity over
+//     every participant's outcome, Raft election safety over every leader
+//     announcement). A failed monitor assertion ends the iteration with
+//     BugMonitor, attributed to the monitor, with the usual replayable
+//     trace.
+//
+//   - Liveness ("something eventually happens"): monitor states carry
+//     hot/cold annotations (StateBuilder.Hot, StateBuilder.Cold). A hot
+//     state is a pending obligation. With TestConfig.LivenessTemperature
+//     set, the testing controller tracks each monitor's temperature — the
+//     number of consecutive scheduling decisions spent hot — and reports
+//     BugLiveness when it crosses the threshold, or when the program
+//     quiesces with a monitor still hot. The temperature is a function of
+//     the schedule alone, so a liveness violation replays exactly like any
+//     other bug.
+//
+// Liveness caveats: a hot monitor under an unfair scheduler may mean only
+// that the scheduler starved the machine that would discharge the
+// obligation, so liveness checking is sound only under fair schedules —
+// use sct.RandomFair (random prefix, then fair round-robin) and set the
+// temperature threshold above the prefix plus a few fair rounds, so the
+// threshold can only be crossed inside the fair region. The production
+// runtime dispatches monitors too (safety assertions fire as in testing,
+// serialized behind an internal mutex), but does not track temperature:
+// liveness checking is a bug-finding-mode feature.
+//
 // # Declaring machines
 //
 // A machine type declares its states, transitions and action bindings on a
@@ -109,6 +151,12 @@
 // static type's schema one time and every create reuses the frozen form,
 // and the harness keeps that per-type cache across recycled iterations, so
 // a static-form program pays zero schema allocations from iteration 2 on.
+// Monitors ride the same machinery: a static monitor's schema is compiled
+// once per registered name, the harness recycles the monitor instance and
+// its Context across iterations, and observation itself is allocation-free
+// — attaching a monitor adds only its factory's allocations per iteration
+// (at most 5 on the protocol workloads, enforced by the monitor allocation
+// caps).
 // (The interp package applies the same discipline to .psl programs: one
 // schema per machine declaration per loaded Program.) What still rebuilds
 // each iteration is per-machine user state — setup runs every time and

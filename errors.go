@@ -26,6 +26,15 @@ const (
 	BugLivelock
 	// BugDataRace is reported by the happens-before detector (RD-on mode).
 	BugDataRace
+	// BugMonitor is a safety violation detected by a specification monitor:
+	// an assertion failed (or a forbidden operation was attempted) inside a
+	// monitor action while it processed an observed event.
+	BugMonitor
+	// BugLiveness is a liveness violation: a monitor stayed in a hot state
+	// past the configured temperature threshold, or was still hot when the
+	// program quiesced. Only reported when TestConfig.LivenessTemperature is
+	// set; meaningful under fair schedules (see sct.RandomFair).
+	BugLiveness
 )
 
 func (k BugKind) String() string {
@@ -42,6 +51,10 @@ func (k BugKind) String() string {
 		return "livelock (depth bound exceeded)"
 	case BugDataRace:
 		return "data race"
+	case BugMonitor:
+		return "monitor violation"
+	case BugLiveness:
+		return "liveness violation"
 	default:
 		return fmt.Sprintf("bug(%d)", int(k))
 	}
@@ -51,12 +64,18 @@ func (k BugKind) String() string {
 type Bug struct {
 	Kind    BugKind
 	Machine MachineID
+	// Monitor names the specification monitor that detected the failure
+	// (BugMonitor and BugLiveness); empty for machine-detected bugs.
+	Monitor string
 	State   string
 	Message string
 }
 
 // Error implements the error interface.
 func (b *Bug) Error() string {
+	if b.Monitor != "" {
+		return fmt.Sprintf("psharp: %s by monitor %q in state %q: %s", b.Kind, b.Monitor, b.State, b.Message)
+	}
 	if b.Machine.IsNil() {
 		return fmt.Sprintf("psharp: %s: %s", b.Kind, b.Message)
 	}

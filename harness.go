@@ -41,9 +41,10 @@ type TestHarness struct {
 // iteration — which any deterministic setup does.
 func NewTestHarness(setup func(*Runtime), opts ...Option) *TestHarness {
 	rt := &Runtime{
-		factories: make(map[string]func() Machine),
-		schemas:   make(map[string]*compiledSchema),
-		rngState:  1,
+		factories:      make(map[string]func() Machine),
+		schemas:        make(map[string]*compiledSchema),
+		monitorSchemas: make(map[string]*compiledSchema),
+		rngState:       1,
 	}
 	rt.qcond = sync.NewCond(&rt.mu)
 	for _, o := range opts {
@@ -91,9 +92,9 @@ func (h *TestHarness) Run(cfg TestConfig) IterationResult {
 
 // reset rewinds the runtime and controller to their pre-setup state while
 // retaining every allocation: the factories map is cleared in place and all
-// slices are truncated with their capacity kept. The compiled-schema cache
-// (rt.schemas) deliberately survives: schemas are per-type, not
-// per-iteration, so recompiling them would be pure waste.
+// slices are truncated with their capacity kept. The compiled-schema caches
+// (rt.schemas and rt.monitorSchemas) deliberately survive: schemas are
+// per-type, not per-iteration, so recompiling them would be pure waste.
 func (h *TestHarness) reset(cfg TestConfig) {
 	rt, c := h.rt, h.c
 	clear(rt.factories)
@@ -125,9 +126,10 @@ func (h *TestHarness) reset(cfg TestConfig) {
 }
 
 // park returns every machine instance of the finished iteration to the
-// freelist. Their goroutines stay parked on their job channels; only called
-// after the controller's teardown has joined all of them, so the field
-// resets cannot race with machine code.
+// freelist, and every monitor instance to the per-name monitor pool. Their
+// goroutines stay parked on their job channels; only called after the
+// controller's teardown has joined all of them, so the field resets cannot
+// race with machine code.
 func (h *TestHarness) park() {
 	rt, c := h.rt, h.c
 	for i, m := range rt.machines {
@@ -136,6 +138,22 @@ func (h *TestHarness) park() {
 		rt.machines[i] = nil
 	}
 	rt.machines = rt.machines[:0]
+	for i, mon := range rt.monitors {
+		// Drop all per-iteration state; the next RegisterMonitor of the same
+		// name reuses the instance (and its Context) with fresh logic.
+		mon.logic = nil
+		mon.state = ""
+		mon.hot = false
+		mon.temp = 0
+		mon.ctx.currentEvent = nil
+		mon.ctx.resetPending()
+		if c.freeMons == nil {
+			c.freeMons = make(map[string]*monitorInstance)
+		}
+		c.freeMons[mon.name] = mon
+		rt.monitors[i] = nil
+	}
+	rt.monitors = rt.monitors[:0]
 }
 
 // Close releases the pool of parked machine goroutines. The harness must be

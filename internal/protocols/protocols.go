@@ -38,6 +38,33 @@ type Benchmark struct {
 	// LivelockAsBug marks benchmarks whose bug is (partly) a livelock and
 	// therefore needs the depth bound reported as a bug (German).
 	LivelockAsBug bool
+	// Monitors, if non-nil, registers the protocol's specification monitors
+	// (safety invariants and hot/cold liveness properties) on the runtime.
+	// Kept separate from Setup so the Table 2 measurements stay comparable
+	// to the paper; attach them with SetupMonitored (psharp-test -monitors).
+	Monitors func(r *psharp.Runtime)
+	// Temperature is the recommended TestConfig.LivenessTemperature for the
+	// benchmark's liveness monitors; 0 means the benchmark carries no
+	// liveness specification.
+	Temperature int
+	// FairPrefix is the recommended random-prefix length for
+	// sct.NewRandomFair on this benchmark (only meaningful with Temperature).
+	FairPrefix int
+}
+
+// SetupMonitored returns Setup with the benchmark's specification monitors
+// attached (identical to Setup when the benchmark declares none). Monitors
+// make no scheduling decisions, so the explored schedules and their traces
+// are unchanged by attaching them.
+func (b Benchmark) SetupMonitored() func(r *psharp.Runtime) {
+	if b.Monitors == nil {
+		return b.Setup
+	}
+	setup, monitors := b.Setup, b.Monitors
+	return func(r *psharp.Runtime) {
+		setup(r)
+		monitors(r)
+	}
 }
 
 // ID returns a unique key such as "German(buggy)".
@@ -49,7 +76,10 @@ func (b Benchmark) ID() string {
 }
 
 // All returns the full suite: for every protocol the correct variant and,
-// where defined, the buggy one. Ordering matches the paper's Table 2.
+// where defined, the buggy one. Ordering matches the paper's Table 2. The
+// liveness benchmarks are not included — their bugs are only observable
+// through monitors under fair scheduling, so they are not comparable to the
+// Table 2 safety measurements; see Liveness.
 func All() []Benchmark {
 	var out []Benchmark
 	for _, name := range Names() {
@@ -69,6 +99,20 @@ func Names() []string {
 	return []string{
 		"BoundedAsync", "German", "BasicPaxos", "TwoPhaseCommit",
 		"Chord", "MultiPaxos", "Raft", "ChainReplication", "AsyncSystemSim",
+	}
+}
+
+// Liveness returns the liveness benchmark suite: protocols whose seeded
+// bugs violate a monitor-expressed "eventually" property rather than a
+// safety one. They run with the benchmark's Monitors attached
+// (SetupMonitored), TestConfig.LivenessTemperature set to the benchmark's
+// Temperature, and a fair strategy (sct.NewRandomFair with the benchmark's
+// FairPrefix) — an unfair scheduler cannot soundly report their bugs at
+// all, and a plain random run simply sees nothing.
+func Liveness() []Benchmark {
+	return []Benchmark{
+		fairResponderBenchmark(false),
+		fairResponderBenchmark(true),
 	}
 }
 
@@ -96,6 +140,8 @@ func ByName(name string, buggy bool) (Benchmark, bool) {
 			return Benchmark{}, false // analysis-only case study; no seeded bug
 		}
 		return asyncSystemBenchmark(), true
+	case "FairResponder":
+		return fairResponderBenchmark(buggy), true
 	default:
 		return Benchmark{}, false
 	}

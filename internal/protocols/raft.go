@@ -255,6 +255,36 @@ func (*rfTimer) ConfigureType(sc *psharp.Schema) {
 		})
 }
 
+// rfElectionSafetyMonitor is the monitor-expressed Election Safety
+// specification: it observes every rfLeaderElected announcement at the
+// send — before the checker machine dequeues it — and asserts at most one
+// leader per term. On the buggy variant (double-counted duplicate grants)
+// this is the specification that fires, as a BugMonitor attributed to the
+// monitor, with the usual deterministically replayable trace.
+type rfElectionSafetyMonitor struct {
+	psharp.StaticBase
+	leaders map[int]psharp.MachineID
+}
+
+func (*rfElectionSafetyMonitor) ConfigureType(sc *psharp.Schema) {
+	sc.Start("Observing").
+		OnEventDoM(&rfLeaderElected{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			mon := m.(*rfElectionSafetyMonitor)
+			e := ev.(*rfLeaderElected)
+			prev, ok := mon.leaders[e.Term]
+			if !ok {
+				mon.leaders[e.Term] = e.Leader
+				return
+			}
+			// Branch before Assert: the variadic arguments would otherwise be
+			// boxed on every observation, and this runs on the send hot path.
+			if prev != e.Leader {
+				ctx.Assert(false,
+					"election safety violated: term %d has leaders %s and %s", e.Term, prev, e.Leader)
+			}
+		})
+}
+
 // rfChecker asserts Election Safety.
 type rfChecker struct {
 	psharp.StaticBase
@@ -307,6 +337,11 @@ func raftBenchmark(buggy bool) Benchmark {
 				}
 				mustSend(r, srv, &rfServerConfig{Peers: peers, Timer: timers[i], Checker: checker})
 			}
+		},
+		Monitors: func(r *psharp.Runtime) {
+			r.MustRegisterMonitor("ElectionSafety", func() psharp.Machine {
+				return &rfElectionSafetyMonitor{leaders: make(map[int]psharp.MachineID)}
+			})
 		},
 	}
 }

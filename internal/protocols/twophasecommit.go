@@ -255,6 +255,38 @@ func (*tpcChecker) ConfigureType(sc *psharp.Schema) {
 		})
 }
 
+// tpcAtomicityMonitor is the monitor-expressed form of the atomicity
+// specification: it observes every tpcOutcome send (the instant a
+// participant reports, before the checker machine even dequeues it) and
+// asserts that all outcomes of one transaction agree. Unlike tpcChecker it
+// is not a machine in the program — it adds no machine, no queue and no
+// scheduling points, so the explored schedules are identical with and
+// without it.
+type tpcAtomicityMonitor struct {
+	psharp.StaticBase
+	outcome map[int]bool
+}
+
+func (*tpcAtomicityMonitor) ConfigureType(sc *psharp.Schema) {
+	sc.Start("Observing").
+		OnEventDoM(&tpcOutcome{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			mon := m.(*tpcAtomicityMonitor)
+			o := ev.(*tpcOutcome)
+			prev, seen := mon.outcome[o.Tx]
+			if !seen {
+				mon.outcome[o.Tx] = o.Commit
+				return
+			}
+			// Branch before Assert: the variadic arguments would otherwise be
+			// boxed on every observation, and this runs on the send hot path.
+			if prev != o.Commit {
+				ctx.Assert(false,
+					"atomicity violated for tx %d: %s reported commit=%v, earlier participant reported %v",
+					o.Tx, o.From, o.Commit, prev)
+			}
+		})
+}
+
 // tpcTimerConfig configures the timer and logger machines.
 type tpcTimerConfig struct {
 	psharp.EventBase
@@ -328,6 +360,11 @@ func twoPhaseCommitBenchmark(buggy bool) Benchmark {
 			}
 			mustSend(r, coord, &tpcCoordinatorConfig{
 				Participants: parts, Timer: timer, Logger: logger, Transactions: transactions,
+			})
+		},
+		Monitors: func(r *psharp.Runtime) {
+			r.MustRegisterMonitor("Atomicity", func() psharp.Machine {
+				return &tpcAtomicityMonitor{outcome: make(map[int]bool)}
 			})
 		},
 	}

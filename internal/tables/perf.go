@@ -53,6 +53,9 @@ type PerfReport struct {
 	AllocProbes []AllocProbe `json:"alloc_probes"`
 	// SchemaProbe quantifies the per-type compiled-schema cache.
 	SchemaProbe SchemaCacheProbe `json:"schema_cache_probe"`
+	// MonitorProbe quantifies the specification layer's steady-state cost:
+	// allocs/iteration with the benchmark's monitors attached vs without.
+	MonitorProbe MonitorOverheadProbe `json:"monitor_overhead_probe"`
 	// WorkerIterations records how many iterations each worker actually
 	// executed (uneven under Dynamic; the static shard sizes otherwise).
 	WorkerIterations []int `json:"worker_iterations"`
@@ -74,6 +77,23 @@ type SchemaCacheProbe struct {
 	PerInstance float64 `json:"allocs_per_iteration_schema_per_instance"`
 	// SavedPercent is what the cache saves (higher is better).
 	SavedPercent float64 `json:"schema_cache_saved_percent"`
+}
+
+// MonitorOverheadProbe records steady-state allocations per iteration
+// through the pooled harness with the protocol's specification monitors
+// attached (Benchmark.SetupMonitored) vs plain. A static monitor's schema
+// is compiled once per name and its instance is recycled by the harness, so
+// the expected delta is the per-iteration logic allocation of each monitor
+// (the pooled-harness cap test pins it at <= 5).
+type MonitorOverheadProbe struct {
+	// Workload names the probed protocol (buggy variant).
+	Workload string `json:"workload"`
+	// Unmonitored is allocs/iteration without monitors.
+	Unmonitored float64 `json:"allocs_per_iteration_unmonitored"`
+	// Monitored is the same workload with the monitors attached.
+	Monitored float64 `json:"allocs_per_iteration_monitored"`
+	// DeltaAllocs is what the specification layer adds per iteration.
+	DeltaAllocs float64 `json:"monitor_delta_allocs"`
 }
 
 // PerfProbeOptions configures RunPerfProbe. Zero values select defaults.
@@ -135,6 +155,14 @@ func RunPerfProbe(o PerfProbeOptions) (PerfReport, error) {
 	if rep.SchemaProbe.PerInstance > 0 {
 		rep.SchemaProbe.SavedPercent = 100 * (1 - rep.SchemaProbe.Cached/rep.SchemaProbe.PerInstance)
 	}
+	// Monitor overhead: the unmonitored side is the protocol's pooled number
+	// measured above; only the monitored side needs its own run.
+	rep.MonitorProbe = MonitorOverheadProbe{
+		Workload:    o.Benchmark,
+		Unmonitored: protocolProbe.Pooled,
+		Monitored:   pooledAllocs(b.SetupMonitored(), protocolCfg, o),
+	}
+	rep.MonitorProbe.DeltaAllocs = rep.MonitorProbe.Monitored - rep.MonitorProbe.Unmonitored
 
 	// Throughput probe.
 	so := sct.Options{

@@ -53,8 +53,7 @@ func (in *Interp) execStmt(env *frame, s lang.Stmt) (bool, *raised, error) {
 		if !ok || int(id) < 0 || int(id) >= len(in.machines) {
 			return false, nil, fmt.Errorf("interp: %s: send to invalid machine %v", st.Pos, dst)
 		}
-		in.send(env.machine, in.machines[id], st.Event, payload)
-		return false, nil, nil
+		return false, nil, in.send(env.machine, in.machines[id], st.Event, payload)
 	case *lang.RaiseStmt:
 		var payload Value
 		if st.Payload != nil {
@@ -114,16 +113,22 @@ func (in *Interp) execStmt(env *frame, s lang.Stmt) (bool, *raised, error) {
 }
 
 // send appends the event to the destination's queue (rule SEND); sends to
-// halted machines are dropped.
-func (in *Interp) send(from, to *machineInst, event string, payload Value) {
+// halted machines are dropped. The attached monitors observe the send
+// itself — before delivery, and whether or not the target can still
+// receive — mirroring the runtime's observation point.
+func (in *Interp) send(from, to *machineInst, event string, payload Value) error {
+	if err := in.observe(event, payload); err != nil {
+		return err
+	}
 	if to.halted {
-		return
+		return nil
 	}
 	var clock vclock.VC
 	if in.det != nil {
 		clock = in.det.Send(int(from.id))
 	}
 	to.queue = append(to.queue, message{event: event, payload: payload, clock: clock})
+	return nil
 }
 
 // readField implements MBR-ASSIGN-FROM on either the machine's own fields
@@ -148,8 +153,8 @@ func (in *Interp) writeField(env *frame, field string, v Value) {
 }
 
 func (in *Interp) access(env *frame, o *object, field string, kind vclock.AccessKind) {
-	if in.det == nil {
-		return
+	if in.det == nil || env.machine.id < 0 {
+		return // monitor reads are specification-level, not program accesses
 	}
 	// Identify the object by heap position for a stable location name.
 	loc := fmt.Sprintf("%s@%p.%s", o.class, o, field)

@@ -112,16 +112,28 @@ type Outcome struct {
 	BoundReached bool
 	// Races lists happens-before violations found (RaceDetect mode).
 	Races []string
-	// Err holds an assertion failure, unhandled event, or runtime fault.
+	// HotMonitors names the specification monitors that ended the run in a
+	// hot state: for a quiescent run this is a liveness violation (the
+	// pending obligation can never be discharged); for a bound-limited run
+	// it is advisory, since an unfair random schedule may simply have
+	// starved the discharging machine.
+	HotMonitors []string
+	// Err holds an assertion failure, unhandled event, monitor violation,
+	// or runtime fault.
 	Err error
 }
 
-// Interp is the interpreter state: the system configuration (h, M).
+// Interp is the interpreter state: the system configuration (h, M), plus
+// one instance of every declared specification monitor. Monitors are
+// machine-shaped but live outside the machine list: they are never
+// scheduled or addressed; every sent or raised event is dispatched to them
+// synchronously through their compiled (per-Program) schemas.
 type Interp struct {
 	prog     *lang.Program
 	schemas  *programSchemas
 	heap     []*object
 	machines []*machineInst
+	monitors []*machineInst // id -1: observers, not schedulable machines
 	sched    Scheduler
 	det      *vclock.Detector
 	steps    int
@@ -160,6 +172,14 @@ func Run(prog *lang.Program, main string, opts Options) Outcome {
 		return Outcome{Err: fmt.Errorf("interp: no machine %q", main)}
 	}
 	var out Outcome
+	// Monitors attach before the first machine runs, so they observe every
+	// event of the execution, including the main machine's setup sends.
+	for _, mon := range prog.Monitors {
+		if err := in.attachMonitor(mon); err != nil {
+			out.Err = err
+			return out
+		}
+	}
 	if _, err := in.create(md, 0); err != nil {
 		out.Err = err
 		return out
@@ -184,6 +204,11 @@ func Run(prog *lang.Program, main string, opts Options) Outcome {
 	out.Steps = in.steps
 	if !out.Quiescent && out.Err == nil {
 		out.BoundReached = true
+	}
+	for _, m := range in.monitors {
+		if m.state.hot {
+			out.HotMonitors = append(out.HotMonitors, m.decl.Name)
+		}
 	}
 	if in.det != nil {
 		for _, r := range in.det.Races() {
@@ -218,6 +243,47 @@ func (in *Interp) create(md *lang.MachineDecl, creator MachineID) (MachineID, er
 		}
 	}
 	return m.id, nil
+}
+
+// attachMonitor instantiates one declared monitor: fields zeroed, start
+// state entered (running its entry block, which may Goto/raise within the
+// monitor). Monitors carry id -1, marking them as observers: they are never
+// scheduled, never addressed, and their field accesses are invisible to the
+// race detector.
+func (in *Interp) attachMonitor(md *lang.MachineDecl) error {
+	ms := in.schemas.monitors[md]
+	m := &machineInst{
+		id:     MachineID(-1),
+		decl:   md,
+		state:  ms.start,
+		fields: make(map[string]Value, len(md.Fields)),
+	}
+	for _, f := range md.Fields {
+		m.fields[f.Name] = zeroValue(f.Type)
+	}
+	in.monitors = append(in.monitors, m)
+	if m.state.decl.Entry != nil {
+		return in.runBlock(m, m.state.decl.Entry, nil, nil)
+	}
+	return nil
+}
+
+// observe dispatches one sent or raised program event to every attached
+// monitor, synchronously. A monitor handles the event if its current state
+// binds it (ignore drops it) and skips it otherwise; assertion failures and
+// faults inside monitor actions abort the run like machine failures.
+func (in *Interp) observe(event string, payload Value) error {
+	for _, m := range in.monitors {
+		switch m.state.dispatch[event].kind {
+		case dispatchNone, dispatchIgnore:
+			continue
+		default:
+			if err := in.handle(m, event, payload); err != nil {
+				return fmt.Errorf("monitor %s: %w", m.decl.Name, err)
+			}
+		}
+	}
+	return nil
 }
 
 func zeroValue(t lang.Type) Value {
@@ -325,7 +391,9 @@ func (in *Interp) handle(m *machineInst, event string, payload Value) error {
 
 func (in *Interp) gotoState(m *machineInst, target *stateSchema, payload Value) error {
 	m.state = target
-	in.steps++
+	if m.id >= 0 {
+		in.steps++ // monitor transitions are observations, not program steps
+	}
 	if m.state.decl.Entry != nil {
 		return in.runBlock(m, m.state.decl.Entry, nil, nil)
 	}
@@ -350,6 +418,13 @@ func (in *Interp) runBlock(m *machineInst, body []lang.Stmt, locals map[string]V
 		return err
 	}
 	if r != nil {
+		if m.id >= 0 {
+			// Monitors observe raised program events like sends; a monitor's
+			// own raises stay internal to its dispatch.
+			if err := in.observe(r.event, r.payload); err != nil {
+				return err
+			}
+		}
 		switch e := m.state.dispatch[r.event]; e.kind {
 		case dispatchIgnore:
 			return nil

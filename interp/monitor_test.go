@@ -1,0 +1,215 @@
+package interp
+
+// Tests for interpreted specification monitors: synchronous observation of
+// sends and raises, monitor-detected safety violations, hot-state
+// reporting, and the compile-once discipline extended to monitor schemas.
+
+import (
+	"strings"
+	"testing"
+)
+
+// observerSrc: a requester sends eReq to a worker that never acknowledges;
+// the hot/cold monitor records the undischarged obligation.
+const observerSrc = `
+event eReq;
+event eAck;
+machine main_m {
+	start state Boot {
+		entry {
+			var w: machine;
+			w := create worker();
+			send w, eReq;
+		}
+	}
+}
+machine worker {
+	start state Waiting {
+		on eReq do ack;
+	}
+	method ack() { }
+}
+monitor resp_m {
+	start cold state Idle {
+		on eReq goto Pending;
+	}
+	hot state Pending {
+		on eAck goto Idle;
+	}
+}
+`
+
+// TestMonitorObservesAndGoesHot checks that a monitor follows observed
+// events through its hot/cold states; with no eAck ever sent, the run ends
+// with the monitor hot.
+func TestMonitorObservesAndGoesHot(t *testing.T) {
+	prog := load(t, observerSrc)
+	out := Run(prog, "main_m", Options{Seed: 1})
+	if out.Err != nil {
+		t.Fatalf("run: %v", out.Err)
+	}
+	if !out.Quiescent {
+		t.Fatal("program did not quiesce")
+	}
+	if len(out.HotMonitors) != 1 || out.HotMonitors[0] != "resp_m" {
+		t.Fatalf("HotMonitors = %v, want [resp_m]: the request was never acknowledged", out.HotMonitors)
+	}
+}
+
+// TestMonitorObservesRaise checks that raised events are observed too: the
+// worker acknowledges by raising eAck to itself, which cools the monitor.
+func TestMonitorObservesRaise(t *testing.T) {
+	src := `
+event eReq;
+event eAck;
+machine main_m {
+	start state Boot {
+		entry {
+			var w: machine;
+			w := create worker();
+			send w, eReq;
+		}
+	}
+}
+machine worker {
+	start state Waiting {
+		on eReq do ack;
+		on eAck goto Done;
+	}
+	method ack() { raise eAck; }
+	state Done {
+	}
+}
+monitor resp_m {
+	start cold state Idle {
+		on eReq goto Pending;
+	}
+	hot state Pending {
+		on eAck goto Idle;
+	}
+}
+`
+	prog := load(t, src)
+	out := Run(prog, "main_m", Options{Seed: 1})
+	if out.Err != nil {
+		t.Fatalf("run: %v", out.Err)
+	}
+	if len(out.HotMonitors) != 0 {
+		t.Fatalf("HotMonitors = %v, want none: the raise discharged the obligation", out.HotMonitors)
+	}
+}
+
+// TestMonitorAssertionFailsRun checks that a monitor-detected safety
+// violation aborts the run with the monitor named in the error: the worker
+// is poked three times, and the monitor's global counter allows only two.
+func TestMonitorAssertionFailsRun(t *testing.T) {
+	src := `
+event eInc;
+machine main_m {
+	start state Boot {
+		entry {
+			var w: machine;
+			var i: int;
+			w := create worker();
+			i := 0;
+			while (i < 3) {
+				send w, eInc;
+				i := i + 1;
+			}
+		}
+	}
+}
+machine worker {
+	start state Waiting {
+		on eInc do bump;
+	}
+	method bump() { }
+}
+monitor counter_m {
+	var n: int;
+	start state Counting {
+		on eInc do count;
+	}
+	method count() {
+		this.n := this.n + 1;
+		assert this.n < 3;
+	}
+}
+`
+	prog := load(t, src)
+	out := Run(prog, "main_m", Options{Seed: 1})
+	if out.Err == nil {
+		t.Fatal("run succeeded; the monitor's assertion must fire on the third eInc")
+	}
+	if !IsAssertion(out.Err) {
+		t.Fatalf("err = %v, want an assertion failure", out.Err)
+	}
+	if !strings.Contains(out.Err.Error(), "counter_m") {
+		t.Fatalf("err %q does not name the monitor", out.Err)
+	}
+}
+
+// TestMonitorEntryAndIgnore covers the remaining dispatch shapes: a monitor
+// entry block initializes state, and an ignore binding drops observations
+// without failing them.
+func TestMonitorEntryAndIgnore(t *testing.T) {
+	src := `
+event eGo;
+event eNoise;
+machine main_m {
+	start state Boot {
+		entry {
+			var w: machine;
+			w := create worker();
+			send w, eNoise;
+			send w, eGo;
+		}
+	}
+}
+machine worker {
+	start state S {
+		on eGo do run;
+		ignore eNoise;
+	}
+	method run() { }
+}
+monitor quiet_m {
+	var armed: bool;
+	start state Watching {
+		entry {
+			this.armed := true;
+		}
+		ignore eNoise;
+		on eGo do check;
+	}
+	method check() {
+		assert this.armed;
+	}
+}
+`
+	prog := load(t, src)
+	out := Run(prog, "main_m", Options{Seed: 1})
+	if out.Err != nil {
+		t.Fatalf("run: %v", out.Err)
+	}
+	if !out.Quiescent {
+		t.Fatal("program did not quiesce")
+	}
+}
+
+// TestMonitorSchemasCompileOncePerProgram extends the compile-once
+// discipline to monitors: one schema per monitor declaration per Program,
+// across runs.
+func TestMonitorSchemasCompileOncePerProgram(t *testing.T) {
+	prog := load(t, observerSrc)
+	before := schemaCompiles.Load()
+	for seed := uint64(1); seed <= 5; seed++ {
+		if out := Run(prog, "main_m", Options{Seed: seed}); out.Err != nil {
+			t.Fatalf("seed %d: %v", seed, out.Err)
+		}
+	}
+	// 2 machines + 1 monitor, compiled on the first run only.
+	if got := schemaCompiles.Load() - before; got != 3 {
+		t.Fatalf("schema compiles across 5 runs = %d, want 3", got)
+	}
+}

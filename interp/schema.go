@@ -39,17 +39,21 @@ type dispatchEntry struct {
 type stateSchema struct {
 	decl     *lang.StateDecl
 	dispatch map[string]dispatchEntry
+	// hot is the liveness temperature annotation (monitor states only).
+	hot bool
 }
 
-// machineSchema is the compiled form of one machine declaration.
+// machineSchema is the compiled form of one machine or monitor declaration.
 type machineSchema struct {
 	start  *stateSchema
 	states map[string]*stateSchema
 }
 
-// programSchemas holds the compiled schemas of one loaded Program.
+// programSchemas holds the compiled schemas of one loaded Program: machine
+// and monitor declarations alike are compiled exactly once per Program.
 type programSchemas struct {
 	machines map[*lang.MachineDecl]*machineSchema
+	monitors map[*lang.MachineDecl]*machineSchema
 }
 
 // schemaKey keys this package's compiled schemas in a Program's auxiliary
@@ -77,9 +81,15 @@ func schemasFor(prog *lang.Program) *programSchemas {
 	if v, ok := prog.AuxLoad(schemaKey{}); ok {
 		return v.(*programSchemas)
 	}
-	ps := &programSchemas{machines: make(map[*lang.MachineDecl]*machineSchema, len(prog.Machines))}
+	ps := &programSchemas{
+		machines: make(map[*lang.MachineDecl]*machineSchema, len(prog.Machines)),
+		monitors: make(map[*lang.MachineDecl]*machineSchema, len(prog.Monitors)),
+	}
 	for _, md := range prog.Machines {
 		ps.machines[md] = compileMachine(md)
+	}
+	for _, md := range prog.Monitors {
+		ps.monitors[md] = compileMachine(md)
 	}
 	prog.AuxStore(schemaKey{}, ps)
 	return ps
@@ -92,7 +102,7 @@ func schemasFor(prog *lang.Program) *programSchemas {
 func compileMachine(md *lang.MachineDecl) *machineSchema {
 	ms := &machineSchema{states: make(map[string]*stateSchema, len(md.States))}
 	for _, sd := range md.States {
-		ms.states[sd.Name] = &stateSchema{decl: sd}
+		ms.states[sd.Name] = &stateSchema{decl: sd, hot: sd.Hot}
 	}
 	for _, sd := range md.States {
 		ss := ms.states[sd.Name]

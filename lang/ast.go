@@ -25,10 +25,18 @@ type Program struct {
 	Events   []*EventDecl
 	Classes  []*ClassDecl
 	Machines []*MachineDecl
+	// Monitors are specification monitor declarations: machine-shaped
+	// (fields, methods, states with hot/cold annotations) but passive — the
+	// checker forbids send and create in their bodies, and the interpreter
+	// dispatches observed program events to them synchronously instead of
+	// scheduling them. They are not part of Machines: the static analysis
+	// analyzes only the program proper.
+	Monitors []*MachineDecl
 
 	// Symbol tables filled by Check.
 	ClassByName   map[string]*ClassDecl
 	MachineByName map[string]*MachineDecl
+	MonitorByName map[string]*MachineDecl
 	EventByName   map[string]*EventDecl
 
 	// aux carries derived, per-Program artifacts computed lazily by other
@@ -81,13 +89,16 @@ type ClassDecl struct {
 
 // MachineDecl declares a machine: fields, methods, and states. A machine is
 // also a class (its methods are analyzed the same way); states bind events
-// to methods or transitions.
+// to methods or transitions. Monitor declarations reuse this node with
+// IsMonitor set.
 type MachineDecl struct {
 	Name    string
 	Fields  []*VarDecl
 	Methods []*MethodDecl
 	States  []*StateDecl
-	Pos     Pos
+	// IsMonitor marks a specification monitor declaration ("monitor M").
+	IsMonitor bool
+	Pos       Pos
 
 	FieldByName  map[string]*VarDecl
 	MethodByName map[string]*MethodDecl
@@ -97,8 +108,12 @@ type MachineDecl struct {
 
 // StateDecl declares one machine state.
 type StateDecl struct {
-	Name    string
-	Start   bool
+	Name  string
+	Start bool
+	// Hot and Cold are liveness temperature annotations ("hot state S",
+	// "cold state S"); only monitor states may carry them.
+	Hot     bool
+	Cold    bool
 	Entry   []Stmt            // entry block (may be nil)
 	OnDo    map[string]string // event -> method
 	OnGoto  map[string]string // event -> state

@@ -21,12 +21,17 @@ func MustCheck(prog *Program) *Program {
 	return prog
 }
 
-// holder abstracts over classes and machines (both hold fields + methods).
+// holder abstracts over classes, machines and monitors (all hold fields +
+// methods).
 type holder struct {
 	name    string
 	fields  map[string]*VarDecl
 	methods map[string]*MethodDecl
 	machine bool
+	// monitor marks a specification monitor: machine-shaped, but its method
+	// bodies must be passive (no send, no create) and it cannot be created
+	// or addressed by the program.
+	monitor bool
 }
 
 type checker struct {
@@ -47,6 +52,7 @@ func (c *checker) run() error {
 	p := c.prog
 	p.ClassByName = make(map[string]*ClassDecl)
 	p.MachineByName = make(map[string]*MachineDecl)
+	p.MonitorByName = make(map[string]*MachineDecl)
 	p.EventByName = make(map[string]*EventDecl)
 	c.holders = make(map[string]*holder)
 
@@ -83,6 +89,20 @@ func (c *checker) run() error {
 			return err
 		}
 	}
+	for _, md := range p.Monitors {
+		if _, dup := c.holders[md.Name]; dup {
+			return c.errf(md.Pos, "type %q declared twice", md.Name)
+		}
+		md.FieldByName = make(map[string]*VarDecl)
+		md.MethodByName = make(map[string]*MethodDecl)
+		md.StateByName = make(map[string]*StateDecl)
+		h := &holder{name: md.Name, fields: md.FieldByName, methods: md.MethodByName, machine: true, monitor: true}
+		c.holders[md.Name] = h
+		p.MonitorByName[md.Name] = md
+		if err := c.fillMembers(h, md.Fields, md.Methods, md.Pos); err != nil {
+			return err
+		}
+	}
 
 	// Validate types of all fields and method signatures.
 	for _, cd := range p.Classes {
@@ -95,9 +115,19 @@ func (c *checker) run() error {
 			return err
 		}
 	}
+	for _, md := range p.Monitors {
+		if err := c.checkSignatures(md.Fields, md.Methods); err != nil {
+			return err
+		}
+	}
 
-	// Check machine state tables.
+	// Check machine and monitor state tables.
 	for _, md := range p.Machines {
+		if err := c.checkStates(md); err != nil {
+			return err
+		}
+	}
+	for _, md := range p.Monitors {
 		if err := c.checkStates(md); err != nil {
 			return err
 		}
@@ -112,17 +142,31 @@ func (c *checker) run() error {
 		}
 	}
 	for _, md := range p.Machines {
-		for _, m := range md.Methods {
-			if err := c.checkMethod(c.holders[md.Name], m); err != nil {
-				return err
-			}
+		if err := c.checkMachineBodies(md); err != nil {
+			return err
 		}
-		for _, s := range md.States {
-			if s.Entry != nil {
-				entry := &MethodDecl{Name: "$entry_" + s.Name, Body: s.Entry, Pos: s.Pos}
-				if err := c.checkMethod(c.holders[md.Name], entry); err != nil {
-					return err
-				}
+	}
+	for _, md := range p.Monitors {
+		if err := c.checkMachineBodies(md); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkMachineBodies checks the method and state-entry bodies of one
+// machine or monitor declaration.
+func (c *checker) checkMachineBodies(md *MachineDecl) error {
+	for _, m := range md.Methods {
+		if err := c.checkMethod(c.holders[md.Name], m); err != nil {
+			return err
+		}
+	}
+	for _, s := range md.States {
+		if s.Entry != nil {
+			entry := &MethodDecl{Name: "$entry_" + s.Name, Body: s.Entry, Pos: s.Pos}
+			if err := c.checkMethod(c.holders[md.Name], entry); err != nil {
+				return err
 			}
 		}
 	}
@@ -173,20 +217,27 @@ func (c *checker) checkSignatures(fields []*VarDecl, methods []*MethodDecl) erro
 }
 
 func (c *checker) checkStates(md *MachineDecl) error {
+	kind := "machine"
+	if md.IsMonitor {
+		kind = "monitor"
+	}
 	for _, s := range md.States {
 		if _, dup := md.StateByName[s.Name]; dup {
-			return c.errf(s.Pos, "machine %q: state %q declared twice", md.Name, s.Name)
+			return c.errf(s.Pos, "%s %q: state %q declared twice", kind, md.Name, s.Name)
 		}
 		md.StateByName[s.Name] = s
 		if s.Start {
 			if md.StartState != nil {
-				return c.errf(s.Pos, "machine %q: more than one start state", md.Name)
+				return c.errf(s.Pos, "%s %q: more than one start state", kind, md.Name)
 			}
 			md.StartState = s
 		}
+		if (s.Hot || s.Cold) && !md.IsMonitor {
+			return c.errf(s.Pos, "machine %q state %q: hot/cold annotations are only allowed on monitor states", md.Name, s.Name)
+		}
 	}
 	if md.StartState == nil {
-		return c.errf(md.Pos, "machine %q: no start state", md.Name)
+		return c.errf(md.Pos, "%s %q: no start state", kind, md.Name)
 	}
 	for _, s := range md.States {
 		// An event may be bound at most once per state across all tables
@@ -195,10 +246,10 @@ func (c *checker) checkStates(md *MachineDecl) error {
 		seen := make(map[string]bool)
 		bind := func(evt string) error {
 			if _, ok := c.prog.EventByName[evt]; !ok {
-				return c.errf(s.Pos, "machine %q state %q: unknown event %q", md.Name, s.Name, evt)
+				return c.errf(s.Pos, "%s %q state %q: unknown event %q", kind, md.Name, s.Name, evt)
 			}
 			if seen[evt] {
-				return c.errf(s.Pos, "machine %q state %q: event %q bound more than once", md.Name, s.Name, evt)
+				return c.errf(s.Pos, "%s %q state %q: event %q bound more than once", kind, md.Name, s.Name, evt)
 			}
 			seen[evt] = true
 			return nil
@@ -209,10 +260,10 @@ func (c *checker) checkStates(md *MachineDecl) error {
 			}
 			m, ok := md.MethodByName[meth]
 			if !ok {
-				return c.errf(s.Pos, "machine %q state %q: action %q is not a method", md.Name, s.Name, meth)
+				return c.errf(s.Pos, "%s %q state %q: action %q is not a method", kind, md.Name, s.Name, meth)
 			}
 			if len(m.Params) > 1 {
-				return c.errf(m.Pos, "machine %q: handler method %q must take at most one (payload) parameter", md.Name, meth)
+				return c.errf(m.Pos, "%s %q: handler method %q must take at most one (payload) parameter", kind, md.Name, meth)
 			}
 		}
 		for evt, target := range s.OnGoto {
@@ -220,10 +271,13 @@ func (c *checker) checkStates(md *MachineDecl) error {
 				return err
 			}
 			if _, ok := md.StateByName[target]; !ok {
-				return c.errf(s.Pos, "machine %q state %q: goto target %q is not a state", md.Name, s.Name, target)
+				return c.errf(s.Pos, "%s %q state %q: goto target %q is not a state", kind, md.Name, s.Name, target)
 			}
 		}
 		for evt := range s.Defers {
+			if md.IsMonitor {
+				return c.errf(s.Pos, "monitor %q state %q: monitors cannot defer events (they have no queue)", md.Name, s.Name)
+			}
 			if err := bind(evt); err != nil {
 				return err
 			}
@@ -298,6 +352,9 @@ func (c *checker) checkStmt(s Stmt) error {
 		_, err := c.checkExpr(st.X)
 		return err
 	case *SendStmt:
+		if c.cur.monitor {
+			return c.errf(st.Pos, "monitor %q: monitors cannot send events (they are passive observers)", c.cur.name)
+		}
 		dt, err := c.checkExpr(st.Dst)
 		if err != nil {
 			return err
@@ -443,9 +500,15 @@ func (c *checker) checkExpr(e Expr) (Type, error) {
 		}
 		return c.setType(e, Type{x.Class}), nil
 	case *CreateExpr:
+		if c.cur.monitor {
+			return Type{}, c.errf(x.Pos, "monitor %q: monitors cannot create machines (they are passive observers)", c.cur.name)
+		}
 		h, ok := c.holders[x.Machine]
 		if !ok || !h.machine {
 			return Type{}, c.errf(x.Pos, "create of unknown machine %q", x.Machine)
+		}
+		if h.monitor {
+			return Type{}, c.errf(x.Pos, "cannot create monitor %q: monitors are attached automatically, one instance per run", x.Machine)
 		}
 		if x.Payload != nil {
 			if _, err := c.checkExpr(x.Payload); err != nil {

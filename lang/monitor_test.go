@@ -1,0 +1,183 @@
+package lang
+
+// Tests for the monitor declaration form: grammar (monitor/hot/cold),
+// symbol tables, and the checker's monitor-only rules.
+
+import (
+	"strings"
+	"testing"
+)
+
+const monitorSrc = `
+event eReq;
+event eAck;
+machine m {
+	start state S {
+		on eReq do handle;
+	}
+	method handle() { }
+}
+monitor spec_m {
+	var pending: int;
+	start cold state Idle {
+		on eReq goto Waiting;
+	}
+	hot state Waiting {
+		on eAck goto Idle;
+		ignore eReq;
+	}
+}
+`
+
+func TestParseMonitorDeclaration(t *testing.T) {
+	prog := MustParse(monitorSrc)
+	if err := Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Monitors) != 1 {
+		t.Fatalf("Monitors = %d, want 1", len(prog.Monitors))
+	}
+	mon := prog.Monitors[0]
+	if !mon.IsMonitor || mon.Name != "spec_m" {
+		t.Fatalf("monitor decl = %+v", mon)
+	}
+	if prog.MonitorByName["spec_m"] != mon {
+		t.Fatal("MonitorByName not filled")
+	}
+	if _, inMachines := prog.MachineByName["spec_m"]; inMachines {
+		t.Fatal("monitor leaked into MachineByName")
+	}
+	idle, waiting := mon.StateByName["Idle"], mon.StateByName["Waiting"]
+	if idle == nil || !idle.Start || !idle.Cold || idle.Hot {
+		t.Fatalf("Idle = %+v, want start+cold", idle)
+	}
+	if waiting == nil || !waiting.Hot || waiting.Cold {
+		t.Fatalf("Waiting = %+v, want hot", waiting)
+	}
+}
+
+func TestParseStateModifierOrder(t *testing.T) {
+	prog := MustParse(`
+event e;
+monitor m_ {
+	hot start state S {
+		on e do h;
+	}
+	method h() { }
+}
+`)
+	if err := Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	s := prog.Monitors[0].States[0]
+	if !s.Start || !s.Hot {
+		t.Fatalf("state = %+v, want start+hot in either modifier order", s)
+	}
+}
+
+func TestParseRejectsDuplicateModifiers(t *testing.T) {
+	for _, src := range []string{
+		`monitor m_ { hot cold state S { } }`,
+		`monitor m_ { hot hot state S { } }`,
+		`machine m_ { start start state S { } }`,
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("parsed %q without error", src)
+		}
+	}
+}
+
+// checkErr parses src and returns the Check error (failing the test if the
+// parse itself fails).
+func checkErr(t *testing.T, src string) error {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Check(prog)
+}
+
+func TestCheckMonitorRules(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			"no send in monitors",
+			`event e;
+			 machine m { var w: machine; start state S { } }
+			 monitor mon { var w: machine; start state S { on e do h; } method h() { send this.w, e; } }`,
+			"monitors cannot send",
+		},
+		{
+			"no create in monitors",
+			`event e;
+			 machine m { start state S { } }
+			 monitor mon { start state S { on e do h; } method h() { var w: machine; w := create m(); } }`,
+			"monitors cannot create",
+		},
+		{
+			"no defer in monitors",
+			`event e;
+			 machine m { start state S { } }
+			 monitor mon { start state S { defer e; } }`,
+			"cannot defer",
+		},
+		{
+			"no hot states on machines",
+			`machine m { start hot state S { } }`,
+			"only allowed on monitor states",
+		},
+		{
+			"machines cannot create monitors",
+			`event e;
+			 monitor mon { start state S { } }
+			 machine m { start state S { entry { var x: machine; x := create mon(); } } }`,
+			"cannot create monitor",
+		},
+		{
+			"monitor needs a start state",
+			`monitor mon { state S { } }`,
+			"no start state",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := checkErr(t, tc.src)
+			if err == nil {
+				t.Fatalf("Check accepted:\n%s", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %q, want it to contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestCheckMonitorMayRaiseAndAssert confirms the passive operations stay
+// legal inside monitors.
+func TestCheckMonitorMayRaiseAndAssert(t *testing.T) {
+	err := checkErr(t, `
+event e;
+event f;
+machine m { start state S { } }
+monitor mon {
+	var n: int;
+	start state S {
+		on e do h;
+		on f goto T;
+	}
+	state T { }
+	method h() {
+		this.n := this.n + 1;
+		assert this.n < 10;
+		raise f;
+	}
+}
+`)
+	if err != nil {
+		t.Fatalf("Check rejected a legal monitor: %v", err)
+	}
+}

@@ -34,13 +34,20 @@ func Parse(src string) (*Program, error) {
 			}
 			prog.Classes = append(prog.Classes, d)
 		case p.isKeyword("machine"):
-			d, err := p.parseMachine()
+			d, err := p.parseMachine("machine")
 			if err != nil {
 				return nil, err
 			}
 			prog.Machines = append(prog.Machines, d)
+		case p.isKeyword("monitor"):
+			d, err := p.parseMachine("monitor")
+			if err != nil {
+				return nil, err
+			}
+			d.IsMonitor = true
+			prog.Monitors = append(prog.Monitors, d)
 		default:
-			return nil, p.errorf("expected 'event', 'class' or 'machine', got %s", p.tok)
+			return nil, p.errorf("expected 'event', 'class', 'machine' or 'monitor', got %s", p.tok)
 		}
 	}
 	return prog, nil
@@ -232,9 +239,13 @@ func (p *parser) parseClass() (*ClassDecl, error) {
 	return cd, p.advance()
 }
 
-func (p *parser) parseMachine() (*MachineDecl, error) {
+// parseMachine parses a machine or monitor declaration; kw is the
+// introducing keyword ("machine" or "monitor") — the two share their whole
+// grammar except that monitor states may carry hot/cold annotations (the
+// checker enforces the monitor-only rules).
+func (p *parser) parseMachine(kw string) (*MachineDecl, error) {
 	pos := p.tok.Pos
-	if err := p.expectKeyword("machine"); err != nil {
+	if err := p.expectKeyword(kw); err != nil {
 		return nil, err
 	}
 	name, _, err := p.parseIdent()
@@ -259,14 +270,14 @@ func (p *parser) parseMachine() (*MachineDecl, error) {
 				return nil, err
 			}
 			md.Methods = append(md.Methods, m)
-		case p.isKeyword("start") || p.isKeyword("state"):
+		case p.isKeyword("start") || p.isKeyword("hot") || p.isKeyword("cold") || p.isKeyword("state"):
 			s, err := p.parseState()
 			if err != nil {
 				return nil, err
 			}
 			md.States = append(md.States, s)
 		default:
-			return nil, p.errorf("expected 'var', 'method' or 'state' in machine, got %s", p.tok)
+			return nil, p.errorf("expected 'var', 'method' or 'state' in %s, got %s", kw, p.tok)
 		}
 	}
 	return md, p.advance()
@@ -281,8 +292,29 @@ func (p *parser) parseState() (*StateDecl, error) {
 		Defers:  make(map[string]bool),
 		Ignores: make(map[string]bool),
 	}
-	if p.isKeyword("start") {
-		sd.Start = true
+	// State modifiers may appear in any order before the state keyword:
+	// "start hot state S" and "hot start state S" are both accepted.
+modifiers:
+	for {
+		switch {
+		case p.isKeyword("start"):
+			if sd.Start {
+				return nil, p.errorf("duplicate 'start' modifier")
+			}
+			sd.Start = true
+		case p.isKeyword("hot"):
+			if sd.Hot || sd.Cold {
+				return nil, p.errorf("duplicate hot/cold modifier")
+			}
+			sd.Hot = true
+		case p.isKeyword("cold"):
+			if sd.Hot || sd.Cold {
+				return nil, p.errorf("duplicate hot/cold modifier")
+			}
+			sd.Cold = true
+		default:
+			break modifiers
+		}
 		if err := p.advance(); err != nil {
 			return nil, err
 		}

@@ -51,6 +51,7 @@ var keywords = map[string]bool{
 	"send": true, "create": true, "new": true, "assert": true, "raise": true,
 	"this": true, "null": true, "true": true, "false": true,
 	"int": true, "bool": true, "halt": true,
+	"monitor": true, "hot": true, "cold": true,
 }
 
 // Pos is a source position.

@@ -346,6 +346,7 @@ func (m *machineInstance) applyPending(trigger Event) *Bug {
 		if m.rt.logging() {
 			m.rt.logf("%s: raised %s", m.id, eventName(raised))
 		}
+		m.rt.observeMonitors(raised) // monitors observe raises like sends
 		return m.handleEvent(raised)
 	}
 	return nil

@@ -1,0 +1,492 @@
+package psharp_test
+
+// Tests for the specification layer: safety monitors (global invariants
+// asserted over observed events), hot/cold liveness tracking, monitor
+// recycling across pooled harness iterations, and the trace-format name
+// validation that keeps monitor- and machine-found bugs replayable.
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/psharp-go/psharp"
+	"github.com/psharp-go/psharp/internal/protocols"
+	"github.com/psharp-go/psharp/sct"
+)
+
+type mtOutcome struct {
+	psharp.EventBase
+	Commit bool
+}
+
+type mtReq struct{ psharp.EventBase }
+
+type mtResp struct{ psharp.EventBase }
+
+// mtAgreement is a static-form safety monitor: all observed outcomes must
+// agree, the essence of an atomicity specification.
+type mtAgreement struct {
+	psharp.StaticBase
+	seen  bool
+	first bool
+}
+
+func (*mtAgreement) ConfigureType(sc *psharp.Schema) {
+	sc.Start("Observing").
+		OnEventDoM(&mtOutcome{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			a := m.(*mtAgreement)
+			o := ev.(*mtOutcome)
+			if !a.seen {
+				a.seen, a.first = true, o.Commit
+				return
+			}
+			ctx.Assert(a.first == o.Commit, "observed outcomes disagree: %v then %v", a.first, o.Commit)
+		})
+}
+
+// mtResponds is a liveness monitor: hot between a request and its response.
+func mtResponds() psharp.Machine {
+	return psharp.StaticMachineFunc(func(sc *psharp.Schema) {
+		sc.Start("Idle").Cold().
+			OnEventGoto(&mtReq{}, "Waiting")
+		sc.State("Waiting").Hot().
+			OnEventGoto(&mtResp{}, "Idle")
+	})
+}
+
+// decidersSetup builds two deciders that each flip a controlled coin and
+// send their outcome to a sink; monitors=true attaches the agreement
+// monitor. Roughly half of all schedules violate agreement.
+func decidersSetup(monitors bool) func(*psharp.Runtime) {
+	return func(r *psharp.Runtime) {
+		r.MustRegister("Sink", func() psharp.Machine {
+			return psharp.StaticMachineFunc(func(sc *psharp.Schema) {
+				sc.Start("S").Ignore(&mtOutcome{})
+			})
+		})
+		r.MustRegister("Decider", func() psharp.Machine {
+			return psharp.StaticMachineFunc(func(sc *psharp.Schema) {
+				sc.Start("D").
+					OnEventDo(&mtReq{}, func(ctx *psharp.Context, ev psharp.Event) {
+						// The sink's ID is always 1: it is created first.
+						sink := psharp.MachineID{Type: "Sink", Seq: 1}
+						ctx.Send(sink, &mtOutcome{Commit: ctx.RandomBool()})
+						ctx.Halt()
+					})
+			})
+		})
+		if monitors {
+			r.MustRegisterMonitor("Agreement", func() psharp.Machine { return &mtAgreement{} })
+		}
+		r.MustCreate("Sink", nil)
+		for i := 0; i < 2; i++ {
+			d := r.MustCreate("Decider", nil)
+			if err := r.SendEvent(d, &mtReq{}); err != nil {
+				panic(err)
+			}
+		}
+	}
+}
+
+// TestMonitorFindsSafetyViolation checks that a monitor-expressed global
+// invariant is found by exploration, attributed to the monitor, and that
+// the trace replays the violation deterministically.
+func TestMonitorFindsSafetyViolation(t *testing.T) {
+	setup := decidersSetup(true)
+	rep := sct.Run(setup, sct.Options{
+		Strategy:       sct.NewRandom(1),
+		Iterations:     200,
+		MaxSteps:       200,
+		StopOnFirstBug: true,
+	})
+	if !rep.BugFound() {
+		t.Fatal("exploration missed the monitor-expressed agreement violation")
+	}
+	bug := rep.FirstBug
+	if bug.Kind != psharp.BugMonitor || bug.Monitor != "Agreement" {
+		t.Fatalf("bug = %v, want a BugMonitor from Agreement", bug)
+	}
+	res := sct.ReplayTrace(setup, rep.FirstBugTrace, psharp.TestConfig{MaxSteps: 200})
+	if res.Bug == nil || res.Bug.Kind != psharp.BugMonitor || res.Bug.Message != bug.Message {
+		t.Fatalf("replay did not reproduce the monitor bug: got %v, want %v", res.Bug, bug)
+	}
+}
+
+// TestMonitorAddsNoTraceDecisions checks the zero-interference guarantee:
+// monitors make no scheduling or nondeterminism decisions, so the same seed
+// explores byte-identical schedules with and without monitors attached.
+func TestMonitorAddsNoTraceDecisions(t *testing.T) {
+	hPlain := psharp.NewTestHarness(decidersSetup(false))
+	defer hPlain.Close()
+	hMon := psharp.NewTestHarness(decidersSetup(true))
+	defer hMon.Close()
+	for i := 0; i < 25; i++ {
+		seed := uint64(i) + 1
+		plain := hPlain.Run(psharp.TestConfig{Strategy: mustPrepared(sct.NewRandom(seed)), MaxSteps: 200})
+		mon := hMon.Run(psharp.TestConfig{Strategy: mustPrepared(sct.NewRandom(seed)), MaxSteps: 200})
+		if a, b := encodeTrace(t, plain.Trace), encodeTrace(t, mon.Trace); a != b {
+			// The monitored run may stop earlier (the monitor fires at the
+			// send, before the sink's assertion would): the monitored trace
+			// must then be a prefix of the unmonitored one.
+			if !strings.HasPrefix(a, b) {
+				t.Fatalf("seed %d: monitored trace is not a prefix of the plain trace:\nplain:\n%s\nmonitored:\n%s", seed, a, b)
+			}
+		}
+	}
+}
+
+// TestMonitorRecyclesCleanly checks that a pooled harness with monitors
+// behaves exactly like fresh one-shot runs across 25 recycled iterations:
+// same bugs, byte-identical traces — i.e. monitor state (instance, schema,
+// temperature) leaks nothing between iterations.
+func TestMonitorRecyclesCleanly(t *testing.T) {
+	setup := decidersSetup(true)
+	h := psharp.NewTestHarness(setup)
+	defer h.Close()
+	sawBug, sawClean := false, false
+	for i := 0; i < 25; i++ {
+		seed := uint64(i) + 1
+		pooled := h.Run(psharp.TestConfig{Strategy: mustPrepared(sct.NewRandom(seed)), MaxSteps: 200})
+		oneshot := psharp.RunTest(setup, psharp.TestConfig{Strategy: mustPrepared(sct.NewRandom(seed)), MaxSteps: 200})
+		if (pooled.Bug == nil) != (oneshot.Bug == nil) {
+			t.Fatalf("seed %d: pooled bug %v, one-shot bug %v", seed, pooled.Bug, oneshot.Bug)
+		}
+		if pooled.Bug != nil {
+			sawBug = true
+			if pooled.Bug.Kind != oneshot.Bug.Kind || pooled.Bug.Message != oneshot.Bug.Message ||
+				pooled.Bug.Monitor != oneshot.Bug.Monitor {
+				t.Fatalf("seed %d: pooled bug %v, one-shot bug %v", seed, pooled.Bug, oneshot.Bug)
+			}
+		} else {
+			sawClean = true
+		}
+		if a, b := encodeTrace(t, pooled.Trace), encodeTrace(t, oneshot.Trace); a != b {
+			t.Fatalf("seed %d: traces diverge:\npooled:\n%s\none-shot:\n%s", seed, a, b)
+		}
+	}
+	if !sawBug || !sawClean {
+		t.Fatalf("test program not exercising both outcomes (bug=%v clean=%v); strengthen the setup", sawBug, sawClean)
+	}
+	// The static monitor's schema was compiled once, ever, alongside the two
+	// machine schemas — re-registration across 25 iterations is cache hits.
+	if got := h.SchemaCompiles(); got != 3 {
+		t.Errorf("schema compiles across 25 monitored iterations = %d, want 3 (2 machines + 1 monitor)", got)
+	}
+}
+
+// livenessSpinSetup builds a program whose monitor goes hot on a request
+// observed during setup and can never cool down: nothing sends mtResp. A
+// pacer machine keeps the execution alive (self-sends until MaxSteps), so
+// the obligation is never discharged and never reaches quiescence.
+func livenessSpinSetup() func(*psharp.Runtime) {
+	return func(r *psharp.Runtime) {
+		r.MustRegister("Pacer", func() psharp.Machine {
+			return psharp.StaticMachineFunc(func(sc *psharp.Schema) {
+				sc.Start("Spin").
+					Ignore(&mtReq{}).
+					OnEventDo(&mtOutcome{}, func(ctx *psharp.Context, ev psharp.Event) {
+						ctx.Send(ctx.ID(), ev)
+					})
+			})
+		})
+		r.MustRegisterMonitor("Responds", mtResponds)
+		p := r.MustCreate("Pacer", nil)
+		if err := r.SendEvent(p, &mtReq{}); err != nil {
+			panic(err)
+		}
+		if err := r.SendEvent(p, &mtOutcome{}); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// TestLivenessTemperatureThreshold checks the hot-state temperature bug: a
+// monitor stuck hot past the threshold fails the iteration with BugLiveness,
+// the violation replays deterministically from its trace, and disabling
+// liveness checking reports nothing.
+func TestLivenessTemperatureThreshold(t *testing.T) {
+	setup := livenessSpinSetup()
+	cfg := psharp.TestConfig{Strategy: mustPrepared(sct.NewRandom(1)), MaxSteps: 500, LivenessTemperature: 50}
+	res := psharp.RunTest(setup, cfg)
+	if res.Bug == nil || res.Bug.Kind != psharp.BugLiveness || res.Bug.Monitor != "Responds" {
+		t.Fatalf("bug = %v, want BugLiveness from Responds", res.Bug)
+	}
+	if res.Bug.State != "Waiting" {
+		t.Errorf("liveness bug in state %q, want the hot state %q", res.Bug.State, "Waiting")
+	}
+
+	replay := sct.ReplayTrace(setup, res.Trace.Clone(), psharp.TestConfig{MaxSteps: 500, LivenessTemperature: 50})
+	if replay.Bug == nil || replay.Bug.Kind != psharp.BugLiveness || replay.Bug.Message != res.Bug.Message {
+		t.Fatalf("replay did not reproduce the liveness bug: got %v, want %v", replay.Bug, res.Bug)
+	}
+
+	off := psharp.RunTest(setup, psharp.TestConfig{Strategy: mustPrepared(sct.NewRandom(1)), MaxSteps: 500})
+	if off.Bug != nil {
+		t.Fatalf("liveness checking disabled still reported %v", off.Bug)
+	}
+}
+
+// TestLivenessHotAtQuiescence checks the finite-execution rule: a program
+// that terminates while a monitor is still hot has violated the liveness
+// specification (nothing can discharge the obligation anymore).
+func TestLivenessHotAtQuiescence(t *testing.T) {
+	setup := func(r *psharp.Runtime) {
+		r.MustRegister("Quiet", func() psharp.Machine {
+			return psharp.StaticMachineFunc(func(sc *psharp.Schema) {
+				sc.Start("S").Ignore(&mtReq{})
+			})
+		})
+		r.MustRegisterMonitor("Responds", mtResponds)
+		q := r.MustCreate("Quiet", nil)
+		if err := r.SendEvent(q, &mtReq{}); err != nil {
+			panic(err)
+		}
+	}
+	res := psharp.RunTest(setup, psharp.TestConfig{Strategy: mustPrepared(sct.NewRandom(1)), MaxSteps: 100, LivenessTemperature: 1000})
+	if res.Bug == nil || res.Bug.Kind != psharp.BugLiveness {
+		t.Fatalf("bug = %v, want BugLiveness at quiescence", res.Bug)
+	}
+	if !strings.Contains(res.Bug.Message, "quiesced") {
+		t.Errorf("message %q does not mention quiescence", res.Bug.Message)
+	}
+}
+
+// TestMonitorForbiddenOperations checks that a monitor action calling a
+// machine-only operation fails the iteration as a monitor violation rather
+// than corrupting the program.
+func TestMonitorForbiddenOperations(t *testing.T) {
+	setup := func(r *psharp.Runtime) {
+		r.MustRegister("Quiet", func() psharp.Machine {
+			return psharp.StaticMachineFunc(func(sc *psharp.Schema) {
+				sc.Start("S").Ignore(&mtReq{})
+			})
+		})
+		r.MustRegisterMonitor("Rogue", func() psharp.Machine {
+			return psharp.MachineFunc(func(sc *psharp.Schema) {
+				sc.Start("S").
+					OnEventDo(&mtReq{}, func(ctx *psharp.Context, ev psharp.Event) {
+						ctx.Send(psharp.MachineID{Type: "Quiet", Seq: 1}, &mtResp{})
+					})
+			})
+		})
+		q := r.MustCreate("Quiet", nil)
+		if err := r.SendEvent(q, &mtReq{}); err != nil {
+			panic(err)
+		}
+	}
+	res := psharp.RunTest(setup, psharp.TestConfig{Strategy: mustPrepared(sct.NewRandom(1)), MaxSteps: 100})
+	if res.Bug == nil || res.Bug.Kind != psharp.BugMonitor || res.Bug.Monitor != "Rogue" {
+		t.Fatalf("bug = %v, want BugMonitor from Rogue", res.Bug)
+	}
+	if !strings.Contains(res.Bug.Message, "passive observers") {
+		t.Errorf("message %q does not explain the restriction", res.Bug.Message)
+	}
+}
+
+// TestMonitorInProductionRuntime checks that monitors observe and fail the
+// concurrent production runtime too, not just the serialized testing one.
+func TestMonitorInProductionRuntime(t *testing.T) {
+	r := psharp.NewRuntime()
+	r.MustRegister("Sink", func() psharp.Machine {
+		return psharp.StaticMachineFunc(func(sc *psharp.Schema) {
+			sc.Start("S").Ignore(&mtOutcome{})
+		})
+	})
+	r.MustRegisterMonitor("Agreement", func() psharp.Machine { return &mtAgreement{} })
+	sink := r.MustCreate("Sink", nil)
+	if err := r.SendEvent(sink, &mtOutcome{Commit: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SendEvent(sink, &mtOutcome{Commit: false}); err != nil {
+		t.Fatal(err)
+	}
+	err := r.Wait()
+	r.Stop()
+	if err == nil {
+		t.Fatal("production runtime did not report the monitor violation")
+	}
+	bug, ok := err.(*psharp.Bug)
+	if !ok || bug.Kind != psharp.BugMonitor || bug.Monitor != "Agreement" {
+		t.Fatalf("err = %v, want BugMonitor from Agreement", err)
+	}
+}
+
+// TestMonitorRegisterDuringProductionSends covers the SetupMonitored
+// pattern on the concurrent production runtime: machines created by setup
+// are already running and sending when the monitors register afterwards, so
+// registration and observation must be mutually exclusive (run under -race
+// in CI's liveness suite).
+func TestMonitorRegisterDuringProductionSends(t *testing.T) {
+	r := psharp.NewRuntime()
+	r.MustRegister("Echo", func() psharp.Machine {
+		return psharp.StaticMachineFunc(func(sc *psharp.Schema) {
+			sc.Start("Echoing").
+				OnEventDo(&evSpin{}, func(ctx *psharp.Context, ev psharp.Event) {
+					e := ev.(*evSpin)
+					if e.Left == 0 {
+						ctx.Halt()
+						return
+					}
+					e.Left--
+					ctx.Send(ctx.ID(), &mtOutcome{Commit: true})
+					ctx.Send(ctx.ID(), e)
+				}).
+				Ignore(&mtOutcome{})
+		})
+	})
+	e := r.MustCreate("Echo", nil)
+	if err := r.SendEvent(e, &evSpin{Left: 500}); err != nil {
+		t.Fatal(err)
+	}
+	// The echo machine is already streaming sends; register mid-flight.
+	r.MustRegisterMonitor("Agreement", func() psharp.Machine { return &mtAgreement{} })
+	if err := r.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	r.Stop()
+}
+
+// TestHotStatesRejectedOnMachines checks that hot/cold liveness annotations
+// are monitor-only: a machine schema carrying one is rejected at Register.
+func TestHotStatesRejectedOnMachines(t *testing.T) {
+	r := psharp.NewRuntime()
+	err := r.Register("Hotty", func() psharp.Machine {
+		return psharp.StaticMachineFunc(func(sc *psharp.Schema) {
+			sc.Start("S").Hot().Ignore(&mtReq{})
+		})
+	})
+	if err == nil || !strings.Contains(err.Error(), "monitor states") {
+		t.Fatalf("Register accepted a hot machine state: err = %v", err)
+	}
+}
+
+// TestMonitorDuplicateAcrossFormsErrors checks that re-registering a name
+// with a different declaration form still reports the duplicate cleanly —
+// in particular, a static monitor under a closure-cached name must not hit
+// StaticBase.Configure's panic on the schema-rebuild path.
+func TestMonitorDuplicateAcrossFormsErrors(t *testing.T) {
+	r := psharp.NewRuntime()
+	closure := psharp.MachineFunc(func(sc *psharp.Schema) {
+		sc.Start("S").OnEventDo(&mtReq{}, func(ctx *psharp.Context, ev psharp.Event) {})
+	})
+	if err := r.RegisterMonitor("Spec", func() psharp.Machine { return closure }); err != nil {
+		t.Fatal(err)
+	}
+	err := r.RegisterMonitor("Spec", mtResponds)
+	if err == nil || !strings.Contains(err.Error(), "registered twice") {
+		t.Fatalf("duplicate static-over-closure registration: err = %v, want 'registered twice'", err)
+	}
+}
+
+// TestMonitorFormMayVaryAcrossIterations covers a harness whose setup
+// switches a monitor's declaration form between iterations: the closure
+// form's nil cache entry must not break a later static registration of the
+// same name.
+func TestMonitorFormMayVaryAcrossIterations(t *testing.T) {
+	useStatic := false
+	spin := spinSetup(8)
+	setup := func(r *psharp.Runtime) {
+		spin(r)
+		if useStatic {
+			r.MustRegisterMonitor("Responds", mtResponds)
+		} else {
+			r.MustRegisterMonitor("Responds", func() psharp.Machine {
+				return psharp.MachineFunc(func(sc *psharp.Schema) {
+					sc.Start("Idle").Cold().OnEventGoto(&mtReq{}, "Waiting")
+					sc.State("Waiting").Hot().OnEventGoto(&mtResp{}, "Idle")
+				})
+			})
+		}
+	}
+	h := psharp.NewTestHarness(setup)
+	defer h.Close()
+	for i := 0; i < 4; i++ {
+		useStatic = i%2 == 1
+		res := h.Run(psharp.TestConfig{Strategy: mustPrepared(sct.NewRandom(uint64(i) + 1))})
+		if res.Bug != nil {
+			t.Fatalf("iteration %d (static=%v): unexpected bug %v", i, useStatic, res.Bug)
+		}
+	}
+}
+
+// TestMonitorDeferRejected checks that Defer bindings are rejected in
+// monitor schemas: monitors have no queue to defer into.
+func TestMonitorDeferRejected(t *testing.T) {
+	r := psharp.NewRuntime()
+	err := r.RegisterMonitor("Deferred", func() psharp.Machine {
+		return psharp.StaticMachineFunc(func(sc *psharp.Schema) {
+			sc.Start("S").Defer(&mtReq{})
+		})
+	})
+	if err == nil || !strings.Contains(err.Error(), "no queue") {
+		t.Fatalf("RegisterMonitor accepted a Defer binding: err = %v", err)
+	}
+}
+
+// TestMonitorAllocationCap extends the steady-state allocation regression to
+// the specification layer: attaching a static monitor to the pooled spin
+// harness must add at most 5 allocations per iteration (one logic value from
+// the factory plus pool bookkeeping).
+func TestMonitorAllocationCap(t *testing.T) {
+	base, _ := harnessAllocs(t, 32)
+
+	spin := spinSetup(32)
+	setup := func(r *psharp.Runtime) {
+		spin(r)
+		r.MustRegisterMonitor("Responds", mtResponds)
+	}
+	h := psharp.NewTestHarness(setup)
+	defer h.Close()
+	strategy := sct.NewRandom(1)
+	cfg := psharp.TestConfig{Strategy: strategy}
+	for i := 0; i < 5; i++ {
+		strategy.PrepareIteration(i)
+		h.Run(cfg)
+	}
+	iter := 5
+	monitored := testing.AllocsPerRun(100, func() {
+		strategy.PrepareIteration(iter)
+		iter++
+		h.Run(cfg)
+	})
+	if monitored > base+5 {
+		t.Errorf("monitored steady state = %.1f allocs/iteration vs %.1f unmonitored: monitor adds %.1f, want <= 5",
+			monitored, base, monitored-base)
+	}
+	t.Logf("allocs/iteration: unmonitored %.1f, monitored %.1f", base, monitored)
+}
+
+// protocolAllocs measures steady-state allocations per iteration for a
+// protocol setup through a warmed pooled harness.
+func protocolAllocs(setup func(*psharp.Runtime), maxSteps int) float64 {
+	h := psharp.NewTestHarness(setup)
+	defer h.Close()
+	strategy := sct.NewRandom(1)
+	cfg := psharp.TestConfig{Strategy: strategy, MaxSteps: maxSteps}
+	iter := 0
+	for ; iter < 5; iter++ {
+		strategy.PrepareIteration(iter)
+		h.Run(cfg)
+	}
+	return testing.AllocsPerRun(100, func() {
+		strategy.PrepareIteration(iter)
+		iter++
+		h.Run(cfg)
+	})
+}
+
+// TestProtocolMonitorAllocationCap gates the specification layer's cost on
+// a real protocol: attaching the TwoPhaseCommit atomicity monitor must add
+// at most 5 allocs/iteration in the pooled-harness steady state (measured
+// ~3: the monitor's logic struct, its outcome map, and one map bucket; the
+// schema is compiled once per name and the instance recycled).
+func TestProtocolMonitorAllocationCap(t *testing.T) {
+	b := protocols.MustByName("TwoPhaseCommit", true)
+	plain := protocolAllocs(b.Setup, b.MaxSteps)
+	monitored := protocolAllocs(b.SetupMonitored(), b.MaxSteps)
+	if monitored > plain+5 {
+		t.Errorf("TwoPhaseCommit monitored = %.1f allocs/iteration vs %.1f plain: monitor adds %.1f, want <= 5",
+			monitored, plain, monitored-plain)
+	}
+	t.Logf("TwoPhaseCommit allocs/iteration: plain %.1f, monitored %.1f", plain, monitored)
+}

@@ -3,7 +3,9 @@ package psharp
 import (
 	"fmt"
 	"io"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"github.com/psharp-go/psharp/internal/vclock"
 )
@@ -35,6 +37,20 @@ type Runtime struct {
 	// noSchemaCache forces per-create schema rebuilds even for static
 	// types, so benchmarks can quantify what the cache saves.
 	noSchemaCache bool
+
+	// monitors are the registered specification monitors (see monitor.go):
+	// synchronous observers dispatched at every send and raise.
+	monitors []*monitorInstance
+	// monitorSchemas caches compiled monitor schemas per name, with the same
+	// static-vs-closure discipline as schemas (nil entry = closure form).
+	monitorSchemas map[string]*compiledSchema
+	// monMu guards monitors (list and dispatch) in production mode, where
+	// machines send concurrently with each other and with registration; the
+	// testing runtime is serialized and skips it on the dispatch path.
+	monMu sync.Mutex
+	// monCount mirrors len(monitors) so production-mode sends can skip the
+	// monMu lock entirely when no monitor is registered.
+	monCount atomic.Int32
 
 	test *controller // non-nil in bug-finding mode
 
@@ -69,15 +85,27 @@ func WithoutSchemaCache() Option { return func(r *Runtime) { r.noSchemaCache = t
 // NewRuntime returns a production-mode runtime.
 func NewRuntime(opts ...Option) *Runtime {
 	r := &Runtime{
-		factories: make(map[string]func() Machine),
-		schemas:   make(map[string]*compiledSchema),
-		rngState:  1,
+		factories:      make(map[string]func() Machine),
+		schemas:        make(map[string]*compiledSchema),
+		monitorSchemas: make(map[string]*compiledSchema),
+		rngState:       1,
 	}
 	r.qcond = sync.NewCond(&r.mu)
 	for _, o := range opts {
 		o(r)
 	}
 	return r
+}
+
+// validateTypeName rejects machine-type and monitor names that would
+// corrupt the trace format: Trace.Encode writes schedule records as
+// "s <type> <seq>" with whitespace-separated fields and no quoting, so a
+// name containing whitespace could not round-trip through DecodeTrace.
+func validateTypeName(op, name string) error {
+	if strings.ContainsAny(name, " \t\n\r") {
+		return fmt.Errorf("psharp: %s(%q): name must not contain whitespace (trace records are whitespace-separated)", op, name)
+	}
+	return nil
 }
 
 // Register associates a machine type name with a factory. All machine types
@@ -100,6 +128,9 @@ func (r *Runtime) Register(name string, factory func() Machine) error {
 	defer r.mu.Unlock()
 	if name == "" || factory == nil {
 		return fmt.Errorf("psharp: Register(%q): name and factory must be non-empty", name)
+	}
+	if err := validateTypeName("Register", name); err != nil {
+		return err
 	}
 	if _, dup := r.factories[name]; dup {
 		return fmt.Errorf("psharp: machine type %q registered twice", name)
@@ -236,6 +267,14 @@ func (r *Runtime) compileInstanceLocked(machineType string, logic Machine) (*com
 // performed by machine actions (which are scheduling points in test mode);
 // environment sends and internal re-queues are not.
 func (r *Runtime) enqueue(target MachineID, ev Event, sender MachineID, isMachineSend bool) {
+	if isMachineSend || sender.IsNil() {
+		// Specification monitors observe the send itself — machine sends and
+		// environment sends, but not internal re-queues of deferred raised
+		// events, which would double-count one observation. Dispatch happens
+		// before the send's scheduling point and regardless of whether the
+		// target can still receive the event.
+		r.observeMonitors(ev)
+	}
 	m := r.machineByID(target)
 	if m == nil {
 		msg := fmt.Sprintf("send of %s to unknown machine %s", eventName(ev), target)

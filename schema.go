@@ -122,16 +122,31 @@ type handlerBinding struct {
 	entry dispatchEntry
 }
 
+// stateTemp is a state's liveness temperature annotation. Only monitor
+// states carry one: hot marks a pending liveness obligation ("something must
+// eventually happen"), cold (or no annotation) marks it discharged.
+type stateTemp int
+
+const (
+	tempNone stateTemp = iota
+	tempHot
+	tempCold
+)
+
 // stateSpec is the compiled form of one declared state. A state holds at
 // most one entry and one exit action, in either declaration form.
 type stateSpec struct {
 	name     string
+	temp     stateTemp
 	onEntry  Action
 	onEntryM MachineAction
 	onExit   ExitAction
 	onExitM  MachineExitAction
 	handlers []handlerBinding
 }
+
+// isHot reports whether the state carries the hot liveness annotation.
+func (st *stateSpec) isHot() bool { return st.temp == tempHot }
 
 // hasEntry reports whether the state declares an entry action in any form.
 func (st *stateSpec) hasEntry() bool { return st.onEntry != nil || st.onEntryM != nil }
@@ -194,6 +209,33 @@ type StateBuilder struct {
 
 // Name returns the state's name.
 func (b *StateBuilder) Name() string { return b.state.name }
+
+// Hot marks the state as a liveness obligation: while a monitor sits in a
+// hot state, something is still required to eventually happen (the paper's
+// "eventually responds" class of specifications). Under liveness checking
+// (TestConfig.LivenessTemperature) a monitor that stays hot for too many
+// consecutive scheduling decisions, or is still hot when the program
+// quiesces, fails the iteration with BugLiveness. Hot and cold annotations
+// are only meaningful on monitor states; Register rejects machine schemas
+// that carry them.
+func (b *StateBuilder) Hot() *StateBuilder {
+	if b.state.temp != tempNone {
+		b.schema.err("state %q: duplicate hot/cold annotation", b.state.name)
+	}
+	b.state.temp = tempHot
+	return b
+}
+
+// Cold marks the state as a discharged liveness obligation. It is the
+// default for unannotated states; declaring it explicitly documents the
+// specification's intent (see Hot).
+func (b *StateBuilder) Cold() *StateBuilder {
+	if b.state.temp != tempNone {
+		b.schema.err("state %q: duplicate hot/cold annotation", b.state.name)
+	}
+	b.state.temp = tempCold
+	return b
+}
 
 // OnEntry registers the state's entry action. The action receives the event
 // whose transition entered the state (the payload in the paper's terms); for
@@ -293,6 +335,10 @@ func (s *Schema) err(format string, args ...any) {
 // validate checks the frozen schema and returns a descriptive error listing
 // every problem found.
 func (s *Schema) validate(machineType string) error {
+	return s.validateAs("machine", machineType)
+}
+
+func (s *Schema) validateAs(kind, machineType string) error {
 	errs := append([]error(nil), s.errs...)
 	if s.initial == "" {
 		errs = append(errs, fmt.Errorf("no start state declared"))
@@ -310,7 +356,7 @@ func (s *Schema) validate(machineType string) error {
 	if len(errs) == 0 {
 		return nil
 	}
-	msg := fmt.Sprintf("machine %q: invalid schema:", machineType)
+	msg := fmt.Sprintf("%s %q: invalid schema:", kind, machineType)
 	for _, e := range errs {
 		msg += "\n\t" + e.Error()
 	}
@@ -329,12 +375,37 @@ type compiledSchema struct {
 }
 
 // compile validates the schema and freezes it. The builder hands its state
-// table to the compiled form and must not be used afterwards.
+// table to the compiled form and must not be used afterwards. Machine
+// schemas must not carry hot/cold liveness annotations — those belong to
+// monitors (compileMonitor).
 func (s *Schema) compile(machineType string) (*compiledSchema, error) {
+	for _, name := range s.order {
+		if s.states[name].temp != tempNone {
+			s.err("state %q: hot/cold annotations are only allowed on monitor states", name)
+		}
+	}
 	if err := s.validate(machineType); err != nil {
 		return nil, err
 	}
 	return &compiledSchema{machineType: machineType, initial: s.initial, states: s.states}, nil
+}
+
+// compileMonitor validates the schema under the monitor rules and freezes
+// it. Monitors are synchronous observers without event queues, so Defer
+// bindings are meaningless and rejected.
+func (s *Schema) compileMonitor(name string) (*compiledSchema, error) {
+	for _, sn := range s.order {
+		st := s.states[sn]
+		for i := range st.handlers {
+			if st.handlers[i].entry.kind == dispatchDefer {
+				s.err("state %q: monitors cannot Defer events (they have no queue)", sn)
+			}
+		}
+	}
+	if err := s.validateAs("monitor", name); err != nil {
+		return nil, err
+	}
+	return &compiledSchema{machineType: name, initial: s.initial, states: s.states}, nil
 }
 
 // lookup returns the dispatch entry for event type t in state name.

@@ -9,6 +9,25 @@
 // The engine has no false positives: every reported bug comes with a
 // schedule trace that replays it deterministically.
 //
+// # Liveness checking and fair scheduling
+//
+// Safety bugs are findable by any strategy; liveness bugs ("eventually
+// responds", specified by hot/cold monitor states — see the psharp
+// package's "Specifying correctness") additionally need fairness. A
+// monitor stuck in a hot state under an unfair scheduler may mean only
+// that the scheduler starved the machine that would discharge the
+// obligation; the paper's plain random scheduler therefore cannot soundly
+// report liveness violations at all, and simply misses that bug class.
+// RandomFair is the CHESS-style recipe: a uniformly random prefix explores
+// the reorderings that trigger the bug, then fair round-robin over the
+// enabled machines guarantees every would-be discharger runs. With
+// Options.LivenessTemperature set above the prefix plus a few fair rounds,
+// a hot streak that crosses the threshold is a genuine violation — and
+// since the temperature is a function of the schedule alone, the resulting
+// psharp.BugLiveness replays deterministically through ReplayTrace like
+// every other bug. RandomFair shards its seed stream across parallel
+// workers like Random, and "fair" is a valid portfolio member.
+//
 // # Parallel portfolio exploration
 //
 // Run explores schedules one at a time; RunParallel fans the same core
@@ -67,6 +86,13 @@
 // executed), while every found bug still replays deterministically from
 // its trace.
 //
+// Specification monitors cost almost nothing on this hot path: observation
+// is synchronous, allocation-free dispatch through the monitor's compiled
+// schema (cached per name, instance recycled by the harness), so a
+// monitored worker pays only the monitor factory's allocations per
+// iteration — at most 5 on the protocol workloads, gated by the monitor
+// allocation caps and recorded in BENCH_sct.json's monitor_overhead_probe.
+//
 // BENCH_sct.json, emitted by psharp-bench -json, records the throughput
 // trajectory across changes: schedules_per_sec and total_scheduling_points
 // for the probe run, alloc_probes comparing allocs/iteration through the
@@ -74,6 +100,7 @@
 // isolates runtime overhead; the protocol entry runs static-form machines
 // against the schema cache), schema_cache_probe comparing the same
 // protocol with the cache on vs off (per-instance rebuilds, the closure
-// form's cost), and worker_iterations showing the per-worker split
-// (uneven under Dynamic).
+// form's cost), monitor_overhead_probe comparing the protocol with its
+// specification monitors attached vs plain, and worker_iterations showing
+// the per-worker split (uneven under Dynamic).
 package sct

@@ -52,6 +52,12 @@ type Options struct {
 	StopOnFirstBug bool
 	// LivelockAsBug treats hitting MaxSteps as a liveness bug.
 	LivelockAsBug bool
+	// LivenessTemperature enables monitor-based liveness checking (see
+	// psharp.TestConfig.LivenessTemperature): a registered monitor that
+	// stays in a hot state for more than this many consecutive scheduling
+	// decisions, or is still hot at quiescence, fails the iteration with
+	// psharp.BugLiveness. Only sound under fair strategies (RandomFair).
+	LivenessTemperature int
 	// ChessLike adds CHESS-granularity scheduling points (Table 2 baseline).
 	ChessLike bool
 	// RaceDetect enables the happens-before race detector (RD-on).
@@ -245,13 +251,14 @@ func runWorker(setup func(*psharp.Runtime), sh *shared, w worker) Report {
 	h := psharp.NewTestHarness(setup)
 	defer h.Close()
 	cfg := psharp.TestConfig{
-		Strategy:      w.strategy,
-		MaxSteps:      opts.MaxSteps,
-		LivelockAsBug: opts.LivelockAsBug,
-		ChessLike:     opts.ChessLike,
-		RaceDetect:    opts.RaceDetect,
-		RaceAsBug:     opts.RaceAsBug,
-		Interrupt:     interrupt,
+		Strategy:            w.strategy,
+		MaxSteps:            opts.MaxSteps,
+		LivelockAsBug:       opts.LivelockAsBug,
+		LivenessTemperature: opts.LivenessTemperature,
+		ChessLike:           opts.ChessLike,
+		RaceDetect:          opts.RaceDetect,
+		RaceAsBug:           opts.RaceAsBug,
+		Interrupt:           interrupt,
 	}
 	for local := 0; ; local++ {
 		if interrupt() {

@@ -201,6 +201,8 @@ func strategyName(s Strategy) string {
 	switch s.(type) {
 	case *Random:
 		return "random"
+	case *RandomFair:
+		return "fair"
 	case *PCT:
 		return "pct"
 	case *DelayBounding:

@@ -73,17 +73,32 @@ func DefaultPortfolio(seed uint64, maxSteps int) *Portfolio {
 
 // ParsePortfolio builds a portfolio from a comma-separated member spec such
 // as "random,pct,delay,dfs" or "random,random,pct". Valid member names are
-// random, pct, delay and dfs; "default" expands to the DefaultPortfolio
-// roster. Randomized members derive distinct seeds from the base seed by
-// member position, and PCT/delay-bounding size their change/delay points to
-// maxSteps (0 falls back to 1000 expected steps).
+// random, fair, pct, delay and dfs; "default" expands to the
+// DefaultPortfolio roster. Randomized members derive distinct seeds from the
+// base seed by member position, PCT/delay-bounding size their change/delay
+// points to maxSteps (0 falls back to 1000 expected steps), and fair's
+// random prefix defaults to half of maxSteps — when pairing a fair member
+// with liveness checking, use ParsePortfolioPrefix so the temperature
+// threshold can sit above the prefix (otherwise a threshold crossed inside
+// the random prefix is scheduler starvation, not a sound verdict).
 func ParsePortfolio(spec string, seed uint64, maxSteps int) (*Portfolio, error) {
+	return ParsePortfolioPrefix(spec, seed, maxSteps, -1)
+}
+
+// ParsePortfolioPrefix is ParsePortfolio with an explicit random-prefix
+// length for fair members; negative selects the maxSteps/2 default. Pass
+// the prefix the liveness temperature threshold was calibrated against
+// (e.g. a protocol benchmark's FairPrefix).
+func ParsePortfolioPrefix(spec string, seed uint64, maxSteps, fairPrefix int) (*Portfolio, error) {
 	if strings.TrimSpace(spec) == "default" {
 		spec = "random,pct,delay,dfs"
 	}
 	steps := maxSteps
 	if steps <= 0 {
 		steps = 1000
+	}
+	if fairPrefix < 0 {
+		fairPrefix = steps / 2
 	}
 	var members []PortfolioMember
 	for i, name := range strings.Split(spec, ",") {
@@ -95,6 +110,8 @@ func ParsePortfolio(spec string, seed uint64, maxSteps int) (*Portfolio, error) 
 		switch name {
 		case "random":
 			s = NewRandom(memberSeed)
+		case "fair":
+			s = NewRandomFair(memberSeed, fairPrefix)
 		case "pct":
 			s = NewPCT(memberSeed, 3, steps)
 		case "delay":
@@ -104,7 +121,7 @@ func ParsePortfolio(spec string, seed uint64, maxSteps int) (*Portfolio, error) 
 		case "":
 			return nil, fmt.Errorf("sct: empty portfolio member in %q", spec)
 		default:
-			return nil, fmt.Errorf("sct: unknown portfolio member %q (want random, pct, delay or dfs)", name)
+			return nil, fmt.Errorf("sct: unknown portfolio member %q (want random, fair, pct, delay or dfs)", name)
 		}
 		members = append(members, PortfolioMember{Name: name, Strategy: s})
 	}

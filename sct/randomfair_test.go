@@ -1,0 +1,119 @@
+package sct
+
+// Internal tests for the fair random scheduler's two-phase decision rule.
+
+import (
+	"testing"
+
+	"github.com/psharp-go/psharp"
+)
+
+func ids(seqs ...uint64) []psharp.MachineID {
+	out := make([]psharp.MachineID, len(seqs))
+	for i, s := range seqs {
+		out[i] = psharp.MachineID{Type: "M", Seq: s}
+	}
+	return out
+}
+
+// TestRandomFairRoundRobinAfterPrefix checks the fairness guarantee: past
+// the prefix, every continuously enabled machine is scheduled exactly once
+// per cycle, in creation order, wrapping.
+func TestRandomFairRoundRobinAfterPrefix(t *testing.T) {
+	s := NewRandomFair(1, 0) // fair from the first decision
+	s.PrepareIteration(0)
+	enabled := ids(1, 2, 3)
+	var got []uint64
+	for i := 0; i < 7; i++ {
+		got = append(got, s.NextMachine(psharp.MachineID{}, enabled).Seq)
+	}
+	want := []uint64{1, 2, 3, 1, 2, 3, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("round-robin order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestRandomFairSkipsDisabled checks that the round-robin cursor keeps
+// rotating over whatever is enabled: a machine that blocks is skipped, a
+// machine that wakes back up rejoins at its creation-order slot.
+func TestRandomFairSkipsDisabled(t *testing.T) {
+	s := NewRandomFair(1, 0)
+	s.PrepareIteration(0)
+	if got := s.NextMachine(psharp.MachineID{}, ids(1, 2, 3)).Seq; got != 1 {
+		t.Fatalf("first pick = %d, want 1", got)
+	}
+	// Machine 2 blocked: the cycle continues with 3.
+	if got := s.NextMachine(psharp.MachineID{}, ids(1, 3)).Seq; got != 3 {
+		t.Fatalf("pick after 1 with {1,3} enabled = %d, want 3", got)
+	}
+	// Machine 2 woke up: wrap to the smallest enabled.
+	if got := s.NextMachine(psharp.MachineID{}, ids(1, 2, 3)).Seq; got != 1 {
+		t.Fatalf("wrap pick = %d, want 1", got)
+	}
+	if got := s.NextMachine(psharp.MachineID{}, ids(1, 2, 3)).Seq; got != 2 {
+		t.Fatalf("pick after wrap = %d, want 2", got)
+	}
+}
+
+// TestRandomFairDeterministicPerIteration checks that the same seed and
+// iteration reproduce the same decisions, and different iterations differ
+// (the reseed-per-iteration discipline shared with Random).
+func TestRandomFairDeterministicPerIteration(t *testing.T) {
+	run := func(iter int) []uint64 {
+		s := NewRandomFair(42, 8)
+		s.PrepareIteration(iter)
+		enabled := ids(1, 2, 3, 4)
+		var out []uint64
+		for i := 0; i < 8; i++ {
+			out = append(out, s.NextMachine(psharp.MachineID{}, enabled).Seq)
+		}
+		return out
+	}
+	a0, b0, a1 := run(0), run(0), run(1)
+	for i := range a0 {
+		if a0[i] != b0[i] {
+			t.Fatalf("same iteration diverged: %v vs %v", a0, b0)
+		}
+	}
+	same := true
+	for i := range a0 {
+		if a0[i] != a1[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("iterations 0 and 1 drew identical prefixes %v; reseed is broken", a0)
+	}
+}
+
+// TestRandomFairShardsLikeRandom checks CloneForWorker's population
+// equality: worker w's local iteration i must replay global iteration
+// w + i*workers of the sequential stream.
+func TestRandomFairShardsLikeRandom(t *testing.T) {
+	const workers = 3
+	enabled := ids(1, 2, 3, 4, 5)
+	draw := func(s Strategy, iter, n int) []uint64 {
+		s.(*RandomFair).PrepareIteration(iter)
+		var out []uint64
+		for i := 0; i < n; i++ {
+			out = append(out, s.NextMachine(psharp.MachineID{}, enabled).Seq)
+		}
+		return out
+	}
+	seq := NewRandomFair(7, 100)
+	for w := 0; w < workers; w++ {
+		clone := NewRandomFair(7, 100).CloneForWorker(w, workers)
+		for local := 0; local < 4; local++ {
+			global := w + local*workers
+			want := draw(seq, global, 6)
+			got := draw(clone, local, 6)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("worker %d local %d != global %d: %v vs %v", w, local, global, got, want)
+				}
+			}
+		}
+	}
+}

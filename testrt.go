@@ -26,6 +26,16 @@ type TestConfig struct {
 	// queue-lock and dequeue operations, as a tool instrumenting every
 	// synchronizing operation must (Table 2 baseline).
 	ChessLike bool
+	// LivenessTemperature enables liveness checking against the registered
+	// monitors' hot states: a monitor that stays hot for more than this many
+	// consecutive scheduling decisions — or is still hot when the program
+	// quiesces — fails the iteration with BugLiveness. 0 disables liveness
+	// checking. The check is only meaningful under a fair schedule (an
+	// unfair scheduler can starve the machine that would discharge the
+	// obligation, reporting a spurious violation); pair it with
+	// sct.RandomFair and set the threshold above the strategy's random
+	// prefix plus a few fair scheduling rounds.
+	LivenessTemperature int
 	// RaceDetect runs the happens-before race detector over instrumented
 	// Context.Read/Write accesses (the CHESS RD-on configuration).
 	RaceDetect bool
@@ -110,6 +120,11 @@ type controller struct {
 	// their job channels, awaiting the next iteration.
 	free []*machineInstance
 
+	// freeMons holds recycled monitor instances by name, so a harness that
+	// re-registers the same monitors every iteration reuses the instance and
+	// its Context instead of reallocating them.
+	freeMons map[string]*monitorInstance
+
 	current     MachineID
 	steps       int
 	trace       *Trace
@@ -138,6 +153,17 @@ func (c *controller) acquireInstance(r *Runtime, id MachineID, logic Machine, sc
 	m.job = make(chan Event)
 	go m.poolLoop()
 	return m
+}
+
+// acquireMonitor returns the parked monitor instance registered under name
+// in a previous iteration, or nil if none. Execution is serialized, so no
+// locking is needed around the pool.
+func (c *controller) acquireMonitor(name string) *monitorInstance {
+	mon := c.freeMons[name]
+	if mon != nil {
+		delete(c.freeMons, name)
+	}
+	return mon
 }
 
 // onCreate registers a newly created machine as ready to run its initial
@@ -231,6 +257,11 @@ func (c *controller) loop() {
 			if m := c.anyQueuedWhileBlocked(); m != nil {
 				c.bug = &Bug{Kind: BugDeadlock, Machine: m.id, State: m.state,
 					Message: "all machines blocked but deferred events remain queued"}
+			} else if mon := c.hotMonitor(); mon != nil {
+				// A finite execution ended with an undischarged liveness
+				// obligation: nothing can ever discharge it now.
+				c.bug = &Bug{Kind: BugLiveness, Monitor: mon.name, State: mon.state,
+					Message: fmt.Sprintf("monitor still hot in state %q when the program quiesced", mon.state)}
 			}
 			break // quiescence: the program terminated naturally
 		}
@@ -267,7 +298,15 @@ func (c *controller) loop() {
 		case ykBug:
 			c.statuses[msg.m.id.Seq-1] = msHalted
 			c.readyRemove(msg.m.id)
-			c.bug = msg.bug
+			if c.bug == nil {
+				// First bug wins: a monitor may already have failed this very
+				// decision (observation runs before the machine's own panic),
+				// and the specification violation is the primary report.
+				c.bug = msg.bug
+			}
+		}
+		if c.cfg.LivenessTemperature > 0 && c.bug == nil {
+			c.updateTemperatures()
 		}
 		if c.det != nil && c.cfg.RaceAsBug && c.bug == nil {
 			if races := c.det.Races(); len(races) > 0 {
@@ -276,6 +315,40 @@ func (c *controller) loop() {
 		}
 	}
 	c.teardown()
+}
+
+// hotMonitor returns a monitor currently in a hot state, if liveness
+// checking is on; used at quiescence.
+func (c *controller) hotMonitor() *monitorInstance {
+	if c.cfg.LivenessTemperature <= 0 {
+		return nil
+	}
+	for _, mon := range c.rt.monitors {
+		if mon.hot {
+			return mon
+		}
+	}
+	return nil
+}
+
+// updateTemperatures advances hot-state temperature tracking by one
+// scheduling decision: every monitor sitting in a hot state heats up by one
+// degree, every other monitor is cold (its counter was already reset when it
+// left the hot state). Crossing the threshold is the liveness violation —
+// deterministic in the schedule, so the bug replays like any other.
+func (c *controller) updateTemperatures() {
+	for _, mon := range c.rt.monitors {
+		if !mon.hot {
+			continue
+		}
+		mon.temp++
+		if mon.temp > c.cfg.LivenessTemperature {
+			c.bug = &Bug{Kind: BugLiveness, Monitor: mon.name, State: mon.state,
+				Message: fmt.Sprintf("monitor stayed hot in state %q for %d consecutive scheduling decisions (threshold %d)",
+					mon.state, mon.temp, c.cfg.LivenessTemperature)}
+			return
+		}
+	}
 }
 
 // teardown unparks every live machine goroutine so it can observe the abort

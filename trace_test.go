@@ -1,0 +1,74 @@
+package psharp_test
+
+// Satellite regression tests for the trace text format: machine-type and
+// monitor names containing whitespace would corrupt the whitespace-separated
+// "s <type> <seq>" schedule records, so they are rejected at registration,
+// and well-formed traces round-trip exactly.
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/psharp-go/psharp"
+	"github.com/psharp-go/psharp/sct"
+)
+
+// TestRegisterRejectsWhitespaceNames locks the trace-format guard: names
+// with any whitespace are rejected by Register and RegisterMonitor before
+// they can reach a trace.
+func TestRegisterRejectsWhitespaceNames(t *testing.T) {
+	factory := func() psharp.Machine {
+		return psharp.StaticMachineFunc(func(sc *psharp.Schema) {
+			sc.Start("S")
+		})
+	}
+	for _, name := range []string{"two words", "tab\tsep", "new\nline", "cr\rname", " leading", "trailing "} {
+		r := psharp.NewRuntime()
+		if err := r.Register(name, factory); err == nil {
+			t.Errorf("Register(%q) accepted a whitespace name", name)
+		} else if !strings.Contains(err.Error(), "whitespace") {
+			t.Errorf("Register(%q) error %q does not explain the whitespace rule", name, err)
+		}
+		if err := r.RegisterMonitor(name, factory); err == nil {
+			t.Errorf("RegisterMonitor(%q) accepted a whitespace name", name)
+		}
+	}
+}
+
+// TestTraceEncodeDecodeRoundTrip checks that a real exploration trace
+// encodes and decodes back to the identical decision sequence, and that the
+// decoded trace still replays the same schedule.
+func TestTraceEncodeDecodeRoundTrip(t *testing.T) {
+	setup := ballotSetup()
+	var trace *psharp.Trace
+	var bug *psharp.Bug
+	for seed := uint64(1); seed < 64; seed++ {
+		res := psharp.RunTest(setup, psharp.TestConfig{Strategy: mustPrepared(sct.NewRandom(seed)), MaxSteps: 500})
+		if res.Bug != nil {
+			trace, bug = res.Trace.Clone(), res.Bug
+			break
+		}
+	}
+	if trace == nil {
+		t.Fatal("no buggy schedule found to round-trip")
+	}
+
+	var buf bytes.Buffer
+	if err := trace.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := psharp.DecodeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(trace.Decisions, decoded.Decisions) {
+		t.Fatalf("decisions diverged after round-trip:\nbefore: %v\nafter:  %v", trace.Decisions, decoded.Decisions)
+	}
+
+	res := sct.ReplayTrace(setup, decoded, psharp.TestConfig{MaxSteps: 500})
+	if res.Bug == nil || res.Bug.Message != bug.Message {
+		t.Fatalf("decoded trace did not replay the bug: got %v, want %v", res.Bug, bug)
+	}
+}
