@@ -108,5 +108,18 @@ func main() {
 		fmt.Printf("monitor overhead on %s: %.1f allocs/iteration monitored vs %.1f plain (+%.1f)\n",
 			rep.MonitorProbe.Workload, rep.MonitorProbe.Monitored, rep.MonitorProbe.Unmonitored,
 			rep.MonitorProbe.DeltaAllocs)
+		fmt.Printf("telemetry overhead on %s: %.1f allocs/iteration with telemetry vs %.1f plain (+%.2f)\n",
+			rep.TelemetryProbe.Workload, rep.TelemetryProbe.Telemetry, rep.TelemetryProbe.Plain,
+			rep.TelemetryProbe.DeltaAllocs)
+		fmt.Printf("interp coverage over the Table 1 corpus: %d/%d declared transitions dispatched (%.1f%%) across %d benchmarks x %d seeds\n",
+			rep.InterpCoverage.CoveredTransitions, rep.InterpCoverage.DeclaredTransitions,
+			rep.InterpCoverage.CoveredPercent, rep.InterpCoverage.Benchmarks, rep.InterpCoverage.Seeds)
+		// The telemetry-overhead gate: CI runs this command, so a regression
+		// that makes observability allocate on the hot path fails the build.
+		if rep.TelemetryProbe.DeltaAllocs > tables.MaxTelemetryDeltaAllocs {
+			fmt.Fprintf(os.Stderr, "psharp-bench: telemetry overhead gate: +%.2f allocs/iteration exceeds the %.0f-alloc budget\n",
+				rep.TelemetryProbe.DeltaAllocs, tables.MaxTelemetryDeltaAllocs)
+			os.Exit(1)
+		}
 	}
 }

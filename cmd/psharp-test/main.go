@@ -9,6 +9,7 @@
 //	psharp-test -bench FairResponder -buggy -liveness
 //	psharp-test -bench Raft -buggy -parallel 8 [-dynamic]
 //	psharp-test -bench Raft -buggy -parallel 8 -portfolio default
+//	psharp-test -bench Raft -buggy -report-out campaign.json [-http :6060]
 //	psharp-test -list
 //
 // -monitors attaches the benchmark's specification monitors (global safety
@@ -16,6 +17,26 @@
 // -liveness additionally enables hot-state temperature tracking and
 // defaults the strategy to the fair random scheduler, which is what makes
 // liveness verdicts sound — see the sct package docs.
+//
+// # Observability
+//
+// -progress-every N prints a progress line to stderr every N iterations of
+// each worker, with campaign-global counters; -progress-jsonl FILE streams
+// the same snapshots as JSON lines instead ("-" for stdout). -http ADDR
+// serves /debug/vars (the live telemetry snapshot) and /debug/pprof/ for
+// the duration of the run.
+//
+// -report-out FILE writes a versioned campaign report after the run. For
+// example,
+//
+//	psharp-test -bench TwoPhaseCommit -buggy -monitors -keep-going \
+//	    -iterations 5000 -parallel 4 -report-out campaign.json
+//
+// explores 5000 schedules across 4 workers and leaves campaign.json
+// holding the merged result, a per-strategy breakdown, the schedule-depth
+// histogram, the (machine, state, event) transitions covered, a bug census
+// by kind, and the coverage growth curve over wall-clock time — the
+// artifact CI archives per corpus run.
 package main
 
 import (
@@ -28,6 +49,7 @@ import (
 
 	"github.com/psharp-go/psharp"
 	"github.com/psharp-go/psharp/internal/protocols"
+	"github.com/psharp-go/psharp/obs"
 	"github.com/psharp-go/psharp/sct"
 )
 
@@ -59,6 +81,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	dynamic := fs.Bool("dynamic", false, "work-stealing iteration assignment across workers (keeps all workers busy under skewed iteration costs; trades run-to-run population reproducibility, bug traces still replay)")
 	portfolio := fs.String("portfolio", "", "comma-separated worker portfolio, e.g. 'random,fair,pct,delay,dfs' or 'default' (implies -parallel)")
 	verbose := fs.Bool("v", false, "print per-worker sub-reports for parallel runs")
+	progressEvery := fs.Int("progress-every", 0, "emit a progress snapshot every N iterations of each worker (0 = off)")
+	progressJSONL := fs.String("progress-jsonl", "", "stream progress snapshots as JSON lines to this file instead of human text ('-' for stdout; defaults -progress-every to 1000)")
+	reportOut := fs.String("report-out", "", "write a versioned campaign report (coverage, growth curves, bug census) to this file; see the worked example in the command docs")
+	httpAddr := fs.String("http", "", "serve /debug/vars (live telemetry) and /debug/pprof/ on this address for the duration of the run, e.g. :6060 or 127.0.0.1:0")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -161,6 +187,43 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// Observability wiring: a Telemetry accumulator backs both the campaign
+	// report and the live /debug/vars view; progress snapshots go to stderr
+	// as text or to a JSONL stream.
+	var tel *sct.Telemetry
+	if *reportOut != "" || *httpAddr != "" {
+		tel = sct.NewTelemetry(0)
+		opts.Telemetry = tel
+	}
+	if *progressJSONL != "" {
+		w := io.Writer(stdout)
+		if *progressJSONL != "-" {
+			f, err := os.Create(*progressJSONL)
+			if err != nil {
+				fmt.Fprintln(stderr, "psharp-test:", err)
+				return 1
+			}
+			defer f.Close()
+			w = f
+		}
+		if *progressEvery <= 0 {
+			*progressEvery = 1000
+		}
+		opts.Progress = sct.ProgressJSONL(w)
+	} else if *progressEvery > 0 {
+		opts.Progress = sct.ProgressText(stderr)
+	}
+	opts.ProgressEvery = *progressEvery
+	if *httpAddr != "" {
+		addr, shutdown, err := obs.ServeDebug(*httpAddr, func() any { return tel.Snapshot() })
+		if err != nil {
+			fmt.Fprintln(stderr, "psharp-test:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "psharp-test: debug endpoint at http://%s/debug/vars (pprof under /debug/pprof/)\n", addr)
+		defer shutdown()
+	}
+
 	parallelSet := false
 	fs.Visit(func(f *flag.Flag) {
 		if f.Name == "parallel" {
@@ -169,7 +232,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	})
 
 	var rep sct.Report
+	var workerReports []sct.WorkerReport
+	workerCount := 1
 	label := *strategy
+	campaignStrategy := *strategy
 	if *dynamic && *portfolio == "" && *parallel == 1 {
 		fmt.Fprintln(stderr, "psharp-test: -dynamic requires -parallel or -portfolio")
 		return 2
@@ -186,6 +252,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			popts.Portfolio = pf
 			label = "portfolio[" + *portfolio + "]"
+			campaignStrategy = label
 			// -portfolio implies one worker per member unless -parallel was
 			// given explicitly; fewer workers than members drops members.
 			if !parallelSet {
@@ -202,6 +269,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 		rep = prep.Report
+		workerReports = prep.Workers
+		workerCount = len(prep.Workers)
 		sharding := ""
 		if *dynamic {
 			sharding = ", dynamic"
@@ -230,6 +299,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "trace written to %s (%d decisions)\n", out, rep.FirstBugTrace.Len())
+	}
+	if *reportOut != "" {
+		c := sct.NewCampaign(sct.CampaignConfig{
+			Benchmark:  b.ID(),
+			Strategy:   campaignStrategy,
+			Workers:    workerCount,
+			Dynamic:    *dynamic,
+			Iterations: *iterations,
+			MaxSteps:   b.MaxSteps,
+			TimeoutMS:  timeout.Milliseconds(),
+			Seed:       *seed,
+			Monitors:   *monitors,
+			Liveness:   *liveness,
+		}, &rep, workerReports, tel)
+		if err := c.WriteFile(*reportOut); err != nil {
+			fmt.Fprintln(stderr, "psharp-test:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "campaign report written to %s (version %d, %d transitions covered, %d growth points)\n",
+			*reportOut, c.Version, c.Telemetry.CoveredTransitions, len(c.Telemetry.GrowthCurve))
 	}
 	if rep.BugFound() {
 		return 1

@@ -5,11 +5,18 @@ package main
 // flags.
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/json"
+	"net/http"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
+	"sync"
 	"testing"
+
+	"github.com/psharp-go/psharp/sct"
 )
 
 func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
@@ -118,6 +125,147 @@ func TestLivenessPortfolioWarning(t *testing.T) {
 		"-iterations", "20", "-portfolio", "fair,fair")
 	if strings.Contains(stderr, "warning") {
 		t.Fatalf("all-fair portfolio still warned:\n%s", stderr)
+	}
+}
+
+// TestReportOutWritesCampaign checks the -report-out pipeline: a parallel
+// exploration leaves a versioned campaign report whose telemetry carries a
+// multi-bucket coverage growth curve.
+func TestReportOutWritesCampaign(t *testing.T) {
+	report := filepath.Join(t.TempDir(), "campaign.json")
+	code, stdout, stderr := runCLI(t,
+		"-bench", "TwoPhaseCommit", "-buggy", "-keep-going",
+		"-iterations", "2000", "-seed", "20150628", "-parallel", "2",
+		"-report-out", report)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (buggy benchmark)\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "campaign report written to") {
+		t.Fatalf("stdout does not confirm the report write:\n%s", stdout)
+	}
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c sct.Campaign
+	if err := json.Unmarshal(data, &c); err != nil {
+		t.Fatalf("campaign does not decode: %v", err)
+	}
+	if c.Version != sct.CampaignVersion {
+		t.Fatalf("version = %d, want %d", c.Version, sct.CampaignVersion)
+	}
+	if c.Result.Iterations != 2000 || c.Result.BuggyIterations == 0 {
+		t.Fatalf("implausible result: %+v", c.Result)
+	}
+	if c.Env.GoVersion == "" {
+		t.Fatalf("missing environment metadata: %+v", c.Env)
+	}
+	if c.Telemetry == nil {
+		t.Fatal("report has no telemetry")
+	}
+	if len(c.Telemetry.GrowthCurve) < 3 {
+		t.Fatalf("growth curve has %d points, want >= 3", len(c.Telemetry.GrowthCurve))
+	}
+	last := c.Telemetry.GrowthCurve[len(c.Telemetry.GrowthCurve)-1]
+	if last.DistinctSchedules == 0 || last.CoveredTransitions == 0 {
+		t.Fatalf("degenerate final growth point: %+v", last)
+	}
+	if len(c.Telemetry.BugCensus) == 0 {
+		t.Fatal("report has no bug census despite buggy iterations")
+	}
+}
+
+// TestProgressJSONLFlag checks the machine-readable progress stream: every
+// line decodes as a Progress snapshot and iteration counts ascend.
+func TestProgressJSONLFlag(t *testing.T) {
+	stream := filepath.Join(t.TempDir(), "progress.jsonl")
+	code, stdout, stderr := runCLI(t,
+		"-bench", "TwoPhaseCommit", "-buggy", "-keep-going",
+		"-iterations", "200", "-seed", "1",
+		"-progress-every", "50", "-progress-jsonl", stream)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	f, err := os.Open(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var lines int
+	var prev int64
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var p sct.Progress
+		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+			t.Fatalf("line %d does not decode: %v", lines+1, err)
+		}
+		if p.Iterations <= prev || p.Budget != 200 {
+			t.Fatalf("non-ascending or mislabeled snapshot: %+v after %d", p, prev)
+		}
+		prev = p.Iterations
+		lines++
+	}
+	if lines != 4 {
+		t.Fatalf("got %d progress lines, want 4 (200 iterations / every 50)", lines)
+	}
+}
+
+// notifyingWriter is a thread-safe stderr sink that announces the debug
+// endpoint address the moment psharp-test prints it, so the test can query
+// the endpoint while the run is still exploring.
+type notifyingWriter struct {
+	mu    sync.Mutex
+	buf   bytes.Buffer
+	addr  chan string
+	found bool
+}
+
+func (w *notifyingWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Write(p)
+	if !w.found {
+		if m := debugAddrRE.FindStringSubmatch(w.buf.String()); m != nil {
+			w.found = true
+			w.addr <- m[1]
+		}
+	}
+	return len(p), nil
+}
+
+var debugAddrRE = regexp.MustCompile(`http://([^/\s]+)/debug/vars`)
+
+// TestHTTPDebugEndpoint starts a run with -http on an ephemeral port and
+// fetches /debug/vars while it explores: the response must be the live
+// telemetry snapshot as JSON.
+func TestHTTPDebugEndpoint(t *testing.T) {
+	stderr := &notifyingWriter{addr: make(chan string, 1)}
+	var stdout bytes.Buffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{
+			"-bench", "TwoPhaseCommit", "-buggy", "-keep-going",
+			"-iterations", "20000", "-seed", "1",
+			"-http", "127.0.0.1:0",
+		}, &stdout, stderr)
+	}()
+	addr := <-stderr.addr
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatalf("debug endpoint unreachable: %v", err)
+	}
+	var snap sct.TelemetrySnapshot
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/debug/vars is not a telemetry snapshot: %v", err)
+	}
+	if code := <-done; code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout: %s", code, stdout.String())
+	}
+	// After the run the listener must be closed (deferred shutdown).
+	if _, err := http.Get("http://" + addr + "/debug/vars"); err == nil {
+		t.Fatal("debug endpoint still serving after run returned")
 	}
 }
 

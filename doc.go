@@ -169,4 +169,22 @@
 // engine holds one harness per exploration worker; BENCH_sct.json
 // (psharp-bench -json) tracks schedules/sec, allocs/iteration, and the
 // schema-cache saving across changes.
+//
+// # Observability
+//
+// The runtime records operational metrics through the obs package's
+// fixed-size atomic primitives, cheap enough to stay always-on: sends,
+// dropped sends (to halted machines), machine creates, monitor dispatches,
+// and the high-water mailbox depth, snapshotted by Runtime.Metrics. State-
+// transition coverage — which (machine type, state, event) triples actually
+// dispatched — is opt-in: attach an obs.StateEventCoverage via WithCoverage
+// in production mode or TestConfig.Coverage per bug-finding iteration. The
+// event name each dispatch records is resolved once at schema bind time, so
+// a coverage hit is a read-lock, one map lookup on a comparable struct key,
+// and an atomic add — no per-dispatch reflection, no steady-state
+// allocation; the allocation caps above hold with coverage attached
+// (gated by BENCH_sct.json's telemetry_overhead_probe). The sct package
+// layers campaign-level telemetry — depth histograms, coverage growth
+// curves over wall-clock time, typed progress snapshots, and versioned
+// campaign reports — on the same primitives; see its Observability section.
 package psharp

@@ -103,6 +103,7 @@ func (h *TestHarness) reset(cfg TestConfig) {
 	rt.failure = nil
 	rt.stopped = false
 	rt.rngState = h.baseSeed
+	rt.cover = cfg.Coverage
 	rt.logw = cfg.Log
 	if cfg.Log == nil {
 		rt.logw = h.baseLog // WithLog default when the iteration sets none

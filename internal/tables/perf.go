@@ -7,7 +7,10 @@ import (
 	"runtime"
 
 	"github.com/psharp-go/psharp"
+	"github.com/psharp-go/psharp/internal/benchsrc"
 	"github.com/psharp-go/psharp/internal/protocols"
+	"github.com/psharp-go/psharp/interp"
+	"github.com/psharp-go/psharp/obs"
 	"github.com/psharp-go/psharp/sct"
 )
 
@@ -35,6 +38,10 @@ type AllocProbe struct {
 // schedule throughput and allocations per iteration — is tracked across
 // changes instead of living only in transient benchmark output.
 type PerfReport struct {
+	// Env records where the numbers were measured (go version, GOMAXPROCS,
+	// CPU count, timestamp) — throughput and allocation figures are not
+	// comparable across machines without it.
+	Env obs.Env `json:"env"`
 	// Benchmark is the protocol the probe ran (buggy variant).
 	Benchmark string `json:"benchmark"`
 	// Strategy names the scheduling strategy used for the throughput run.
@@ -56,9 +63,20 @@ type PerfReport struct {
 	// MonitorProbe quantifies the specification layer's steady-state cost:
 	// allocs/iteration with the benchmark's monitors attached vs without.
 	MonitorProbe MonitorOverheadProbe `json:"monitor_overhead_probe"`
+	// TelemetryProbe quantifies the observability layer's steady-state cost:
+	// allocs/iteration through the engine with a Telemetry accumulator
+	// attached vs without. CI gates its delta at <= 3.
+	TelemetryProbe TelemetryOverheadProbe `json:"telemetry_overhead_probe"`
+	// InterpCoverage summarizes .psl state-transition coverage over the
+	// Table 1 corpus under the operational semantics.
+	InterpCoverage InterpCoverageProbe `json:"interp_coverage_probe"`
 	// WorkerIterations records how many iterations each worker actually
 	// executed (uneven under Dynamic; the static shard sizes otherwise).
 	WorkerIterations []int `json:"worker_iterations"`
+	// Campaign is the structured campaign report of the throughput run —
+	// the same document psharp-test -report-out writes, embedded so the
+	// perf artifact carries coverage-growth curves alongside throughput.
+	Campaign *sct.Campaign `json:"campaign"`
 }
 
 // SchemaCacheProbe records steady-state allocations per iteration through
@@ -96,6 +114,47 @@ type MonitorOverheadProbe struct {
 	DeltaAllocs float64 `json:"monitor_delta_allocs"`
 }
 
+// TelemetryOverheadProbe records allocations per iteration through the sct
+// engine (pooled worker harness) with an sct.Telemetry accumulator attached
+// vs without. Coverage hits are read-lock + atomic add, depth observations
+// index a fixed histogram, and curve samples amortize to fractions of an
+// allocation per iteration, so the expected delta is near zero; the gate
+// caps it at MaxTelemetryDeltaAllocs.
+type TelemetryOverheadProbe struct {
+	// Workload names the probed protocol (buggy variant).
+	Workload string `json:"workload"`
+	// Plain is allocs/iteration through sct.Run without telemetry.
+	Plain float64 `json:"allocs_per_iteration_plain"`
+	// Telemetry is the same run with an accumulator attached.
+	Telemetry float64 `json:"allocs_per_iteration_telemetry"`
+	// DeltaAllocs is what the observability layer adds per iteration.
+	DeltaAllocs float64 `json:"telemetry_delta_allocs"`
+}
+
+// MaxTelemetryDeltaAllocs is the regression budget for the telemetry
+// overhead probe: attaching a Telemetry accumulator may add at most this
+// many allocations per iteration. CI fails the perf-report step beyond it.
+const MaxTelemetryDeltaAllocs = 3.0
+
+// InterpCoverageProbe aggregates .psl state-transition coverage across the
+// Table 1 corpus: every non-racy benchmark runs under the interpreter for a
+// handful of seeds with an obs.StateEventCoverage attached, and the probe
+// reports how many of the statically declared machine transitions
+// (interp.DeclaredTransitions) the schedules actually dispatched.
+type InterpCoverageProbe struct {
+	// Benchmarks is how many corpus programs were executed.
+	Benchmarks int `json:"benchmarks"`
+	// Seeds is the number of random schedules tried per benchmark.
+	Seeds int `json:"seeds_per_benchmark"`
+	// DeclaredTransitions sums the machine-side on-do/on-goto bindings
+	// across the corpus (the coverage denominator; monitors excluded).
+	DeclaredTransitions int `json:"declared_transitions"`
+	// CoveredTransitions counts the distinct triples actually dispatched.
+	CoveredTransitions int64 `json:"covered_transitions"`
+	// CoveredPercent is the corpus-wide coverage ratio.
+	CoveredPercent float64 `json:"covered_percent"`
+}
+
 // PerfProbeOptions configures RunPerfProbe. Zero values select defaults.
 type PerfProbeOptions struct {
 	Benchmark  string // default "TwoPhaseCommit" (buggy variant)
@@ -131,6 +190,7 @@ func RunPerfProbe(o PerfProbeOptions) (PerfReport, error) {
 		return PerfReport{}, fmt.Errorf("tables: no buggy benchmark %q", o.Benchmark)
 	}
 	rep := PerfReport{
+		Env:        obs.CaptureEnv(),
 		Benchmark:  o.Benchmark,
 		Strategy:   "random",
 		Iterations: o.Iterations,
@@ -163,12 +223,29 @@ func RunPerfProbe(o PerfProbeOptions) (PerfReport, error) {
 		Monitored:   pooledAllocs(b.SetupMonitored(), protocolCfg, o),
 	}
 	rep.MonitorProbe.DeltaAllocs = rep.MonitorProbe.Monitored - rep.MonitorProbe.Unmonitored
+	rep.TelemetryProbe = probeTelemetryOverhead(o, b.Setup, b.MaxSteps)
+	var err error
+	if rep.InterpCoverage, err = probeInterpCoverage(5); err != nil {
+		return PerfReport{}, err
+	}
 
-	// Throughput probe.
+	// Throughput probe, with telemetry attached so the perf artifact embeds
+	// the same campaign document psharp-test -report-out writes.
+	tel := sct.NewTelemetry(0)
 	so := sct.Options{
 		Strategy:   sct.NewRandom(o.Seed),
 		Iterations: o.Iterations,
 		MaxSteps:   b.MaxSteps,
+		Telemetry:  tel,
+	}
+	ccfg := sct.CampaignConfig{
+		Benchmark:  o.Benchmark,
+		Strategy:   "random",
+		Workers:    o.Workers,
+		Dynamic:    o.Dynamic,
+		Iterations: o.Iterations,
+		MaxSteps:   b.MaxSteps,
+		Seed:       o.Seed,
 	}
 	if o.Workers > 1 {
 		prep := sct.RunParallel(b.Setup, sct.ParallelOptions{
@@ -179,13 +256,75 @@ func RunPerfProbe(o PerfProbeOptions) (PerfReport, error) {
 		for _, w := range prep.Workers {
 			rep.WorkerIterations = append(rep.WorkerIterations, w.Report.Iterations)
 		}
+		rep.Campaign = sct.NewCampaign(ccfg, &prep.Report, prep.Workers, tel)
 	} else {
 		r := sct.Run(b.Setup, so)
 		rep.SchedulesPerSec = r.SchedulesPerSecond()
 		rep.TotalSchedulingPoints = r.TotalSchedulingPoints
 		rep.WorkerIterations = []int{r.Iterations}
+		rep.Campaign = sct.NewCampaign(ccfg, &r, nil, tel)
 	}
 	return rep, nil
+}
+
+// probeTelemetryOverhead runs the same budget through sct.Run twice — with
+// and without a Telemetry accumulator — and reports allocations per
+// iteration for each. The per-run fixed cost (harness construction, first
+// iterations) is identical on both sides, so the delta isolates what the
+// observability layer spends.
+func probeTelemetryOverhead(o PerfProbeOptions, setup func(*psharp.Runtime), maxSteps int) TelemetryOverheadProbe {
+	iters := 8 * o.AllocRuns
+	measure := func(tel *sct.Telemetry) float64 {
+		run := func() {
+			sct.Run(setup, sct.Options{
+				Strategy:   sct.NewRandom(o.Seed),
+				Iterations: iters,
+				MaxSteps:   maxSteps,
+				Telemetry:  tel,
+			})
+		}
+		run() // warm global pools before measuring
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		run()
+		runtime.ReadMemStats(&after)
+		return float64(after.Mallocs-before.Mallocs) / float64(iters)
+	}
+	p := TelemetryOverheadProbe{Workload: o.Benchmark}
+	p.Plain = measure(nil)
+	p.Telemetry = measure(sct.NewTelemetry(0))
+	p.DeltaAllocs = p.Telemetry - p.Plain
+	return p
+}
+
+// probeInterpCoverage executes every non-racy Table 1 benchmark under the
+// interpreter for seeds random schedules each, with coverage attached, and
+// aggregates covered vs declared machine transitions across the corpus.
+// Coverage is accumulated per program, not globally, because machine and
+// state names repeat across benchmarks.
+func probeInterpCoverage(seeds int) (InterpCoverageProbe, error) {
+	p := InterpCoverageProbe{Seeds: seeds}
+	for _, b := range benchsrc.All() {
+		prog, err := benchsrc.Source(b.Name, false)
+		if err != nil {
+			return p, err
+		}
+		var cov obs.StateEventCoverage
+		for seed := uint64(1); seed <= uint64(seeds); seed++ {
+			out := interp.Run(prog, prog.Machines[0].Name, interp.Options{Seed: seed, Coverage: &cov})
+			if out.Err != nil {
+				return p, fmt.Errorf("tables: interp coverage: %s seed %d: %w", b.Name, seed, out.Err)
+			}
+		}
+		p.Benchmarks++
+		p.DeclaredTransitions += interp.DeclaredTransitions(prog)
+		p.CoveredTransitions += cov.Distinct()
+	}
+	if p.DeclaredTransitions > 0 {
+		p.CoveredPercent = 100 * float64(p.CoveredTransitions) / float64(p.DeclaredTransitions)
+	}
+	return p, nil
 }
 
 // WritePerfReport writes rep as indented JSON to path (the BENCH_sct.json

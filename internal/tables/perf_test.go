@@ -50,6 +50,34 @@ func TestRunPerfProbe(t *testing.T) {
 			proto.Workload, proto.Pooled, proto.OneShot)
 	}
 
+	if rep.Env.GoVersion == "" || rep.Env.NumCPU == 0 || rep.Env.Timestamp == "" {
+		t.Errorf("missing environment metadata: %+v", rep.Env)
+	}
+	// The telemetry-overhead gate: attaching an accumulator may cost at most
+	// MaxTelemetryDeltaAllocs allocations per iteration.
+	if rep.TelemetryProbe.DeltaAllocs > MaxTelemetryDeltaAllocs {
+		t.Errorf("telemetry adds %.2f allocs/iteration (plain %.1f vs telemetry %.1f), budget %.0f",
+			rep.TelemetryProbe.DeltaAllocs, rep.TelemetryProbe.Plain,
+			rep.TelemetryProbe.Telemetry, MaxTelemetryDeltaAllocs)
+	}
+	ic := rep.InterpCoverage
+	if ic.Benchmarks != 13 {
+		t.Errorf("interp coverage ran %d benchmarks, want the 13 Table 1 programs", ic.Benchmarks)
+	}
+	if ic.CoveredTransitions == 0 || ic.DeclaredTransitions == 0 ||
+		ic.CoveredTransitions > int64(ic.DeclaredTransitions) {
+		t.Errorf("degenerate interp coverage: %+v", ic)
+	}
+	if rep.Campaign == nil {
+		t.Fatal("perf report missing embedded campaign")
+	}
+	if rep.Campaign.Telemetry == nil || len(rep.Campaign.Telemetry.GrowthCurve) == 0 {
+		t.Error("embedded campaign missing telemetry growth curve")
+	}
+	if rep.Campaign.Result.Iterations != rep.Iterations {
+		t.Errorf("campaign iterations = %d, want %d", rep.Campaign.Result.Iterations, rep.Iterations)
+	}
+
 	path := filepath.Join(t.TempDir(), "BENCH_sct.json")
 	if err := WritePerfReport(path, rep); err != nil {
 		t.Fatal(err)

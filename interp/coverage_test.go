@@ -1,0 +1,85 @@
+package interp
+
+import (
+	"testing"
+
+	"github.com/psharp-go/psharp/obs"
+)
+
+const coverageSrc = `
+event eReq;
+event eAck;
+event eNever;
+
+machine main_m {
+	start state Boot {
+		entry {
+			var w: machine;
+			w := create worker();
+			send w, eReq;
+		}
+	}
+}
+
+machine worker {
+	start state Waiting {
+		on eReq do ack;
+		on eNever do ack;
+		on eAck goto Done;
+	}
+	method ack() { raise eAck; }
+	state Done {
+	}
+}
+
+monitor resp_m {
+	start cold state Idle {
+		on eReq goto Pending;
+	}
+	hot state Pending {
+		on eAck goto Idle;
+	}
+}
+`
+
+// TestInterpCoverage checks .psl state-transition coverage: dispatched
+// transitions are recorded — including the raised-event goto that bypasses
+// the normal dispatch path — never-exercised bindings and monitor
+// observations are not, and DeclaredTransitions counts the machine-side
+// denominator.
+func TestInterpCoverage(t *testing.T) {
+	prog := load(t, coverageSrc)
+	if got := DeclaredTransitions(prog); got != 3 {
+		t.Fatalf("DeclaredTransitions = %d, want 3 (monitor bindings excluded)", got)
+	}
+	var cov obs.StateEventCoverage
+	out := Run(prog, "main_m", Options{Seed: 1, Coverage: &cov})
+	if out.Err != nil {
+		t.Fatalf("run: %v", out.Err)
+	}
+	if !out.Quiescent {
+		t.Fatal("did not quiesce")
+	}
+	if got := cov.Distinct(); got != 2 {
+		t.Fatalf("distinct = %d, want 2 (%+v)", got, cov.Snapshot())
+	}
+	want := []obs.Transition{
+		{Machine: "worker", State: "Waiting", Event: "eAck"},
+		{Machine: "worker", State: "Waiting", Event: "eReq"},
+	}
+	snap := cov.Snapshot()
+	for i, w := range want {
+		if snap[i].Transition != w {
+			t.Fatalf("transition[%d] = %+v, want %+v", i, snap[i].Transition, w)
+		}
+	}
+}
+
+// TestInterpCoverageDisabled checks the nil-coverage fast path still runs.
+func TestInterpCoverageDisabled(t *testing.T) {
+	prog := load(t, coverageSrc)
+	out := Run(prog, "main_m", Options{Seed: 1})
+	if out.Err != nil || !out.Quiescent {
+		t.Fatalf("run without coverage: err=%v quiescent=%v", out.Err, out.Quiescent)
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"github.com/psharp-go/psharp/internal/vclock"
 	"github.com/psharp-go/psharp/lang"
+	"github.com/psharp-go/psharp/obs"
 )
 
 // Value is a runtime value: int64, bool, Ref, MachineID, or Null.
@@ -100,6 +101,13 @@ type Options struct {
 	MaxSteps int
 	// RaceDetect runs the happens-before detector over all field accesses.
 	RaceDetect bool
+	// Coverage, if non-nil, accumulates .psl state-transition coverage:
+	// every (machine, state, event) transition or action binding the run
+	// dispatches is recorded into it. Monitor dispatches are observations,
+	// not program transitions, and are not recorded. The set is safe for
+	// concurrent use, so many seeds can share one — DeclaredTransitions
+	// gives the denominator for a coverage ratio.
+	Coverage *obs.StateEventCoverage
 }
 
 // Outcome reports a run.
@@ -136,6 +144,7 @@ type Interp struct {
 	monitors []*machineInst // id -1: observers, not schedulable machines
 	sched    Scheduler
 	det      *vclock.Detector
+	cover    *obs.StateEventCoverage
 	steps    int
 }
 
@@ -153,7 +162,7 @@ func IsAssertion(err error) bool {
 // Run instantiates one instance of the named main machine and executes the
 // system until quiescence, an error, or the step bound.
 func Run(prog *lang.Program, main string, opts Options) Outcome {
-	in := &Interp{prog: prog, schemas: schemasFor(prog)}
+	in := &Interp{prog: prog, schemas: schemasFor(prog), cover: opts.Coverage}
 	if opts.Scheduler != nil {
 		in.sched = opts.Scheduler
 	} else {
@@ -372,8 +381,10 @@ func (in *Interp) dispatch(m *machineInst) error {
 func (in *Interp) handle(m *machineInst, event string, payload Value) error {
 	switch e := m.state.dispatch[event]; e.kind {
 	case dispatchGoto:
+		in.coverHit(m, event)
 		return in.gotoState(m, e.target, payload)
 	case dispatchDo:
+		in.coverHit(m, event)
 		meth := e.method
 		locals := make(map[string]Value)
 		if len(meth.Params) == 1 {
@@ -432,12 +443,38 @@ func (in *Interp) runBlock(m *machineInst, body []lang.Stmt, locals map[string]V
 			m.queue = append(m.queue, message{event: r.event, payload: r.payload})
 			return nil
 		case dispatchGoto:
+			// This goto bypasses handle, so it records its own coverage hit.
+			in.coverHit(m, r.event)
 			return in.gotoState(m, e.target, r.payload)
 		default:
 			return in.handle(m, r.event, r.payload)
 		}
 	}
 	return nil
+}
+
+// coverHit records one dispatched transition into the attached coverage
+// set. Monitors (id -1) are observers, not program machines, and are
+// skipped.
+func (in *Interp) coverHit(m *machineInst, event string) {
+	if in.cover == nil || m.id < 0 {
+		return
+	}
+	in.cover.Hit(m.decl.Name, m.state.decl.Name, event)
+}
+
+// DeclaredTransitions counts the (state, event) transition and action
+// bindings declared across prog's machines — the denominator for a
+// state-transition coverage ratio over Options.Coverage. Monitor
+// declarations are excluded, matching what coverage records.
+func DeclaredTransitions(prog *lang.Program) int {
+	n := 0
+	for _, md := range prog.Machines {
+		for _, sd := range md.States {
+			n += len(sd.OnDo) + len(sd.OnGoto)
+		}
+	}
+	return n
 }
 
 // frame is one activation record: the machine (for this/fields) plus local

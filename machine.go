@@ -310,8 +310,14 @@ func (m *machineInstance) handleEvent(ev Event) *Bug {
 		m.rt.enqueue(m.id, ev, m.id, false)
 		return nil
 	case dispatchAction:
+		if cov := m.rt.cover; cov != nil {
+			cov.Hit(m.id.Type, m.state, disp.event)
+		}
 		return m.execute(disp.action, disp.maction, ev)
 	case dispatchGoto:
+		if cov := m.rt.cover; cov != nil {
+			cov.Hit(m.id.Type, m.state, disp.event)
+		}
 		return m.gotoState(disp.target, ev)
 	default:
 		return &Bug{Kind: BugPanic, Machine: m.id, State: m.state, Message: "corrupt dispatch table"}

@@ -1,0 +1,51 @@
+package psharp
+
+import "github.com/psharp-go/psharp/obs"
+
+// RuntimeMetrics are the runtime's always-on operational counters: every
+// field is a fixed-size atomic from the obs package, so recording costs one
+// atomic op and never allocates — cheap enough to leave on in production
+// and under the allocation-capped testing hot path alike.
+type RuntimeMetrics struct {
+	// Sends counts events successfully enqueued (machine sends, environment
+	// sends, and internal re-queues of deferred raised events).
+	Sends obs.Counter
+	// DroppedSends counts events discarded because the target had halted.
+	DroppedSends obs.Counter
+	// MonitorDispatches counts (event, monitor) observation dispatches.
+	MonitorDispatches obs.Counter
+	// Creates counts machine instances created.
+	Creates obs.Counter
+	// MailboxMax is the high-water mark of any machine's queue depth.
+	MailboxMax obs.MaxGauge
+}
+
+// RuntimeMetricsSnapshot is the JSON-friendly view of RuntimeMetrics.
+type RuntimeMetricsSnapshot struct {
+	Sends             int64 `json:"sends"`
+	DroppedSends      int64 `json:"dropped_sends"`
+	MonitorDispatches int64 `json:"monitor_dispatches"`
+	Creates           int64 `json:"creates"`
+	MailboxMax        int64 `json:"mailbox_max"`
+}
+
+// Metrics snapshots the runtime's operational counters. Under a TestHarness
+// the counters accumulate across recycled iterations, so the snapshot
+// describes the whole campaign, not the last schedule.
+func (r *Runtime) Metrics() RuntimeMetricsSnapshot {
+	return RuntimeMetricsSnapshot{
+		Sends:             r.metrics.Sends.Load(),
+		DroppedSends:      r.metrics.DroppedSends.Load(),
+		MonitorDispatches: r.metrics.MonitorDispatches.Load(),
+		Creates:           r.metrics.Creates.Load(),
+		MailboxMax:        r.metrics.MailboxMax.Load(),
+	}
+}
+
+// WithCoverage attaches a state-transition coverage set to a production
+// runtime: every handled (machine type, state, event) dispatch is recorded
+// into it. Bug-finding iterations attach coverage via TestConfig.Coverage
+// instead, so one set can accumulate across a whole exploration campaign.
+func WithCoverage(cov *obs.StateEventCoverage) Option {
+	return func(r *Runtime) { r.cover = cov }
+}

@@ -1,0 +1,89 @@
+package psharp_test
+
+import (
+	"testing"
+
+	"github.com/psharp-go/psharp"
+	"github.com/psharp-go/psharp/obs"
+	"github.com/psharp-go/psharp/sct"
+)
+
+// TestCoverageRecordsDispatchedTransitions checks that a coverage set
+// attached via TestConfig.Coverage accumulates the (machine, state, event)
+// triples that bug-finding iterations actually dispatch.
+func TestCoverageRecordsDispatchedTransitions(t *testing.T) {
+	var cov obs.StateEventCoverage
+	dfs := sct.NewDFS()
+	dfs.PrepareIteration(0)
+	res := psharp.RunTest(func(r *psharp.Runtime) {
+		r.MustRegister("Gate", func() psharp.Machine {
+			return psharp.MachineFunc(func(sc *psharp.Schema) {
+				sc.Start("Closed").
+					OnEventGoto(&evB{}, "Open")
+				sc.State("Open").
+					OnEventDo(&evA{}, func(ctx *psharp.Context, ev psharp.Event) {})
+			})
+		})
+		id := r.MustCreate("Gate", nil)
+		mustSend(t, r, id, &evB{})
+		mustSend(t, r, id, &evA{})
+	}, psharp.TestConfig{Strategy: dfs, MaxSteps: 10000, Coverage: &cov})
+	if res.Bug != nil {
+		t.Fatalf("bug: %v", res.Bug)
+	}
+	if got := cov.Distinct(); got != 2 {
+		t.Fatalf("distinct transitions = %d, want 2 (%+v)", got, cov.Snapshot())
+	}
+	snap := cov.Snapshot()
+	want := []obs.Transition{
+		{Machine: "Gate", State: "Closed", Event: "evB"},
+		{Machine: "Gate", State: "Open", Event: "evA"},
+	}
+	for i, w := range want {
+		if snap[i].Transition != w {
+			t.Fatalf("transition[%d] = %+v, want %+v", i, snap[i].Transition, w)
+		}
+		if snap[i].Count != 1 {
+			t.Fatalf("transition[%d] count = %d, want 1", i, snap[i].Count)
+		}
+	}
+}
+
+// TestProductionRuntimeMetrics checks the always-on operational counters of
+// a production-mode runtime, plus WithCoverage.
+func TestProductionRuntimeMetrics(t *testing.T) {
+	var cov obs.StateEventCoverage
+	r := psharp.NewRuntime(psharp.WithCoverage(&cov))
+	handled := make(chan struct{}, 8)
+	r.MustRegister("Sink", func() psharp.Machine {
+		return psharp.MachineFunc(func(sc *psharp.Schema) {
+			sc.Start("S").
+				OnEventDo(&evA{}, func(ctx *psharp.Context, ev psharp.Event) { handled <- struct{}{} }).
+				OnEventGoto(&evB{}, "Done")
+			sc.State("Done")
+		})
+	})
+	id := r.MustCreate("Sink", nil)
+	for i := 0; i < 3; i++ {
+		if err := r.SendEvent(id, &evA{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Wait(); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	m := r.Metrics()
+	if m.Creates != 1 {
+		t.Fatalf("creates = %d, want 1", m.Creates)
+	}
+	if m.Sends != 3 {
+		t.Fatalf("sends = %d, want 3", m.Sends)
+	}
+	if m.MailboxMax < 1 {
+		t.Fatalf("mailbox max = %d, want >= 1", m.MailboxMax)
+	}
+	if got := cov.Distinct(); got != 1 {
+		t.Fatalf("distinct transitions = %d, want 1 (%+v)", got, cov.Snapshot())
+	}
+	r.Stop()
+}

@@ -308,6 +308,7 @@ func (r *Runtime) observeMonitors(ev Event) {
 	} else if len(r.monitors) == 0 {
 		return
 	}
+	r.metrics.MonitorDispatches.Add(int64(len(r.monitors)))
 	for _, mon := range r.monitors {
 		if bug := mon.observe(ev); bug != nil {
 			r.monitorFailure(bug)

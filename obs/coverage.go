@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Transition identifies one (machine type, machine state, event) triple —
+// the unit of state-transition coverage: a triple is covered once some
+// execution actually dispatched that event in that state of that machine
+// type.
+type Transition struct {
+	Machine string `json:"machine"`
+	State   string `json:"state"`
+	Event   string `json:"event"`
+}
+
+// StateEventCoverage is a concurrent set of exercised transitions with a
+// hit count per transition. The hot path (Hit) is allocation-free in steady
+// state: each new triple is interned exactly once under the write lock, and
+// every later hit takes the read lock, one map lookup with a comparable
+// struct key (no boxing, no string building), and one atomic add. The zero
+// value is ready to use.
+type StateEventCoverage struct {
+	mu       sync.RWMutex
+	index    map[Transition]int
+	counts   []*atomic.Int64
+	distinct atomic.Int64
+}
+
+// Hit records one dispatch of event in (machine, state).
+func (c *StateEventCoverage) Hit(machine, state, event string) {
+	k := Transition{Machine: machine, State: state, Event: event}
+	c.mu.RLock()
+	if i, ok := c.index[k]; ok {
+		// The add happens under the read lock so the counts slice cannot be
+		// swapped out from under it by a concurrent intern.
+		c.counts[i].Add(1)
+		c.mu.RUnlock()
+		return
+	}
+	c.mu.RUnlock()
+	c.intern(k)
+}
+
+// intern registers a first-seen transition (the only allocating path).
+func (c *StateEventCoverage) intern(k Transition) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i, ok := c.index[k]; ok {
+		c.counts[i].Add(1) // another goroutine interned it first
+		return
+	}
+	if c.index == nil {
+		c.index = make(map[Transition]int)
+	}
+	n := new(atomic.Int64)
+	n.Store(1)
+	c.index[k] = len(c.counts)
+	c.counts = append(c.counts, n)
+	c.distinct.Add(1)
+}
+
+// Distinct returns the number of distinct transitions covered so far. It is
+// a single atomic load, cheap enough for per-sample curve points.
+func (c *StateEventCoverage) Distinct() int64 { return c.distinct.Load() }
+
+// TransitionCount is one covered transition with its hit count.
+type TransitionCount struct {
+	Transition
+	Count int64 `json:"count"`
+}
+
+// Snapshot returns all covered transitions sorted by (machine, state,
+// event). It allocates and sorts, so call it off the measured path.
+func (c *StateEventCoverage) Snapshot() []TransitionCount {
+	c.mu.RLock()
+	out := make([]TransitionCount, 0, len(c.index))
+	for k, i := range c.index {
+		out = append(out, TransitionCount{Transition: k, Count: c.counts[i].Load()})
+	}
+	c.mu.RUnlock()
+	sort.Slice(out, func(a, b int) bool {
+		x, y := out[a], out[b]
+		if x.Machine != y.Machine {
+			return x.Machine < y.Machine
+		}
+		if x.State != y.State {
+			return x.State < y.State
+		}
+		return x.Event < y.Event
+	})
+	return out
+}

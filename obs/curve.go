@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Curve is a time-bucketed growth tracker: it records how a handful of
+// cumulative metrics (iterations, distinct schedules, transitions covered,
+// ...) grow over wall-clock time, in bounded memory. Samples are taken at
+// most once per bucket interval; when the point store fills up, every other
+// point is dropped and the interval doubles, so an arbitrarily long
+// campaign keeps a bounded, evenly thinned curve.
+//
+// The intended hot-path use is: call Due (one atomic load and a compare)
+// every iteration, and only call Sample — which takes the lock and may
+// allocate — when Due reports a bucket boundary has been crossed.
+type Curve struct {
+	mu       sync.Mutex
+	interval time.Duration
+	max      int
+	points   []CurvePoint
+	nextAt   atomic.Int64 // elapsed nanoseconds of the next due sample
+}
+
+// CurvePoint is one sample: the cumulative metric values at Elapsed since
+// the run started.
+type CurvePoint struct {
+	Elapsed time.Duration
+	Values  []int64
+}
+
+// NewCurve returns a curve sampling at most once per interval, retaining at
+// most maxPoints points before it starts thinning. Non-positive arguments
+// select 5ms and 512.
+func NewCurve(interval time.Duration, maxPoints int) *Curve {
+	if interval <= 0 {
+		interval = 5 * time.Millisecond
+	}
+	if maxPoints <= 0 {
+		maxPoints = 512
+	}
+	c := &Curve{interval: interval, max: maxPoints}
+	c.nextAt.Store(int64(interval))
+	return c
+}
+
+// Due reports whether the next bucket boundary has been crossed; it is the
+// allocation-free fast path meant to be polled every iteration.
+func (c *Curve) Due(elapsed time.Duration) bool {
+	return int64(elapsed) >= c.nextAt.Load()
+}
+
+// Sample records the cumulative values at elapsed if the current bucket is
+// still unsampled (concurrent workers race to a boundary; the first one in
+// wins and the rest return without recording). Pass force to append
+// unconditionally — used for the final point of a run.
+func (c *Curve) Sample(elapsed time.Duration, force bool, values ...int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !force && int64(elapsed) < c.nextAt.Load() {
+		return
+	}
+	c.points = append(c.points, CurvePoint{Elapsed: elapsed, Values: values})
+	if len(c.points) >= c.max {
+		c.thin()
+	}
+	next := c.nextAt.Load()
+	for next <= int64(elapsed) {
+		next += int64(c.interval)
+	}
+	c.nextAt.Store(next)
+}
+
+// thin halves the stored points (keeping the later of each pair, since the
+// metrics are cumulative) and doubles the interval.
+func (c *Curve) thin() {
+	kept := c.points[:0]
+	for i := 1; i < len(c.points); i += 2 {
+		kept = append(kept, c.points[i])
+	}
+	c.points = kept
+	c.interval *= 2
+}
+
+// Points returns a copy of the recorded curve in time order.
+func (c *Curve) Points() []CurvePoint {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CurvePoint, len(c.points))
+	copy(out, c.points)
+	return out
+}

@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// ServeDebug starts an HTTP debug endpoint on addr serving:
+//
+//	/debug/vars      expvar-style JSON produced by vars()
+//	/debug/pprof/    the standard runtime profiles
+//
+// It uses its own ServeMux (nothing leaks onto http.DefaultServeMux) and
+// returns the bound listener address — useful when addr requests port 0 —
+// plus a shutdown func. The vars func is called per request, so it should
+// return a fresh snapshot each time; long campaigns can be inspected live
+// without perturbing the measured run.
+func ServeDebug(addr string, vars func() any) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(vars())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// Env captures the execution environment of a measurement run so that
+// successive report snapshots are comparable across machines and toolchain
+// upgrades.
+type Env struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Timestamp  string `json:"timestamp"`
+}
+
+// CaptureEnv snapshots the current environment. The timestamp is UTC
+// RFC 3339.
+func CaptureEnv() Env {
+	return Env{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"github.com/psharp-go/psharp/internal/vclock"
+	"github.com/psharp-go/psharp/obs"
 )
 
 // Runtime executes P# programs (paper Section 6.1). It keeps the registry
@@ -53,6 +54,14 @@ type Runtime struct {
 	monCount atomic.Int32
 
 	test *controller // non-nil in bug-finding mode
+
+	// metrics are the always-on operational counters (see metrics.go); all
+	// fields are atomics, so recording needs no lock and never allocates.
+	metrics RuntimeMetrics
+	// cover, when non-nil, records every handled (machine type, state,
+	// event) dispatch. Set by WithCoverage in production mode and by
+	// TestConfig.Coverage per bug-finding iteration.
+	cover *obs.StateEventCoverage
 
 	// Production-mode accounting: busy counts outstanding units of work
 	// (queued events and machine initializations); Wait blocks until it
@@ -226,6 +235,7 @@ func (r *Runtime) create(machineType string, payload Event, creator *machineInst
 	r.machines = append(r.machines, m)
 	r.mu.Unlock()
 
+	r.metrics.Creates.Inc()
 	if r.logging() {
 		r.logf("created %s", id)
 	}
@@ -301,6 +311,7 @@ func (r *Runtime) enqueue(target MachineID, ev Event, sender MachineID, isMachin
 	m.mu.Lock()
 	if m.halted {
 		m.mu.Unlock()
+		r.metrics.DroppedSends.Inc()
 		if r.logging() {
 			r.logf("dropped %s to halted %s", eventName(ev), target)
 		}
@@ -313,8 +324,11 @@ func (r *Runtime) enqueue(target MachineID, ev Event, sender MachineID, isMachin
 		}
 		r.mu.Unlock()
 		m.queue = append(m.queue, envelope{event: ev, sender: sender, clock: clock, seq: seq})
+		depth := int64(len(m.queue))
 		m.cond.Signal()
 		m.mu.Unlock()
+		r.metrics.Sends.Inc()
+		r.metrics.MailboxMax.Observe(depth)
 		if r.logging() {
 			r.logf("%s -> %s: %s", sender, target, eventName(ev))
 		}

@@ -109,6 +109,9 @@ type dispatchEntry struct {
 	target  string        // goto target state
 	action  Action        // closure-form bound action (dispatchAction)
 	maction MachineAction // static-form bound action (dispatchAction)
+	// event is the bound event type's display name, resolved once at bind
+	// time so coverage recording never pays per-dispatch reflection.
+	event string
 }
 
 // handlerBinding is one (event type -> dispatch) binding of a state. States
@@ -325,6 +328,7 @@ func (b *StateBuilder) bind(proto Event, e dispatchEntry) {
 		b.schema.err("state %q: event %s bound more than once", b.state.name, eventName(proto))
 		return
 	}
+	e.event = eventName(proto)
 	b.state.handlers = append(b.state.handlers, handlerBinding{key: key, entry: e})
 }
 

@@ -101,6 +101,41 @@
 // against the schema cache), schema_cache_probe comparing the same
 // protocol with the cache on vs off (per-instance rebuilds, the closure
 // form's cost), monitor_overhead_probe comparing the protocol with its
-// specification monitors attached vs plain, and worker_iterations showing
-// the per-worker split (uneven under Dynamic).
+// specification monitors attached vs plain, telemetry_overhead_probe
+// comparing allocs/iteration with a Telemetry accumulator attached vs
+// without (its delta is capped at 3), and worker_iterations showing the
+// per-worker split (uneven under Dynamic).
+//
+// # Observability
+//
+// The engine exposes campaign measurement at three granularities, all built
+// on the obs package's allocation-conscious primitives so the performance
+// model above survives with them enabled:
+//
+//   - Progress snapshots: Options.Progress receives a typed Progress value
+//     every ProgressEvery iterations of each worker, serialized behind a
+//     run-wide mutex. Snapshots carry global counters (iterations, buggy,
+//     distinct fingerprints against the global budget) so they report true
+//     campaign progress even under Dynamic work stealing. ProgressText
+//     renders a human line; ProgressJSONL a machine-readable stream.
+//
+//   - Telemetry: Options.Telemetry accumulates, across every worker of a
+//     run, the distribution of schedule depths (a fixed 64-bucket
+//     power-of-two histogram over scheduling points per iteration),
+//     state-transition coverage — the distinct (machine type, state, event)
+//     triples the explored schedules actually dispatched, interned once and
+//     then counted with an atomic add per hit — a census of buggy
+//     iterations by bug kind, and a growth curve sampling iterations,
+//     distinct schedule fingerprints, and covered transitions against
+//     wall-clock time (bounded points; the interval doubles and the curve
+//     thins when it fills). Recording happens between iterations and is
+//     allocation-free in steady state; Telemetry.Snapshot is the
+//     allocating, read-only view and is safe against a live run, which is
+//     what psharp-test's -http debug endpoint serves.
+//
+//   - Campaign reports: NewCampaign assembles a versioned (CampaignVersion)
+//     JSON document from a finished run — environment metadata, the merged
+//     result, a per-strategy breakdown of portfolio workers, and the
+//     telemetry snapshot with its coverage-growth curve. psharp-test
+//     -report-out writes one; psharp-bench embeds them per benchmark.
 package sct

@@ -2,7 +2,6 @@ package sct
 
 import (
 	"fmt"
-	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -64,11 +63,19 @@ type Options struct {
 	RaceDetect bool
 	// RaceAsBug ends an iteration when a race is detected.
 	RaceAsBug bool
-	// Progress, if non-nil, receives a line every ProgressEvery iterations.
-	// Under RunParallel the writer is serialized behind a mutex and each
-	// line carries the reporting worker's id.
-	Progress      io.Writer
+	// Progress, if non-nil, receives a typed Progress snapshot every
+	// ProgressEvery iterations of each worker (ProgressEvery <= 0 disables
+	// emission). Calls are serialized behind a run-wide mutex, so one
+	// ProgressFunc safely serves every RunParallel worker. ProgressText and
+	// ProgressJSONL adapt it back to an io.Writer.
+	Progress      ProgressFunc
 	ProgressEvery int
+	// Telemetry, if non-nil, accumulates campaign metrics — depth
+	// histograms, state-transition coverage, bug census, and growth curves
+	// over wall-clock time — across every iteration and worker of the run.
+	// One accumulator can also be shared across runs (psharp-bench reuses
+	// one per benchmark variant).
+	Telemetry *Telemetry
 }
 
 // Report aggregates an engine run; its fields correspond to the columns of
@@ -165,16 +172,24 @@ func (s *raceSet) addAll(races []string) {
 // sequential Run is the one-worker special case.
 type shared struct {
 	opts     Options
+	start    time.Time
 	deadline time.Time // zero when Timeout is unset
+	// workers is the run's worker count (1 for sequential Run), reported in
+	// progress snapshots.
+	workers int
 
 	// stop is the cooperative cancellation flag: StopOnFirstBug, the hard
 	// deadline, and external aborts set it; workers poll it between
 	// iterations and (via TestConfig.Interrupt) at every scheduling point.
 	stop atomic.Bool
 
-	// iterations counts explored schedules across all workers, for
-	// progress reporting.
+	// iterations, buggy and distinct count campaign-wide explored, buggy,
+	// and distinct-fingerprint schedules across all workers; progress
+	// snapshots and telemetry growth curves read them so they always report
+	// global campaign state, not one worker's slice of it.
 	iterations atomic.Int64
+	buggy      atomic.Int64
+	distinct   atomic.Int64
 
 	// budget and ticket implement work-stealing (ParallelOptions.Dynamic):
 	// dynamic workers claim global iteration tickets from the shared counter
@@ -189,11 +204,33 @@ type shared struct {
 }
 
 func newShared(opts Options, start time.Time) *shared {
-	sh := &shared{opts: opts, budget: opts.Iterations}
+	sh := &shared{opts: opts, start: start, workers: 1, budget: opts.Iterations}
 	if opts.Timeout > 0 {
 		sh.deadline = start.Add(opts.Timeout)
 	}
+	if opts.Telemetry != nil {
+		opts.Telemetry.begin(start)
+	}
 	return sh
+}
+
+// emitProgress builds a campaign-wide progress snapshot and hands it to the
+// configured ProgressFunc, serialized across workers.
+func (sh *shared) emitProgress(w *worker, workerIters int) {
+	p := Progress{
+		Worker:           w.id,
+		Workers:          sh.workers,
+		Strategy:         w.label,
+		WorkerIterations: workerIters,
+		Iterations:       sh.iterations.Load(),
+		Budget:           sh.budget,
+		Buggy:            sh.buggy.Load(),
+		Distinct:         sh.distinct.Load(),
+		Elapsed:          time.Since(sh.start),
+	}
+	sh.progressMu.Lock()
+	sh.opts.Progress(p)
+	sh.progressMu.Unlock()
 }
 
 // expired reports whether the hard deadline has passed.
@@ -260,6 +297,9 @@ func runWorker(setup func(*psharp.Runtime), sh *shared, w worker) Report {
 		RaceAsBug:           opts.RaceAsBug,
 		Interrupt:           interrupt,
 	}
+	if opts.Telemetry != nil {
+		cfg.Coverage = opts.Telemetry.Coverage()
+	}
 	for local := 0; ; local++ {
 		if interrupt() {
 			break
@@ -285,7 +325,7 @@ func runWorker(setup func(*psharp.Runtime), sh *shared, w worker) Report {
 			break // partial schedule: not counted
 		}
 		rep.Iterations++
-		total := sh.iterations.Add(1)
+		sh.iterations.Add(1)
 		rep.TotalSchedulingPoints += int64(res.SchedulingPoints)
 		if res.SchedulingPoints > rep.MaxSchedulingPoints {
 			rep.MaxSchedulingPoints = res.SchedulingPoints
@@ -298,10 +338,12 @@ func runWorker(setup func(*psharp.Runtime), sh *shared, w worker) Report {
 		}
 		if sh.fingerprints.insert(fingerprintTrace(res.Trace)) {
 			rep.DistinctSchedules++
+			sh.distinct.Add(1)
 		}
 		races.addAll(res.Races)
 		if res.Bug != nil {
 			rep.BuggyIterations++
+			sh.buggy.Add(1)
 			if rep.FirstBug == nil {
 				rep.FirstBug = res.Bug
 				rep.FirstBugIteration = global
@@ -309,20 +351,19 @@ func runWorker(setup func(*psharp.Runtime), sh *shared, w worker) Report {
 				rep.FirstBugTrace = res.Trace.Clone()
 			}
 			if opts.StopOnFirstBug {
+				if tel := opts.Telemetry; tel != nil {
+					tel.record(&res)
+				}
 				sh.stop.Store(true)
 				break
 			}
 		}
+		if tel := opts.Telemetry; tel != nil {
+			tel.record(&res)
+			tel.maybeSample(sh)
+		}
 		if opts.Progress != nil && opts.ProgressEvery > 0 && (local+1)%opts.ProgressEvery == 0 {
-			sh.progressMu.Lock()
-			if w.stride > 1 || w.id > 0 {
-				fmt.Fprintf(opts.Progress, "sct: [w%d] %d/%d schedules, %d buggy (%d total)\n",
-					w.id, local+1, w.quota, rep.BuggyIterations, total)
-			} else {
-				fmt.Fprintf(opts.Progress, "sct: %d/%d schedules, %d buggy\n",
-					local+1, w.quota, rep.BuggyIterations)
-			}
-			sh.progressMu.Unlock()
+			sh.emitProgress(&w, local+1)
 		}
 	}
 	rep.Races = races.list
@@ -347,6 +388,9 @@ func Run(setup func(*psharp.Runtime), opts Options) Report {
 	rep := runWorker(setup, sh, worker{
 		id: 0, strategy: opts.Strategy, offset: 0, stride: 1, quota: opts.Iterations,
 	})
+	if opts.Telemetry != nil {
+		opts.Telemetry.finish(sh)
+	}
 	rep.Elapsed = time.Since(start)
 	return rep
 }

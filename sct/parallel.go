@@ -104,15 +104,14 @@ func RunParallel(setup func(*psharp.Runtime), opts ParallelOptions) ParallelRepo
 			quota:    shardQuota(opts.Iterations, w, n),
 			dynamic:  opts.Dynamic,
 		}
-		if opts.Dynamic {
-			// quota only bounds the progress display; the shared ticket
-			// counter decides how much of the budget each worker executes.
-			workers[w].quota = opts.Iterations
-		}
+		// Dynamic workers ignore quota: the shared ticket counter decides how
+		// much of the budget each one executes, and progress snapshots always
+		// report the global iteration counter against the global budget.
 	}
 
 	start := time.Now()
 	sh := newShared(opts.Options, start)
+	sh.workers = n
 	out := ParallelReport{Workers: make([]WorkerReport, n)}
 	var wg sync.WaitGroup
 	for w := range workers {
@@ -128,6 +127,9 @@ func RunParallel(setup func(*psharp.Runtime), opts ParallelOptions) ParallelRepo
 	}
 	wg.Wait()
 
+	if opts.Telemetry != nil {
+		opts.Telemetry.finish(sh)
+	}
 	out.Report = mergeReports(out.Workers)
 	out.Report.DistinctSchedules = sh.fingerprints.size()
 	out.Report.Elapsed = time.Since(start)

@@ -257,7 +257,7 @@ func TestParallelProgressIsCoherent(t *testing.T) {
 			Strategy:      sct.NewRandom(3),
 			Iterations:    200,
 			MaxSteps:      1000,
-			Progress:      &buf,
+			Progress:      sct.ProgressText(&buf),
 			ProgressEvery: 10,
 		},
 		Workers: 4,

@@ -1,0 +1,134 @@
+package sct
+
+import (
+	"sync"
+	"time"
+
+	"github.com/psharp-go/psharp"
+	"github.com/psharp-go/psharp/obs"
+)
+
+// Telemetry accumulates exploration-campaign metrics across every iteration
+// and worker of a run: the distribution of schedule depths, state-transition
+// coverage (which machine-state × event pairs the explored schedules
+// actually exercised), a census of bug kinds, and a growth curve sampling
+// how iterations, distinct schedule fingerprints, and covered transitions
+// grow over wall-clock time.
+//
+// Attach one via Options.Telemetry. All recording is allocation-free in
+// steady state (atomics, an interned coverage set, and a time-bucketed
+// curve whose fast path is one atomic load), so the engine's allocation
+// caps hold with telemetry on; the overhead is gated by the
+// telemetry-overhead probe in BENCH_sct.json. Snapshot is safe to call
+// concurrently with a live run, which is what the -http debug endpoint
+// serves.
+type Telemetry struct {
+	coverage obs.StateEventCoverage
+	depth    obs.Histogram
+	curve    *obs.Curve
+
+	mu     sync.Mutex
+	census map[string]int64 // bug kind -> buggy iteration count
+
+	start time.Time
+}
+
+// NewTelemetry returns a telemetry accumulator whose growth curve samples
+// at most once per interval (non-positive selects 5ms, fine-grained enough
+// that even sub-second corpus runs record several buckets).
+func NewTelemetry(interval time.Duration) *Telemetry {
+	return &Telemetry{curve: obs.NewCurve(interval, 0)}
+}
+
+// Coverage exposes the campaign's state-transition coverage set, e.g. to
+// share it with a production runtime or inspect it mid-run.
+func (t *Telemetry) Coverage() *obs.StateEventCoverage { return &t.coverage }
+
+// begin stamps the run's start time; called by the engine.
+func (t *Telemetry) begin(start time.Time) { t.start = start }
+
+// record folds one finished iteration in; called by workers off the
+// scheduling hot path (between iterations).
+func (t *Telemetry) record(res *psharp.IterationResult) {
+	t.depth.Observe(int64(res.SchedulingPoints))
+	if res.Bug != nil {
+		kind := res.Bug.Kind.String()
+		t.mu.Lock()
+		if t.census == nil {
+			t.census = make(map[string]int64)
+		}
+		t.census[kind]++
+		t.mu.Unlock()
+	}
+}
+
+// maybeSample takes a growth-curve point if the current time bucket is due.
+// The not-due path is one atomic load, so workers poll it every iteration.
+func (t *Telemetry) maybeSample(sh *shared) {
+	elapsed := time.Since(t.start)
+	if !t.curve.Due(elapsed) {
+		return
+	}
+	t.sample(elapsed, false, sh)
+}
+
+// finish forces a final curve point so even runs shorter than one bucket
+// interval report their end state.
+func (t *Telemetry) finish(sh *shared) {
+	t.sample(time.Since(t.start), true, sh)
+}
+
+func (t *Telemetry) sample(elapsed time.Duration, force bool, sh *shared) {
+	t.curve.Sample(elapsed, force,
+		sh.iterations.Load(), sh.distinct.Load(), t.coverage.Distinct())
+}
+
+// GrowthPoint is one sample of the campaign growth curve.
+type GrowthPoint struct {
+	ElapsedMS          float64 `json:"elapsed_ms"`
+	Iterations         int64   `json:"iterations"`
+	DistinctSchedules  int64   `json:"distinct_schedules"`
+	CoveredTransitions int64   `json:"covered_transitions"`
+}
+
+// TelemetrySnapshot is the JSON-friendly view of a Telemetry accumulator.
+type TelemetrySnapshot struct {
+	// SchedulingPoints is the distribution of schedule depths (decisions per
+	// iteration) across the campaign.
+	SchedulingPoints obs.HistogramSnapshot `json:"scheduling_points"`
+	// CoveredTransitions counts distinct (machine, state, event) triples
+	// exercised; Coverage lists them with hit counts.
+	CoveredTransitions int64                 `json:"covered_transitions"`
+	Coverage           []obs.TransitionCount `json:"coverage,omitempty"`
+	// BugCensus counts buggy iterations by bug kind.
+	BugCensus map[string]int64 `json:"bug_census,omitempty"`
+	// GrowthCurve samples campaign progress over wall-clock time.
+	GrowthCurve []GrowthPoint `json:"growth_curve,omitempty"`
+}
+
+// Snapshot renders the accumulator's current state. It allocates and sorts,
+// and is safe to call concurrently with a live run (the debug endpoint
+// does), though a mid-run snapshot may be internally torn across metrics.
+func (t *Telemetry) Snapshot() *TelemetrySnapshot {
+	s := &TelemetrySnapshot{
+		SchedulingPoints:   t.depth.Snapshot(),
+		CoveredTransitions: t.coverage.Distinct(),
+		Coverage:           t.coverage.Snapshot(),
+	}
+	t.mu.Lock()
+	if len(t.census) > 0 {
+		s.BugCensus = make(map[string]int64, len(t.census))
+		for k, v := range t.census {
+			s.BugCensus[k] = v
+		}
+	}
+	t.mu.Unlock()
+	for _, p := range t.curve.Points() {
+		gp := GrowthPoint{ElapsedMS: float64(p.Elapsed) / float64(time.Millisecond)}
+		if len(p.Values) == 3 {
+			gp.Iterations, gp.DistinctSchedules, gp.CoveredTransitions = p.Values[0], p.Values[1], p.Values[2]
+		}
+		s.GrowthCurve = append(s.GrowthCurve, gp)
+	}
+	return s
+}

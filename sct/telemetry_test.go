@@ -1,0 +1,145 @@
+package sct_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/psharp-go/psharp/sct"
+)
+
+// TestTelemetryAccumulatesCampaignMetrics checks the full accumulator on a
+// sequential run: depth histogram, transition coverage, bug census, and a
+// growth curve with a forced final point.
+func TestTelemetryAccumulatesCampaignMetrics(t *testing.T) {
+	tel := sct.NewTelemetry(time.Millisecond)
+	rep := sct.Run(orderingBugSetup(), sct.Options{
+		Strategy:   sct.NewRandom(42),
+		Iterations: 300,
+		MaxSteps:   100,
+		Telemetry:  tel,
+	})
+	snap := tel.Snapshot()
+	if snap.SchedulingPoints.Count != int64(rep.Iterations) {
+		t.Fatalf("depth observations = %d, want %d", snap.SchedulingPoints.Count, rep.Iterations)
+	}
+	if snap.SchedulingPoints.Max != int64(rep.MaxSchedulingPoints) {
+		t.Fatalf("depth max = %d, want %d", snap.SchedulingPoints.Max, rep.MaxSchedulingPoints)
+	}
+	if snap.CoveredTransitions < 2 {
+		t.Fatalf("covered transitions = %d, want >= 2 (%+v)", snap.CoveredTransitions, snap.Coverage)
+	}
+	if int64(len(snap.Coverage)) != snap.CoveredTransitions {
+		t.Fatalf("coverage list length %d != distinct %d", len(snap.Coverage), snap.CoveredTransitions)
+	}
+	if rep.BuggyIterations > 0 {
+		var census int64
+		for _, n := range snap.BugCensus {
+			census += n
+		}
+		if census != int64(rep.BuggyIterations) {
+			t.Fatalf("bug census sums to %d, want %d (%v)", census, rep.BuggyIterations, snap.BugCensus)
+		}
+		if snap.BugCensus["assertion failure"] == 0 {
+			t.Fatalf("census missing assertion failures: %v", snap.BugCensus)
+		}
+	}
+	if len(snap.GrowthCurve) == 0 {
+		t.Fatal("no growth-curve points")
+	}
+	last := snap.GrowthCurve[len(snap.GrowthCurve)-1]
+	if last.Iterations != int64(rep.Iterations) {
+		t.Fatalf("final curve point iterations = %d, want %d", last.Iterations, rep.Iterations)
+	}
+	if last.DistinctSchedules != int64(rep.DistinctSchedules) {
+		t.Fatalf("final curve point distinct = %d, want %d", last.DistinctSchedules, rep.DistinctSchedules)
+	}
+	if last.CoveredTransitions != snap.CoveredTransitions {
+		t.Fatalf("final curve point coverage = %d, want %d", last.CoveredTransitions, snap.CoveredTransitions)
+	}
+}
+
+// TestTelemetryParallelMergesAcrossWorkers checks that one accumulator
+// shared by parallel workers records every iteration exactly once.
+func TestTelemetryParallelMergesAcrossWorkers(t *testing.T) {
+	tel := sct.NewTelemetry(time.Millisecond)
+	par := sct.RunParallel(fanInSetup(3), sct.ParallelOptions{
+		Options: sct.Options{
+			Strategy:   sct.NewRandom(7),
+			Iterations: 200,
+			MaxSteps:   1000,
+			Telemetry:  tel,
+		},
+		Workers: 4,
+	})
+	snap := tel.Snapshot()
+	if snap.SchedulingPoints.Count != int64(par.Iterations) {
+		t.Fatalf("depth observations = %d, want %d", snap.SchedulingPoints.Count, par.Iterations)
+	}
+	last := snap.GrowthCurve[len(snap.GrowthCurve)-1]
+	if last.Iterations != int64(par.Iterations) || last.DistinctSchedules != int64(par.DistinctSchedules) {
+		t.Fatalf("final curve point %+v disagrees with report (%d iters, %d distinct)",
+			last, par.Iterations, par.DistinctSchedules)
+	}
+}
+
+// TestCampaignReportRoundTrip builds a campaign report from a portfolio run,
+// writes it, and checks the decoded JSON carries the versioned schema, the
+// per-strategy breakdown, and a multi-bucket growth curve.
+func TestCampaignReportRoundTrip(t *testing.T) {
+	tel := sct.NewTelemetry(time.Millisecond)
+	pf, err := sct.ParsePortfolio("random,dfs", 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := sct.RunParallel(fanInSetup(3), sct.ParallelOptions{
+		Options: sct.Options{
+			Iterations: 200,
+			MaxSteps:   1000,
+			Telemetry:  tel,
+		},
+		Workers:   2,
+		Portfolio: pf,
+	})
+	cfg := sct.CampaignConfig{
+		Benchmark: "FanIn", Strategy: "portfolio[random,dfs]",
+		Workers: 2, Iterations: 200, MaxSteps: 1000,
+	}
+	c := sct.NewCampaign(cfg, &par.Report, par.Workers, tel)
+	if c.Version != sct.CampaignVersion {
+		t.Fatalf("version = %d, want %d", c.Version, sct.CampaignVersion)
+	}
+	if len(c.Strategies) != 2 {
+		t.Fatalf("strategy breakdowns = %d, want 2 (%+v)", len(c.Strategies), c.Strategies)
+	}
+	var total int
+	for _, b := range c.Strategies {
+		total += b.Iterations
+	}
+	if total != par.Iterations {
+		t.Fatalf("breakdown iterations sum to %d, want %d", total, par.Iterations)
+	}
+	path := filepath.Join(t.TempDir(), "campaign.json")
+	if err := c.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded sct.Campaign
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("campaign does not decode: %v", err)
+	}
+	if decoded.Env.GoVersion == "" || decoded.Env.NumCPU == 0 {
+		t.Fatalf("missing environment metadata: %+v", decoded.Env)
+	}
+	if decoded.Result.Iterations != par.Iterations {
+		t.Fatalf("result iterations = %d, want %d", decoded.Result.Iterations, par.Iterations)
+	}
+	if decoded.Telemetry == nil || len(decoded.Telemetry.GrowthCurve) == 0 {
+		t.Fatal("campaign missing telemetry growth curve")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"github.com/psharp-go/psharp/internal/vclock"
+	"github.com/psharp-go/psharp/obs"
 )
 
 // TestConfig configures one bug-finding iteration (paper Section 6.2).
@@ -46,6 +47,11 @@ type TestConfig struct {
 	// marked Interrupted. The sct engine uses this to enforce hard wall-clock
 	// deadlines and to cancel sibling workers in parallel exploration.
 	Interrupt func() bool
+	// Coverage, if non-nil, accumulates state-transition coverage: every
+	// handled (machine type, state, event) dispatch of the iteration is
+	// recorded into it. The set is safe for concurrent use, so parallel
+	// exploration workers can share one and report campaign-wide coverage.
+	Coverage *obs.StateEventCoverage
 	// Log, if non-nil, receives the execution log of the iteration.
 	Log io.Writer
 }
