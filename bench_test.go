@@ -17,6 +17,8 @@ import (
 	"github.com/psharp-go/psharp/internal/benchsrc"
 	"github.com/psharp-go/psharp/internal/protocols"
 	"github.com/psharp-go/psharp/internal/tables"
+	"github.com/psharp-go/psharp/interp"
+	"github.com/psharp-go/psharp/lang"
 	"github.com/psharp-go/psharp/sct"
 )
 
@@ -191,6 +193,56 @@ func BenchmarkParallelExploration(b *testing.B) {
 				})
 			}
 		}
+	}
+}
+
+// BenchmarkInterpCorpus runs seeded .psl schedules over the full Table 1
+// corpus (racy and non-racy variants) under each interp engine. The claim
+// under test is the bytecode VM's schedules/s advantage over the reference
+// tree-walker (the interp_perf_probe entry of BENCH_sct.json gates the
+// ratio at ≥5x); -benchmem additionally shows the VM's zero steady-state
+// allocations per schedule.
+func BenchmarkInterpCorpus(b *testing.B) {
+	type corpusProg struct {
+		name string
+		prog *lang.Program
+	}
+	var corpus []corpusProg
+	for _, bench := range benchsrc.All() {
+		prog, err := benchsrc.Source(bench.Name, false)
+		if err != nil {
+			b.Fatalf("load %s: %v", bench.Name, err)
+		}
+		corpus = append(corpus, corpusProg{bench.Name, prog})
+		if bench.HasRacy {
+			prog, err = benchsrc.Source(bench.Name, true)
+			if err != nil {
+				b.Fatalf("load %s racy: %v", bench.Name, err)
+			}
+			corpus = append(corpus, corpusProg{bench.Name + "Racy", prog})
+		}
+	}
+	for _, engine := range []interp.Engine{interp.EngineWalk, interp.EngineBytecode} {
+		engine := engine
+		b.Run(engine.String(), func(b *testing.B) {
+			// Warm the per-Program caches (schemas, bytecode) so the
+			// measured loop is the steady state every exploration campaign
+			// runs in.
+			for _, cp := range corpus {
+				interp.Run(cp.prog, cp.prog.Machines[0].Name, interp.Options{Engine: engine, Seed: 1})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			schedules := 0
+			for i := 0; i < b.N; i++ {
+				for _, cp := range corpus {
+					interp.Run(cp.prog, cp.prog.Machines[0].Name,
+						interp.Options{Engine: engine, Seed: uint64(i) + 1})
+					schedules++
+				}
+			}
+			b.ReportMetric(float64(schedules)/b.Elapsed().Seconds(), "schedules/s")
+		})
 	}
 }
 

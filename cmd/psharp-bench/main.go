@@ -114,11 +114,21 @@ func main() {
 		fmt.Printf("interp coverage over the Table 1 corpus: %d/%d declared transitions dispatched (%.1f%%) across %d benchmarks x %d seeds\n",
 			rep.InterpCoverage.CoveredTransitions, rep.InterpCoverage.DeclaredTransitions,
 			rep.InterpCoverage.CoveredPercent, rep.InterpCoverage.Benchmarks, rep.InterpCoverage.Seeds)
+		fmt.Printf("interp throughput over the Table 1 corpus: %.0f schedules/s bytecode vs %.0f walker (%.1fx) across %d benchmarks x %d seeds\n",
+			rep.InterpPerf.BytecodeSchedulesPerSec, rep.InterpPerf.WalkSchedulesPerSec,
+			rep.InterpPerf.Speedup, rep.InterpPerf.Benchmarks, rep.InterpPerf.Seeds)
 		// The telemetry-overhead gate: CI runs this command, so a regression
 		// that makes observability allocate on the hot path fails the build.
 		if rep.TelemetryProbe.DeltaAllocs > tables.MaxTelemetryDeltaAllocs {
 			fmt.Fprintf(os.Stderr, "psharp-bench: telemetry overhead gate: +%.2f allocs/iteration exceeds the %.0f-alloc budget\n",
 				rep.TelemetryProbe.DeltaAllocs, tables.MaxTelemetryDeltaAllocs)
+			os.Exit(1)
+		}
+		// The interpreter-throughput gate: the bytecode engine must stay well
+		// ahead of the tree-walker on the corpus.
+		if rep.InterpPerf.Speedup < tables.MinInterpSpeedup {
+			fmt.Fprintf(os.Stderr, "psharp-bench: interp perf gate: bytecode speedup %.2fx is below the %.0fx floor\n",
+				rep.InterpPerf.Speedup, tables.MinInterpSpeedup)
 			os.Exit(1)
 		}
 	}

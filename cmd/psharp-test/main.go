@@ -10,7 +10,16 @@
 //	psharp-test -bench Raft -buggy -parallel 8 [-dynamic]
 //	psharp-test -bench Raft -buggy -parallel 8 -portfolio default
 //	psharp-test -bench Raft -buggy -report-out campaign.json [-http :6060]
+//	psharp-test -psl Raft -racy -iterations 200 [-interp walk]
+//	psharp-test -psl Raft -disasm
 //	psharp-test -list
+//
+// -psl switches to the .psl front end: the named Table 1 benchmark is
+// loaded from the embedded corpus and explored through the interp package
+// with the race detector on. -interp selects the evaluator (the bytecode
+// VM by default; walk is the reference tree-walker — see the interp
+// package docs, "Bytecode execution") and -disasm prints the compiled
+// bytecode listing instead of running.
 //
 // -monitors attaches the benchmark's specification monitors (global safety
 // invariants such as TwoPhaseCommit atomicity or Raft election safety);
@@ -48,6 +57,7 @@ import (
 	"time"
 
 	"github.com/psharp-go/psharp"
+	"github.com/psharp-go/psharp/internal/benchsrc"
 	"github.com/psharp-go/psharp/internal/protocols"
 	"github.com/psharp-go/psharp/obs"
 	"github.com/psharp-go/psharp/sct"
@@ -85,6 +95,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	progressJSONL := fs.String("progress-jsonl", "", "stream progress snapshots as JSON lines to this file instead of human text ('-' for stdout; defaults -progress-every to 1000)")
 	reportOut := fs.String("report-out", "", "write a versioned campaign report (coverage, growth curves, bug census) to this file; see the worked example in the command docs")
 	httpAddr := fs.String("http", "", "serve /debug/vars (live telemetry) and /debug/pprof/ on this address for the duration of the run, e.g. :6060 or 127.0.0.1:0")
+	psl := fs.String("psl", "", "explore a Table 1 .psl benchmark through the interp package instead of a Go-native protocol (uses -racy, -interp, -disasm, -iterations, -seed)")
+	racy := fs.Bool("racy", false, "with -psl: use the racy source variant")
+	interpEngine := fs.String("interp", "bytecode", "with -psl: evaluator engine, bytecode or walk")
+	disasm := fs.Bool("disasm", false, "with -psl: print the compiled bytecode listing (interp.Disassemble) and exit")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -99,7 +113,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, b := range protocols.Liveness() {
 			fmt.Fprintf(stdout, "%s [liveness]\n", b.ID())
 		}
+		for _, n := range benchsrc.SortedNames() {
+			fmt.Fprintf(stdout, "%s [psl]\n", n)
+		}
 		return 0
+	}
+	if *psl != "" {
+		return runPSL(*psl, *racy, *interpEngine, *disasm, *iterations, *seed, stdout, stderr)
 	}
 	b, ok := protocols.ByName(*bench, *buggy)
 	if !ok {

@@ -282,3 +282,55 @@ func TestListIncludesLivenessSuite(t *testing.T) {
 		}
 	}
 }
+
+// TestPSLModeEngineAgreement runs the same seeded .psl exploration under
+// both evaluators through the CLI: the summary lines must be identical
+// apart from the engine name (same quiescence, race, and coverage counts).
+func TestPSLModeEngineAgreement(t *testing.T) {
+	code, vmOut, stderr := runCLI(t, "-psl", "German", "-racy", "-iterations", "30", "-seed", "7")
+	if code != 0 {
+		t.Fatalf("bytecode run exit code = %d\nstdout: %s\nstderr: %s", code, vmOut, stderr)
+	}
+	code, walkOut, stderr := runCLI(t, "-psl", "German", "-racy", "-iterations", "30", "-seed", "7", "-interp", "walk")
+	if code != 0 {
+		t.Fatalf("walk run exit code = %d\nstdout: %s\nstderr: %s", code, walkOut, stderr)
+	}
+	norm := func(s string) string {
+		s = strings.ReplaceAll(s, "bytecode", "ENGINE")
+		return strings.ReplaceAll(s, "walk", "ENGINE")
+	}
+	if norm(vmOut) != norm(walkOut) {
+		t.Fatalf("engines disagree:\nbytecode: %s\nwalk:     %s", vmOut, walkOut)
+	}
+	if !strings.Contains(vmOut, "distinct races") {
+		t.Fatalf("summary missing race count: %s", vmOut)
+	}
+}
+
+// TestPSLDisasmFlag prints the bytecode listing without running.
+func TestPSLDisasmFlag(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-psl", "Pi", "-disasm")
+	if code != 0 {
+		t.Fatalf("exit code = %d\nstderr: %s", code, stderr)
+	}
+	for _, want := range []string{"machine ", "func ", "params="} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("disassembly missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+// TestPSLModeBadInputs: unknown benchmark and unknown engine are usage
+// errors (exit 2), and -list marks the .psl corpus.
+func TestPSLModeBadInputs(t *testing.T) {
+	if code, _, stderr := runCLI(t, "-psl", "Nope"); code != 2 || !strings.Contains(stderr, "Nope") {
+		t.Fatalf("unknown -psl: code=%d stderr=%s", code, stderr)
+	}
+	if code, _, stderr := runCLI(t, "-psl", "Pi", "-interp", "turbo"); code != 2 || !strings.Contains(stderr, "turbo") {
+		t.Fatalf("unknown -interp: code=%d stderr=%s", code, stderr)
+	}
+	code, stdout, _ := runCLI(t, "-list")
+	if code != 0 || !strings.Contains(stdout, "Swordfish [psl]") {
+		t.Fatalf("-list should mark the .psl corpus: code=%d\n%s", code, stdout)
+	}
+}

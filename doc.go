@@ -42,6 +42,42 @@
 // happens-before detector confirms dynamically that the non-racy variants
 // are race-free and the racy ones race. See internal/benchsrc/README.md.
 //
+// Exploration over the .psl corpus is interp-bound, so the interp package
+// ships two evaluators with identical observable semantics: a reference
+// tree-walker and the default bytecode engine, which compiles every
+// machine, monitor, and method body once per loaded Program into
+// stack-machine bytecode with interned event/field/state/method indices,
+// fuses common instruction pairs into superinstructions, caches the
+// compiled form on the Program, and pools VM state — a steady-state
+// schedule does zero allocations and runs roughly an order of magnitude
+// more schedules per second than the walker (interp_perf_probe in
+// BENCH_sct.json records the measured ratio; CI fails below 5x; the
+// differential harness holds the two engines outcome-identical on every
+// corpus benchmark). Select the engine with interp.Options.Engine, or
+// from the CLI:
+//
+//	psharp-test -psl Raft -racy -iterations 200              # bytecode VM
+//	psharp-test -psl Raft -racy -iterations 200 -interp walk # tree-walker
+//
+// and inspect the compiled form with interp.Disassemble (or -disasm):
+//
+//	prog := lang.MustParse(src)
+//	if err := lang.Check(prog); err != nil {
+//		log.Fatal(err)
+//	}
+//	fmt.Print(interp.Disassemble(prog))
+//	// machine driver:
+//	//   state Boot (start):
+//	//   func driver.Boot.entry (params=0 locals=4):
+//	//       0  decl2       0 (m) zero=machine, 1 (w1) zero=machine
+//	//       1  decl2       2 (w2) zero=machine, 3 (o) zero=machine
+//	//       2  createstore 1 (master) -> 0 (m)
+//	//       ...
+//
+// (the listing above is the head of the SOTER Pi benchmark's driver; the
+// fused forms — decl2, createstore, and friends — are the superinstruction
+// pass at work).
+//
 // # Specifying correctness
 //
 // Beyond machine-local assertions (Context.Assert), correctness is

@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"github.com/psharp-go/psharp"
 	"github.com/psharp-go/psharp/internal/benchsrc"
 	"github.com/psharp-go/psharp/internal/protocols"
 	"github.com/psharp-go/psharp/interp"
+	"github.com/psharp-go/psharp/lang"
 	"github.com/psharp-go/psharp/obs"
 	"github.com/psharp-go/psharp/sct"
 )
@@ -70,6 +72,9 @@ type PerfReport struct {
 	// InterpCoverage summarizes .psl state-transition coverage over the
 	// Table 1 corpus under the operational semantics.
 	InterpCoverage InterpCoverageProbe `json:"interp_coverage_probe"`
+	// InterpPerf compares the .psl tree-walker against the bytecode VM on
+	// the same corpus. CI gates the speedup at >= MinInterpSpeedup.
+	InterpPerf InterpPerfProbe `json:"interp_perf_probe"`
 	// WorkerIterations records how many iterations each worker actually
 	// executed (uneven under Dynamic; the static shard sizes otherwise).
 	WorkerIterations []int `json:"worker_iterations"`
@@ -155,6 +160,34 @@ type InterpCoverageProbe struct {
 	CoveredPercent float64 `json:"covered_percent"`
 }
 
+// InterpPerfProbe records .psl interpreter throughput over the Table 1
+// corpus under both execution engines: every non-racy benchmark runs the
+// same seeded schedules through the tree-walking evaluator and through the
+// compiled bytecode VM, and the probe reports whole-schedule throughput for
+// each. Both engines are warmed first (schema, intern-table, and bytecode
+// caches compile per Program, outside the timed region), so the ratio
+// isolates steady-state execution cost.
+type InterpPerfProbe struct {
+	// Benchmarks is how many corpus programs were timed.
+	Benchmarks int `json:"benchmarks"`
+	// Seeds is the number of schedules timed per benchmark per engine.
+	Seeds int `json:"seeds_per_benchmark"`
+	// Steps sums the scheduler steps one engine executed across the corpus
+	// (identical for both engines — the differential harness locks them).
+	Steps int64 `json:"steps_per_engine"`
+	// WalkSchedulesPerSec is full schedules per second under the walker.
+	WalkSchedulesPerSec float64 `json:"walk_schedules_per_sec"`
+	// BytecodeSchedulesPerSec is the same schedules under the bytecode VM.
+	BytecodeSchedulesPerSec float64 `json:"bytecode_schedules_per_sec"`
+	// Speedup is bytecode over walker throughput (higher is better).
+	Speedup float64 `json:"speedup"`
+}
+
+// MinInterpSpeedup is the regression budget for the interpreter perf probe:
+// the bytecode VM must run corpus schedules at least this many times faster
+// than the tree-walker. CI fails the perf-report step below it.
+const MinInterpSpeedup = 5.0
+
 // PerfProbeOptions configures RunPerfProbe. Zero values select defaults.
 type PerfProbeOptions struct {
 	Benchmark  string // default "TwoPhaseCommit" (buggy variant)
@@ -226,6 +259,9 @@ func RunPerfProbe(o PerfProbeOptions) (PerfReport, error) {
 	rep.TelemetryProbe = probeTelemetryOverhead(o, b.Setup, b.MaxSteps)
 	var err error
 	if rep.InterpCoverage, err = probeInterpCoverage(5); err != nil {
+		return PerfReport{}, err
+	}
+	if rep.InterpPerf, err = probeInterpPerf(200); err != nil {
 		return PerfReport{}, err
 	}
 
@@ -323,6 +359,75 @@ func probeInterpCoverage(seeds int) (InterpCoverageProbe, error) {
 	}
 	if p.DeclaredTransitions > 0 {
 		p.CoveredPercent = 100 * float64(p.CoveredTransitions) / float64(p.DeclaredTransitions)
+	}
+	return p, nil
+}
+
+// probeInterpPerf times the same seeded .psl schedules under both engines
+// and reports corpus-wide throughput. Each program is run once per engine
+// before timing so per-Program compilation (schemas, intern tables,
+// bytecode) happens outside the measured region, matching how repeated
+// exploration amortizes it.
+func probeInterpPerf(seeds int) (InterpPerfProbe, error) {
+	p := InterpPerfProbe{Seeds: seeds}
+	run := func(prog *lang.Program, main string, engine interp.Engine) (int64, time.Duration, error) {
+		// Each engine's region is timed three times and the minimum kept:
+		// the probe shares a core with the surrounding harness, and min-of-N
+		// rejects scheduler noise bursts symmetrically for both engines.
+		var steps int64
+		best := time.Duration(0)
+		for rep := 0; rep < 5; rep++ {
+			// Start each timed region with a clean heap so one engine's
+			// garbage (the walker allocates heavily by design) is not
+			// billed to the other.
+			runtime.GC()
+			start := time.Now()
+			steps = 0
+			for seed := uint64(1); seed <= uint64(seeds); seed++ {
+				out := interp.Run(prog, main, interp.Options{Engine: engine, Seed: seed})
+				if out.Err != nil {
+					return 0, 0, fmt.Errorf("tables: interp perf: %s seed %d: %w", main, seed, out.Err)
+				}
+				steps += int64(out.Steps)
+			}
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
+		}
+		return steps, best, nil
+	}
+	var walkTime, bcTime time.Duration
+	for _, b := range benchsrc.All() {
+		prog, err := benchsrc.Source(b.Name, false)
+		if err != nil {
+			return p, err
+		}
+		main := prog.Machines[0].Name
+		// Warm both engines' per-Program caches before timing.
+		interp.Run(prog, main, interp.Options{Engine: interp.EngineWalk, Seed: 1})
+		interp.Run(prog, main, interp.Options{Engine: interp.EngineBytecode, Seed: 1})
+		_, wd, err := run(prog, main, interp.EngineWalk)
+		if err != nil {
+			return p, err
+		}
+		walkTime += wd
+		steps, bd, err := run(prog, main, interp.EngineBytecode)
+		if err != nil {
+			return p, err
+		}
+		bcTime += bd
+		p.Benchmarks++
+		p.Steps += steps
+	}
+	schedules := float64(p.Benchmarks * seeds)
+	if walkTime > 0 {
+		p.WalkSchedulesPerSec = schedules / walkTime.Seconds()
+	}
+	if bcTime > 0 {
+		p.BytecodeSchedulesPerSec = schedules / bcTime.Seconds()
+	}
+	if p.WalkSchedulesPerSec > 0 {
+		p.Speedup = p.BytecodeSchedulesPerSec / p.WalkSchedulesPerSec
 	}
 	return p, nil
 }

@@ -68,6 +68,23 @@ func TestRunPerfProbe(t *testing.T) {
 		ic.CoveredTransitions > int64(ic.DeclaredTransitions) {
 		t.Errorf("degenerate interp coverage: %+v", ic)
 	}
+	ip := rep.InterpPerf
+	if ip.Benchmarks != 13 {
+		t.Errorf("interp perf ran %d benchmarks, want the 13 Table 1 programs", ip.Benchmarks)
+	}
+	if ip.WalkSchedulesPerSec <= 0 || ip.BytecodeSchedulesPerSec <= 0 || ip.Steps == 0 {
+		t.Errorf("degenerate interp perf probe: %+v", ip)
+	}
+	// The interpreter-throughput gate: the bytecode VM must beat the
+	// tree-walker by at least MinInterpSpeedup on the corpus. Race-detector
+	// instrumentation taxes the VM's tight dispatch loop far harder than
+	// the walker's allocation-bound traversal, so the ratio only carries
+	// meaning uninstrumented — CI runs this gate without -race (the
+	// "Perf report" step).
+	if !raceEnabled && ip.Speedup < MinInterpSpeedup {
+		t.Errorf("bytecode speedup %.2fx (walk %.0f vs bytecode %.0f schedules/s), floor %.0fx",
+			ip.Speedup, ip.WalkSchedulesPerSec, ip.BytecodeSchedulesPerSec, MinInterpSpeedup)
+	}
 	if rep.Campaign == nil {
 		t.Fatal("perf report missing embedded campaign")
 	}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package tables
+
+const raceEnabled = false

@@ -1,0 +1,6 @@
+//go:build race
+
+package tables
+
+// raceEnabled reports whether this build is race-detector instrumented.
+const raceEnabled = true

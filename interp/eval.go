@@ -157,7 +157,7 @@ func (in *Interp) access(env *frame, o *object, field string, kind vclock.Access
 		return // monitor reads are specification-level, not program accesses
 	}
 	// Identify the object by heap position for a stable location name.
-	loc := fmt.Sprintf("%s@%p.%s", o.class, o, field)
+	loc := fmt.Sprintf("%s#%d.%s", o.class, o.ref, field)
 	in.det.Access(int(env.machine.id), loc, kind)
 }
 
@@ -181,7 +181,7 @@ func (in *Interp) eval(env *frame, e lang.Expr) (Value, error) {
 		return in.readField(env, x.Field), nil
 	case *lang.NewExpr:
 		cd := in.prog.ClassByName[x.Class]
-		o := &object{class: x.Class, fields: make(map[string]Value, len(cd.Fields))}
+		o := &object{class: x.Class, ref: len(in.heap), fields: make(map[string]Value, len(cd.Fields))}
 		for _, f := range cd.Fields {
 			o.fields[f.Name] = zeroValue(f.Type)
 		}

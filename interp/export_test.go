@@ -1,0 +1,13 @@
+package interp
+
+// Test-only accessors for the compile-once counters, mirroring how the
+// schema cache is observed: tests read the counter around a batch of Run
+// calls and assert exactly one compilation per Program.
+
+// SchemaCompiles returns the cumulative number of machine-schema
+// compilations.
+func SchemaCompiles() int64 { return schemaCompiles.Load() }
+
+// BytecodeCompiles returns the cumulative number of program bytecode
+// compilations.
+func BytecodeCompiles() int64 { return bytecodeCompiles.Load() }

@@ -6,6 +6,38 @@
 // happens-before race detector observes every field access performed by
 // the MBR-ASSIGN rules — which is how the racy Table 1 benchmark variants
 // are confirmed to race dynamically, cross-validating the static analysis.
+//
+// # Bytecode execution
+//
+// Two evaluators implement the semantics, selected by Options.Engine. The
+// reference tree-walker (eval.go) re-traverses the AST on every handler
+// dispatch; the default bytecode engine compiles each machine, monitor,
+// and class method body once per loaded Program into compact stack-machine
+// bytecode (compile.go) and runs it on an operand-stack VM (vm.go). The
+// compiler interns every event, field, state, and method name to a dense
+// index, so the VM's hot path does no string hashing and no per-dispatch
+// allocation; a fusion pass then collapses common instruction pairs into
+// superinstructions (assign-from-field, compare-and-branch, send-locals,
+// and similar shapes) until a fixpoint, roughly halving dynamic
+// instruction count on the Table 1 corpus. Compiled programs are cached on
+// the Program via lang's AuxLoad/AuxStore hook — concurrent Runs of the
+// same Program share one compilation (a sync.Once per Program), and VM
+// instance state is pooled per Program, so a steady-state schedule
+// allocates nothing.
+//
+// Both engines are observationally identical, not just bug-for-bug: the
+// differential corpus harness (differential_test.go) runs every Table 1
+// benchmark, racy and non-racy, under both engines across many seeds and
+// requires identical step counts, quiescence, fault strings, race
+// reports, hot monitors, and coverage sets. That works because the VM
+// preserves the walker's dispatch precedence (ignore > defer > goto > do),
+// its raised-event goto path, its race-detector access order, and its
+// monitor observation points instruction for instruction. The walker
+// stays selectable (Options.Engine = EngineWalk, -interp=walk in the
+// CLIs) as the semantic baseline; Disassemble prints the compiled
+// listing. On the corpus the VM runs roughly an order of magnitude more
+// schedules per second than the walker — the ratio is recorded as
+// interp_perf_probe in BENCH_sct.json and gated in CI.
 package interp
 
 import (
@@ -42,9 +74,13 @@ func (MachineID) isValue() {}
 func (Null) isValue()      {}
 
 // object is a heap object: rule NEW-ASSIGN allocates one slot per member
-// variable, initialized to an undefined value (we use Null).
+// variable, initialized to an undefined value (we use Null). ref is the
+// heap index, which names the object to the race detector — a stable
+// identity both engines derive the same way, so race reports compare
+// byte for byte across them.
 type object struct {
 	class  string
+	ref    int
 	fields map[string]Value
 }
 
@@ -86,13 +122,23 @@ func (r *randomScheduler) next() uint64 {
 }
 
 func (r *randomScheduler) Next(enabled []MachineID) MachineID {
-	return enabled[int(r.next()%uint64(len(enabled)))]
+	// The stream always advances, but a single-element pick needs no modulo
+	// (a hardware division): the choice and the PRNG state are identical.
+	x := r.next()
+	if len(enabled) == 1 {
+		return enabled[0]
+	}
+	return enabled[int(x%uint64(len(enabled)))]
 }
 
 func (r *randomScheduler) Choose(n int) int { return int(r.next() % uint64(n)) }
 
 // Options configures a run.
 type Options struct {
+	// Engine selects the evaluator: the bytecode VM (default) or the
+	// reference tree-walker. Outcomes are identical; see the "Bytecode
+	// execution" section of the package docs.
+	Engine Engine
 	// Seed seeds the default random scheduler.
 	Seed uint64
 	// Scheduler overrides the default random scheduler.
@@ -160,8 +206,17 @@ func IsAssertion(err error) bool {
 }
 
 // Run instantiates one instance of the named main machine and executes the
-// system until quiescence, an error, or the step bound.
+// system until quiescence, an error, or the step bound, under the engine
+// opts.Engine selects (the bytecode VM by default).
 func Run(prog *lang.Program, main string, opts Options) Outcome {
+	if opts.Engine == EngineWalk {
+		return runWalk(prog, main, opts)
+	}
+	return runVM(prog, main, opts)
+}
+
+// runWalk is Run on the reference tree-walking evaluator.
+func runWalk(prog *lang.Program, main string, opts Options) Outcome {
 	in := &Interp{prog: prog, schemas: schemasFor(prog), cover: opts.Coverage}
 	if opts.Scheduler != nil {
 		in.sched = opts.Scheduler

@@ -1,0 +1,113 @@
+package lang
+
+// Interned symbol tables and AST-lowering helpers for back ends that want
+// dense integer handles instead of name maps. The interp package's bytecode
+// compiler resolves every event, field, method and state reference through
+// these tables at compile time, so its dispatch loop never hashes a string.
+
+// SymbolTable interns a checked Program's declared names as dense indices,
+// assigned in declaration order so the numbering is deterministic for a
+// given source text. It is derived data: build it with Intern, which caches
+// one table per Program via the auxiliary store.
+type SymbolTable struct {
+	// Events lists event names by index; EventIndex inverts it.
+	Events     []string
+	EventIndex map[string]int
+
+	// MachineIndex and ClassIndex number the program's machine and class
+	// declarations (monitors are numbered separately via MonitorIndex, in
+	// Program.Monitors order, since they live outside the machine list).
+	MachineIndex map[*MachineDecl]int
+	MonitorIndex map[*MachineDecl]int
+	ClassIndex   map[*ClassDecl]int
+
+	// FieldSlot assigns each member variable its slot within the declaring
+	// machine, monitor or class (dense, declaration order); MethodIndex and
+	// StateIndex do the same for methods and states.
+	FieldSlot   map[*VarDecl]int
+	MethodIndex map[*MethodDecl]int
+	StateIndex  map[*StateDecl]int
+}
+
+// internKey keys the cached SymbolTable in a Program's auxiliary store.
+type internKey struct{}
+
+// Intern returns prog's interned symbol table, building it on first use and
+// caching it on the Program. The table is immutable after construction, so
+// concurrent callers may share the returned pointer; a rare duplicate build
+// under concurrent first use is harmless (both builds are identical).
+func Intern(prog *Program) *SymbolTable {
+	if v, ok := prog.AuxLoad(internKey{}); ok {
+		return v.(*SymbolTable)
+	}
+	st := &SymbolTable{
+		EventIndex:   make(map[string]int, len(prog.Events)),
+		MachineIndex: make(map[*MachineDecl]int, len(prog.Machines)),
+		MonitorIndex: make(map[*MachineDecl]int, len(prog.Monitors)),
+		ClassIndex:   make(map[*ClassDecl]int, len(prog.Classes)),
+		FieldSlot:    make(map[*VarDecl]int),
+		MethodIndex:  make(map[*MethodDecl]int),
+		StateIndex:   make(map[*StateDecl]int),
+	}
+	for i, e := range prog.Events {
+		st.Events = append(st.Events, e.Name)
+		st.EventIndex[e.Name] = i
+	}
+	intern := func(fields []*VarDecl, methods []*MethodDecl, states []*StateDecl) {
+		for i, f := range fields {
+			st.FieldSlot[f] = i
+		}
+		for i, m := range methods {
+			st.MethodIndex[m] = i
+		}
+		for i, s := range states {
+			st.StateIndex[s] = i
+		}
+	}
+	for i, cd := range prog.Classes {
+		st.ClassIndex[cd] = i
+		intern(cd.Fields, cd.Methods, nil)
+	}
+	for i, md := range prog.Machines {
+		st.MachineIndex[md] = i
+		intern(md.Fields, md.Methods, md.States)
+	}
+	for i, md := range prog.Monitors {
+		st.MonitorIndex[md] = i
+		intern(md.Fields, md.Methods, md.States)
+	}
+	prog.AuxStore(internKey{}, st)
+	return st
+}
+
+// WalkStmts calls f for every statement in body, including statements
+// nested inside if and while bodies, in source order. It is the lowering
+// pass's traversal primitive (local-slot collection, loop counting).
+func WalkStmts(body []Stmt, f func(Stmt)) {
+	for _, s := range body {
+		f(s)
+		switch st := s.(type) {
+		case *IfStmt:
+			WalkStmts(st.Then, f)
+			WalkStmts(st.Else, f)
+		case *WhileStmt:
+			WalkStmts(st.Body, f)
+		}
+	}
+}
+
+// CollectLocals assigns dense frame slots to one body's variables:
+// parameters first (slot = parameter position), then every local
+// declaration in source order, however deeply nested — the checker gives
+// locals method-wide scope and unique names, so one flat numbering per
+// body is exact. The returned slice maps slot -> declaration.
+func CollectLocals(params []*VarDecl, body []Stmt) []*VarDecl {
+	out := make([]*VarDecl, 0, len(params)+4)
+	out = append(out, params...)
+	WalkStmts(body, func(s Stmt) {
+		if ld, ok := s.(*LocalDecl); ok {
+			out = append(out, ld.Decl)
+		}
+	})
+	return out
+}

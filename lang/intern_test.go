@@ -1,0 +1,120 @@
+package lang
+
+import "testing"
+
+const internSrc = `
+event eA;
+event eB;
+
+class box {
+	var v: int;
+	method get(): int { var r: int; r := this.v; return r; }
+}
+
+machine m1 {
+	var f1: int;
+	var f2: bool;
+	start state S0 {
+		entry {
+			var a: int;
+			if (true) {
+				var b: bool;
+				b := false;
+			}
+			while (a < 2) {
+				var c: int;
+				a := a + 1;
+			}
+		}
+		on eA do h;
+		on eB goto S1;
+	}
+	state S1 {
+	}
+	method h(p: int) {
+		var x: int;
+		x := p;
+	}
+}
+
+monitor obs_m {
+	var seen: int;
+	start state Watch {
+		on eA do note;
+	}
+	method note() { this.seen := this.seen + 1; }
+}
+`
+
+func mustLoad(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := Check(prog); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return prog
+}
+
+// TestInternDeterministic checks declaration-order numbering and that the
+// table is cached per Program.
+func TestInternDeterministic(t *testing.T) {
+	prog := mustLoad(t, internSrc)
+	st := Intern(prog)
+	if st != Intern(prog) {
+		t.Fatal("Intern did not cache the table on the Program")
+	}
+	if st.EventIndex["eA"] != 0 || st.EventIndex["eB"] != 1 {
+		t.Fatalf("event indices = %v, want declaration order", st.EventIndex)
+	}
+	md := prog.MachineByName["m1"]
+	if st.MachineIndex[md] != 0 {
+		t.Fatalf("machine index = %d, want 0", st.MachineIndex[md])
+	}
+	if got := st.FieldSlot[md.FieldByName["f2"]]; got != 1 {
+		t.Fatalf("f2 slot = %d, want 1", got)
+	}
+	if got := st.StateIndex[md.StateByName["S1"]]; got != 1 {
+		t.Fatalf("S1 index = %d, want 1", got)
+	}
+	mon := prog.MonitorByName["obs_m"]
+	if st.MonitorIndex[mon] != 0 {
+		t.Fatalf("monitor index = %d, want 0", st.MonitorIndex[mon])
+	}
+	if got := st.FieldSlot[mon.FieldByName["seen"]]; got != 0 {
+		t.Fatalf("monitor field slot = %d, want 0", got)
+	}
+	cd := prog.ClassByName["box"]
+	if st.ClassIndex[cd] != 0 || st.MethodIndex[cd.MethodByName["get"]] != 0 {
+		t.Fatal("class interning broke")
+	}
+}
+
+// TestCollectLocals checks flat slot assignment: params first, then nested
+// locals in source order.
+func TestCollectLocals(t *testing.T) {
+	prog := mustLoad(t, internSrc)
+	md := prog.MachineByName["m1"]
+
+	h := md.MethodByName["h"]
+	slots := CollectLocals(h.Params, h.Body)
+	if len(slots) != 2 || slots[0].Name != "p" || slots[1].Name != "x" {
+		t.Fatalf("method h slots = %v, want [p x]", names(slots))
+	}
+
+	entry := md.StartState.Entry
+	slots = CollectLocals(nil, entry)
+	if len(slots) != 3 || slots[0].Name != "a" || slots[1].Name != "b" || slots[2].Name != "c" {
+		t.Fatalf("entry slots = %v, want [a b c] (nested decls in source order)", names(slots))
+	}
+}
+
+func names(decls []*VarDecl) []string {
+	out := make([]string, len(decls))
+	for i, d := range decls {
+		out[i] = d.Name
+	}
+	return out
+}
