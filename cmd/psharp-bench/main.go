@@ -117,6 +117,11 @@ func main() {
 		fmt.Printf("interp throughput over the Table 1 corpus: %.0f schedules/s bytecode vs %.0f walker (%.1fx) across %d benchmarks x %d seeds\n",
 			rep.InterpPerf.BytecodeSchedulesPerSec, rep.InterpPerf.WalkSchedulesPerSec,
 			rep.InterpPerf.Speedup, rep.InterpPerf.Benchmarks, rep.InterpPerf.Seeds)
+		fmt.Printf("fault injection on %s: %d buggy schedules in %d with a %d-fault budget vs %d fault-free (%d crashes, %d restarts, %d drops, %d dups, %d reorders)\n",
+			rep.FaultProbe.Workload, rep.FaultProbe.BuggyWithFaults, rep.FaultProbe.ScheduleBudget,
+			rep.FaultProbe.FaultBudget, rep.FaultProbe.BuggyFaultFree,
+			rep.FaultProbe.Crashes, rep.FaultProbe.Restarts, rep.FaultProbe.Drops,
+			rep.FaultProbe.Duplicates, rep.FaultProbe.Reorders)
 		// The telemetry-overhead gate: CI runs this command, so a regression
 		// that makes observability allocate on the hot path fails the build.
 		if rep.TelemetryProbe.DeltaAllocs > tables.MaxTelemetryDeltaAllocs {

@@ -7,6 +7,7 @@
 //	psharp-test -bench Raft -buggy -monitors -trace-out raft.trace
 //	psharp-test -bench Raft -buggy -monitors -replay raft.trace
 //	psharp-test -bench FairResponder -buggy -liveness
+//	psharp-test -bench TwoPhaseCommitFT -buggy -monitors -faults 2
 //	psharp-test -bench Raft -buggy -parallel 8 [-dynamic]
 //	psharp-test -bench Raft -buggy -parallel 8 -portfolio default
 //	psharp-test -bench Raft -buggy -report-out campaign.json [-http :6060]
@@ -26,6 +27,16 @@
 // -liveness additionally enables hot-state temperature tracking and
 // defaults the strategy to the fair random scheduler, which is what makes
 // liveness verdicts sound — see the sct package docs.
+//
+// -faults N gives every schedule a budget of N injected faults — machine
+// crashes (with restart through the creation payload), message drops,
+// duplications and reorderings — chosen by a PCT-style injection plan
+// layered over the selected strategy (see psharp's "Injecting faults"
+// docs). The [faults] benchmarks in -list are crash-tolerant protocols
+// whose buggy variants hide bugs only a fault can expose; their stable-
+// storage machines are automatically immune. Fault decisions are recorded
+// in the trace, so -trace-out and -replay reproduce crash schedules
+// exactly.
 //
 // # Observability
 //
@@ -85,7 +96,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	temperature := fs.Int("temperature", 0, "liveness temperature threshold in scheduling decisions (default: the benchmark's recommendation)")
 	fairPrefix := fs.Int("fair-prefix", -1, "random-prefix length of the fair strategy and of portfolio fair members (default: the benchmark's recommendation, else maxsteps/2)")
 	traceOut := fs.String("trace-out", "", "write the first buggy schedule trace to this file (psharp.Trace.Encode format)")
-	traceOld := fs.String("trace", "", "deprecated alias for -trace-out")
+	faults := fs.Int("faults", 0, "per-schedule fault-injection budget: crashes (with restart), drops, duplicates, reorders as scheduler decisions (0 = off; see -list's [faults] benchmarks)")
+	faultHorizon := fs.Int("fault-horizon", 0, "fault-point horizon the budget is spread over (0 = sct.DefaultFaultHorizon)")
 	replay := fs.String("replay", "", "replay a trace file against the benchmark instead of exploring; exits 0 if the bug reproduces")
 	parallel := fs.Int("parallel", 1, "number of exploration workers (0 = GOMAXPROCS)")
 	dynamic := fs.Bool("dynamic", false, "work-stealing iteration assignment across workers (keeps all workers busy under skewed iteration costs; trades run-to-run population reproducibility, bug traces still replay)")
@@ -112,6 +124,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		for _, b := range protocols.Liveness() {
 			fmt.Fprintf(stdout, "%s [liveness]\n", b.ID())
+		}
+		for _, b := range protocols.FaultTolerant() {
+			fmt.Fprintf(stdout, "%s [faults]\n", b.ID())
 		}
 		for _, n := range benchsrc.SortedNames() {
 			fmt.Fprintf(stdout, "%s [psl]\n", n)
@@ -176,6 +191,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *liveness {
 		opts.LivenessTemperature = *temperature
+	}
+	if *faults > 0 {
+		opts.Faults = sct.FaultOptions{
+			Budget:  *faults,
+			Seed:    *seed,
+			Horizon: *faultHorizon,
+			Immune:  b.FaultImmune,
+			Restart: true,
+		}
 	}
 	switch *strategy {
 	case "random":
@@ -304,34 +328,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 		suffix = " (monitored)"
 	}
 	fmt.Fprintf(stdout, "%s under %s%s: %s\n", b.ID(), label, suffix, rep.String())
+	if *faults > 0 {
+		fmt.Fprintf(stdout, "faults injected: %d crashes (%d restarted), %d drops, %d duplicates, %d reorders\n",
+			rep.Faults.Crashes, rep.Faults.Restarts, rep.Faults.Drops, rep.Faults.Duplicates, rep.Faults.Reorders)
+	}
 	if rep.BugFound() {
 		if bug := rep.FirstBug; bug.Monitor != "" {
 			fmt.Fprintf(stdout, "specification violated: monitor %q (%s)\n", bug.Monitor, bug.Kind)
 		}
 	}
-	out := *traceOut
-	if out == "" {
-		out = *traceOld
-	}
-	if rep.BugFound() && out != "" {
-		if err := writeTrace(out, rep.FirstBugTrace); err != nil {
+	if rep.BugFound() && *traceOut != "" {
+		if err := writeTrace(*traceOut, rep.FirstBugTrace); err != nil {
 			fmt.Fprintln(stderr, "psharp-test:", err)
 			return 1
 		}
-		fmt.Fprintf(stdout, "trace written to %s (%d decisions)\n", out, rep.FirstBugTrace.Len())
+		fmt.Fprintf(stdout, "trace written to %s (%d decisions)\n", *traceOut, rep.FirstBugTrace.Len())
 	}
 	if *reportOut != "" {
 		c := sct.NewCampaign(sct.CampaignConfig{
-			Benchmark:  b.ID(),
-			Strategy:   campaignStrategy,
-			Workers:    workerCount,
-			Dynamic:    *dynamic,
-			Iterations: *iterations,
-			MaxSteps:   b.MaxSteps,
-			TimeoutMS:  timeout.Milliseconds(),
-			Seed:       *seed,
-			Monitors:   *monitors,
-			Liveness:   *liveness,
+			Benchmark:   b.ID(),
+			Strategy:    campaignStrategy,
+			Workers:     workerCount,
+			Dynamic:     *dynamic,
+			Iterations:  *iterations,
+			MaxSteps:    b.MaxSteps,
+			TimeoutMS:   timeout.Milliseconds(),
+			Seed:        *seed,
+			Monitors:    *monitors,
+			Liveness:    *liveness,
+			FaultBudget: *faults,
 		}, &rep, workerReports, tel)
 		if err := c.WriteFile(*reportOut); err != nil {
 			fmt.Fprintln(stderr, "psharp-test:", err)
@@ -380,6 +405,13 @@ func replayTrace(b protocols.Benchmark, setup func(*psharp.Runtime), path string
 	}
 	if liveness {
 		cfg.LivenessTemperature = temperature
+	}
+	if tr.HasFaultDecisions() {
+		// A fault-era trace needs the fault-query path live so the recorded
+		// crash/drop/duplicate decisions land on the queries that produced
+		// them. (ReplayTrace would enable this itself; setting the immune
+		// list keeps the replayed run's validation identical to recording.)
+		cfg.Faults = &psharp.FaultConfig{Immune: b.FaultImmune}
 	}
 	// A trace recorded against a different program (or stale binary) makes
 	// the replay strategy panic with a divergence report; surface it as a

@@ -99,6 +99,38 @@ func TestReplayCleanTraceExitCode(t *testing.T) {
 	}
 }
 
+// TestFaultsFlagRoundTrip drives fault injection end to end from the CLI:
+// -faults finds the crash-only TwoPhaseCommitFT bug that fault-free
+// exploration cannot reach, writes the fault-bearing trace, and -replay
+// reproduces the crash schedule from the file.
+func TestFaultsFlagRoundTrip(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "crash.trace")
+	code, stdout, stderr := runCLI(t,
+		"-bench", "TwoPhaseCommitFT", "-buggy", "-monitors",
+		"-faults", "2", "-fault-horizon", "64",
+		"-iterations", "3000", "-seed", "1",
+		"-trace-out", trace)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (bug found)\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "FTAtomicity") {
+		t.Fatalf("stdout does not report the atomicity monitor violation:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "faults injected:") || strings.Contains(stdout, "0 crashes") {
+		t.Fatalf("stdout does not report injected crashes:\n%s", stdout)
+	}
+
+	code, stdout, stderr = runCLI(t,
+		"-bench", "TwoPhaseCommitFT", "-buggy", "-monitors",
+		"-replay", trace)
+	if code != 0 {
+		t.Fatalf("replay exit code = %d, want 0 (bug reproduced)\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "atomicity violated") {
+		t.Fatalf("replay did not reproduce the atomicity violation:\n%s", stdout)
+	}
+}
+
 // TestHelpExitsZero checks that -h stays a success exit, as with the
 // default flag handling the command had before run() was extracted.
 func TestHelpExitsZero(t *testing.T) {
@@ -276,7 +308,10 @@ func TestListIncludesLivenessSuite(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("-list exit code = %d", code)
 	}
-	for _, want := range []string{"Raft(buggy)", "FairResponder [liveness]", "FairResponder(buggy) [liveness]"} {
+	for _, want := range []string{
+		"Raft(buggy)", "FairResponder [liveness]", "FairResponder(buggy) [liveness]",
+		"TwoPhaseCommitFT [faults]", "TwoPhaseCommitFT(buggy) [faults]",
+	} {
 		if !strings.Contains(stdout, want) {
 			t.Fatalf("-list output missing %q:\n%s", want, stdout)
 		}

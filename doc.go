@@ -120,6 +120,41 @@
 // serialized behind an internal mutex), but does not track temperature:
 // liveness checking is a bug-finding-mode feature.
 //
+// # Injecting faults
+//
+// Crashes and message faults are scheduler decisions, not environment
+// noise. With TestConfig.Faults set, the controller asks the strategy a
+// fault question at every nondeterminism point that can fault: once per
+// scheduler pass ("crash a machine now?" — ChoiceFault at
+// FaultPointSchedule, listing the crashable machines) and once per machine
+// send ("fault this delivery?" — FaultPointSend, naming the target). The
+// strategy answers with a FaultAction: FaultNone (decline), FaultCrash
+// with an optional restart, or FaultDrop, FaultDuplicate, FaultReorder for
+// the message in flight. Strategies that implement only the legacy
+// three-method interface decline every fault automatically; sct's
+// FaultInjector wraps any inner strategy with a PCT-style budgeted
+// injection plan (sct.FaultOptions).
+//
+// A crash halts the machine at its next scheduling point: its queue is
+// cleared (unless the action sets PreserveMailbox), monitors observe a
+// MachineCrashed event, and — if the action requests a restart — the same
+// machine identity reboots through a fresh logic value from its registered
+// factory, re-entering its initial state with its original creation
+// payload, after which monitors observe MachineRestarted. Volatile state
+// dies with the crash; anything that must survive belongs in another
+// machine (model stable storage as a machine and list its type in
+// FaultConfig.Immune, which exempts it from crashes and its inbound sends
+// from message faults).
+//
+// Every fault query is answered and recorded in the trace — including the
+// declines — so the query sequence is a function of the schedule alone and
+// a fault-era trace replays byte-deterministically: sct.ReplayTrace (and
+// psharp-test -replay) re-applies each recorded FaultAction at exactly the
+// query that produced it, no fault configuration required. The trace text
+// format is versioned (TraceFormatVersion); traces recorded before fault
+// injection existed lack the header and are rejected loudly rather than
+// replayed wrong.
+//
 // # Declaring machines
 //
 // A machine type declares its states, transitions and action bindings on a

@@ -89,3 +89,10 @@ type assertFailed struct{ msg string }
 // abortSignal is the panic payload used to unwind parked machine goroutines
 // when the testing controller tears an iteration down.
 type abortSignal struct{}
+
+// crashSignal is the panic payload used to unwind a parked machine goroutine
+// when the controller executes a FaultCrash against it. Unlike abortSignal
+// it affects one machine, not the iteration: the goroutine reports ykCrashed
+// and (if the fault carries Restart) immediately reboots from its creation
+// payload.
+type crashSignal struct{}

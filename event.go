@@ -28,6 +28,25 @@ func (EventBase) isPSharpEvent() {}
 // it are silently discarded, mirroring the P# halt semantics.
 type HaltEvent struct{ EventBase }
 
+// MachineCrashed is the lifecycle event dispatched to specification monitors
+// when fault injection crashes a machine, immediately before the crash takes
+// effect. Restart reports whether the same fault will reboot the machine.
+// Monitors whose current state has no binding for it skip it, so existing
+// monitors are unaffected by enabling faults.
+type MachineCrashed struct {
+	EventBase
+	Machine MachineID
+	Restart bool
+}
+
+// MachineRestarted is the lifecycle event dispatched to specification
+// monitors when a crashed machine has been rebooted from its creation
+// payload (same MachineID, fresh logic).
+type MachineRestarted struct {
+	EventBase
+	Machine MachineID
+}
+
 // defaultEventName strips the package path from an event's dynamic type.
 func eventName(ev Event) string {
 	t := reflect.TypeOf(ev)

@@ -1,0 +1,228 @@
+package psharp
+
+import "fmt"
+
+// FaultConfig enables fault-injection nondeterminism for one bug-finding
+// iteration (TestConfig.Faults). The zero value is valid: every machine is
+// fault-eligible and the strategy decides everything else. Which faults are
+// actually injected — and how many — is the strategy's business (see
+// sct.FaultInjector for PCT-style budgeted injection); the config only
+// shapes eligibility.
+//
+// Fault queries are issued on a fixed cadence whenever the config is
+// non-nil: one schedule-level query per scheduler pass and one send-level
+// query per machine-to-machine send. Queries against immune machines are
+// still issued (marked ineligible) so the query sequence, and therefore the
+// trace, is a function of the schedule alone — replaying a fault-era trace
+// needs a non-nil FaultConfig but not the original Immune list.
+type FaultConfig struct {
+	// Immune lists machine types that faults must never touch: they cannot
+	// be crashed, and messages sent to them cannot be dropped, duplicated
+	// or reordered. Use it to protect the abstraction of a reliable
+	// component (a write-ahead log, a network oracle) while the rest of
+	// the system misbehaves.
+	Immune []string
+}
+
+func (fc *FaultConfig) isImmune(machineType string) bool {
+	for _, t := range fc.Immune {
+		if t == machineType {
+			return true
+		}
+	}
+	return false
+}
+
+// FaultStats counts the failure actions injected during an iteration (or,
+// summed, a whole exploration run).
+type FaultStats struct {
+	Crashes    int
+	Restarts   int
+	Drops      int
+	Duplicates int
+	Reorders   int
+}
+
+// Add accumulates o into s.
+func (s *FaultStats) Add(o FaultStats) {
+	s.Crashes += o.Crashes
+	s.Restarts += o.Restarts
+	s.Drops += o.Drops
+	s.Duplicates += o.Duplicates
+	s.Reorders += o.Reorders
+}
+
+// Total returns the number of injected faults of all kinds.
+func (s FaultStats) Total() int {
+	return s.Crashes + s.Drops + s.Duplicates + s.Reorders
+}
+
+// scheduleFault issues the per-pass fault query and executes a crash if the
+// strategy injects one. It returns true when a crash happened (the scheduler
+// pass must start over) and reports strategy protocol violations through
+// c.bug. Runs on the controller goroutine with every machine parked.
+func (c *controller) scheduleFault() bool {
+	fc := c.cfg.Faults
+	c.crashScratch = c.crashScratch[:0]
+	for i, st := range c.statuses {
+		if st == msHalted {
+			continue
+		}
+		m := c.instances[i]
+		if fc.isImmune(m.id.Type) {
+			continue
+		}
+		c.crashScratch = append(c.crashScratch, m.id)
+	}
+	ch := Choice{
+		Kind:      ChoiceFault,
+		Point:     FaultPointSchedule,
+		Crashable: c.crashScratch,
+		Eligible:  len(c.crashScratch) > 0,
+	}
+	d := c.decider.Decide(ch)
+	if d.Kind != DecisionFault {
+		c.bug = &Bug{Kind: BugPanic,
+			Message: fmt.Sprintf("strategy answered a fault choice with decision kind %d", d.Kind)}
+		return false
+	}
+	f := d.Fault
+	if f.Kind == FaultNone {
+		c.trace.addFault(FaultAction{})
+		return false
+	}
+	if f.Kind != FaultCrash {
+		c.bug = &Bug{Kind: BugPanic,
+			Message: fmt.Sprintf("strategy injected %s at a schedule fault point (only crash is valid here)", f.Kind)}
+		return false
+	}
+	if !ch.Eligible || !contains(c.crashScratch, f.Machine) {
+		c.bug = &Bug{Kind: BugPanic, Machine: f.Machine,
+			Message: fmt.Sprintf("strategy crashed %s, which is not crashable", f.Machine)}
+		return false
+	}
+	// Canonicalize: preserving a mailbox only means something across a
+	// restart, and the recorded action must be self-contained for replay.
+	if !f.Restart {
+		f.PreserveMailbox = false
+	}
+	c.trace.addFault(f)
+	c.crashMachine(f)
+	return true
+}
+
+// crashMachine halts the target mid-schedule. All machine goroutines are
+// parked, so the crash is a synchronous handshake: set the crashed flag,
+// wake the goroutine, and wait for it to unwind (crashSignal panic through
+// park) and report ykCrashed. The instance is then marked halted — and
+// optionally rebooted in place.
+func (c *controller) crashMachine(f FaultAction) {
+	m := c.instances[f.Machine.Seq-1]
+	// Monitors observe the lifecycle event before the crash takes effect,
+	// mirroring how sends are observed before delivery. A monitor state
+	// with no binding for MachineCrashed skips it.
+	c.rt.observeMonitors(&MachineCrashed{Machine: m.id, Restart: f.Restart})
+	c.faults.Crashes++
+	m.crashed = true
+	m.resume <- struct{}{}
+	<-c.yield // the crashed machine's ykCrashed: execution stays serialized
+	c.statuses[m.id.Seq-1] = msHalted
+	c.readyRemove(m.id)
+	m.mu.Lock()
+	m.halted = true
+	if !f.PreserveMailbox {
+		for i := range m.queue {
+			m.queue[i] = envelope{}
+		}
+		m.queue = m.queue[:0]
+	}
+	m.mu.Unlock()
+	if c.rt.logging() {
+		c.rt.logf("fault: crashed %s (restart=%v, keepq=%v)", m.id, f.Restart, f.PreserveMailbox)
+	}
+	if f.Restart {
+		c.restartMachine(m)
+	}
+}
+
+// restartMachine reboots a crashed instance in place: same MachineID (so
+// peers' stored references stay valid, modeling a process restart), fresh
+// logic from the registered factory, and the creation payload re-delivered
+// so the machine reconfigures itself. The pooled goroutine just finished
+// run() for the crashed incarnation and is back in poolLoop awaiting a job.
+func (c *controller) restartMachine(m *machineInstance) {
+	r := c.rt
+	factory := r.factories[m.id.Type]
+	if factory == nil {
+		c.bug = &Bug{Kind: BugPanic, Machine: m.id,
+			Message: fmt.Sprintf("cannot restart %s: machine type not registered", m.id)}
+		return
+	}
+	logic := factory()
+	schema := r.schemas[m.id.Type]
+	if schema == nil {
+		// Closure-form machines compile a per-instance schema whose actions
+		// close over the logic value, so the new incarnation needs its own.
+		var err error
+		r.mu.Lock()
+		schema, err = r.compileInstanceLocked(m.id.Type, logic)
+		r.mu.Unlock()
+		if err != nil {
+			c.bug = &Bug{Kind: BugPanic, Machine: m.id,
+				Message: fmt.Sprintf("cannot restart %s: %v", m.id, err)}
+			return
+		}
+	}
+	m.logic = logic
+	m.schema = schema
+	m.state = ""
+	m.crashed = false
+	m.bug = nil
+	m.aborted = false
+	m.ctx.currentEvent = nil
+	m.ctx.resetPending()
+	m.mu.Lock()
+	m.halted = false
+	m.mu.Unlock()
+	c.statuses[m.id.Seq-1] = msReady
+	c.readyAdd(m.id)
+	c.wg.Add(1)
+	c.faults.Restarts++
+	m.job <- m.birth
+	r.observeMonitors(&MachineRestarted{Machine: m.id})
+	if r.logging() {
+		r.logf("fault: restarted %s", m.id)
+	}
+}
+
+// nextSendFault issues the per-send fault query for a message bound for
+// target. Runs on the sending machine's goroutine (like nextBool), which is
+// the only runnable goroutine, so trace appends stay serialized. Strategy
+// protocol violations panic assertFailed, which run's recover converts to a
+// bug like any other in-action failure.
+func (c *controller) nextSendFault(target MachineID) FaultAction {
+	ch := Choice{
+		Kind:     ChoiceFault,
+		Point:    FaultPointSend,
+		Target:   target,
+		Eligible: !c.cfg.Faults.isImmune(target.Type),
+	}
+	d := c.decider.Decide(ch)
+	if d.Kind != DecisionFault {
+		panic(assertFailed{msg: fmt.Sprintf("strategy answered a fault choice with decision kind %d", d.Kind)})
+	}
+	f := d.Fault
+	switch f.Kind {
+	case FaultNone, FaultDrop, FaultDuplicate, FaultReorder:
+	default:
+		panic(assertFailed{msg: fmt.Sprintf("strategy injected %s at a send fault point (only drop/dup/reorder are valid here)", f.Kind)})
+	}
+	if !ch.Eligible && f.Kind != FaultNone {
+		panic(assertFailed{msg: fmt.Sprintf("strategy injected %s on a send to immune machine %s", f.Kind, target)})
+	}
+	// Canonicalize the crash-only fields so the recorded action is exactly
+	// the send-fault kind.
+	f = FaultAction{Kind: f.Kind}
+	c.trace.addFault(f)
+	return f
+}

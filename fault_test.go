@@ -1,0 +1,170 @@
+package psharp_test
+
+// Acceptance tests for fault-injection nondeterminism: the seeded
+// crash-only bug in TwoPhaseCommitFT(buggy) is invisible to fault-free
+// exploration and found by fault-enabled exploration; fault traces replay
+// byte-deterministically; and the correct variant never false-positives no
+// matter how hard it is faulted.
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/psharp-go/psharp"
+	"github.com/psharp-go/psharp/internal/protocols"
+	"github.com/psharp-go/psharp/sct"
+)
+
+// TestFaultInjectionFindsCrashOnlyBug is the headline acceptance test: the
+// buggy FT coordinator announces decisions before persisting them, a
+// mistake no fault-free schedule can expose. 200 fault-free iterations see
+// nothing; the same strategy with a crash budget finds the atomicity
+// violation, and replaying the recorded trace reproduces the identical bug
+// and the identical byte-level trace.
+func TestFaultInjectionFindsCrashOnlyBug(t *testing.T) {
+	b := protocols.MustByName("TwoPhaseCommitFT", true)
+
+	faultFree := sct.Run(b.SetupMonitored(), sct.Options{
+		Strategy:       sct.NewRandom(42),
+		Iterations:     200,
+		MaxSteps:       b.MaxSteps,
+		StopOnFirstBug: true,
+	})
+	if faultFree.FirstBug != nil {
+		t.Fatalf("fault-free exploration found %v; the seeded bug must require a crash", faultFree.FirstBug)
+	}
+
+	rep := sct.Run(b.SetupMonitored(), sct.Options{
+		Strategy:       sct.NewRandom(1),
+		Iterations:     3000,
+		MaxSteps:       b.MaxSteps,
+		StopOnFirstBug: true,
+		Faults: sct.FaultOptions{
+			Budget: 2, Seed: 1, Horizon: 64,
+			Immune: b.FaultImmune, Restart: true,
+		},
+	})
+	if rep.FirstBug == nil {
+		t.Fatalf("fault-enabled exploration missed the seeded bug in %d iterations", rep.Iterations)
+	}
+	if rep.FirstBug.Kind != psharp.BugMonitor {
+		t.Fatalf("found %v (kind %v), want the FTAtomicity monitor violation", rep.FirstBug, rep.FirstBug.Kind)
+	}
+	if rep.Faults.Crashes == 0 {
+		t.Fatalf("run reports no crashes injected: %+v", rep.Faults)
+	}
+	if !rep.FirstBugTrace.HasFaultDecisions() {
+		t.Fatal("the buggy trace records no fault decisions")
+	}
+
+	// Replay reproduces the same bug — and, because every fault query is
+	// recorded (including the declines), the replayed iteration re-records a
+	// byte-identical trace.
+	res := sct.ReplayTrace(b.SetupMonitored(), rep.FirstBugTrace, psharp.TestConfig{MaxSteps: b.MaxSteps})
+	if res.Bug == nil || res.Bug.Kind != rep.FirstBug.Kind || res.Bug.Message != rep.FirstBug.Message {
+		t.Fatalf("replay did not reproduce the bug: got %v, want %v", res.Bug, rep.FirstBug)
+	}
+	var want, got bytes.Buffer
+	if err := rep.FirstBugTrace.Encode(&want); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Trace.Encode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatalf("replayed trace is not byte-identical:\nrecorded:\n%s\nreplayed:\n%s", want.String(), got.String())
+	}
+}
+
+// TestFaultCorrectVariantStaysClean hammers the crash-tolerant (correct)
+// coordinator with a heavy fault load — crashes with restarts, preserved
+// mailboxes, drops, duplicates, reorders — and requires zero violations:
+// fault injection must not manufacture false positives against a program
+// that actually follows the write-ahead discipline.
+func TestFaultCorrectVariantStaysClean(t *testing.T) {
+	b := protocols.MustByName("TwoPhaseCommitFT", false)
+	rep := sct.Run(b.SetupMonitored(), sct.Options{
+		Strategy:   sct.NewRandom(7),
+		Iterations: 1500,
+		MaxSteps:   b.MaxSteps,
+		Faults: sct.FaultOptions{
+			Budget: 4, Seed: 7, Horizon: 64,
+			Immune: b.FaultImmune, Restart: true, PreserveMailbox: true,
+		},
+	})
+	if rep.BuggyIterations != 0 {
+		t.Fatalf("correct variant reported %d buggy iterations (first: %v)", rep.BuggyIterations, rep.FirstBug)
+	}
+	if rep.Faults.Crashes == 0 || rep.Faults.Restarts == 0 || rep.Faults.Total() < 100 {
+		t.Fatalf("fault load did not materialize: %+v", rep.Faults)
+	}
+}
+
+// TestFaultDeterminism runs the same 25 fault-injected iterations on two
+// independently recycled harnesses and requires byte-identical traces:
+// fault decisions are a pure function of (seed, iteration), so recycling
+// and instance reuse must not leak state into the fault stream.
+func TestFaultDeterminism(t *testing.T) {
+	b := protocols.MustByName("TwoPhaseCommitFT", true)
+	const iters = 25
+
+	runAll := func() [][]byte {
+		fi := sct.NewFaultInjector(sct.NewRandom(11), sct.FaultOptions{
+			Budget: 2, Seed: 11, Horizon: 64,
+			Immune: b.FaultImmune, Restart: true,
+		})
+		h := psharp.NewTestHarness(b.SetupMonitored())
+		defer h.Close()
+		var traces [][]byte
+		for i := 0; i < iters; i++ {
+			if !fi.PrepareIteration(i) {
+				t.Fatalf("strategy refused iteration %d", i)
+			}
+			res := h.Run(psharp.TestConfig{
+				Strategy: fi,
+				MaxSteps: b.MaxSteps,
+				Faults:   &psharp.FaultConfig{Immune: b.FaultImmune},
+			})
+			var buf bytes.Buffer
+			if err := res.Trace.Encode(&buf); err != nil {
+				t.Fatal(err)
+			}
+			traces = append(traces, buf.Bytes())
+		}
+		return traces
+	}
+
+	first, second := runAll(), runAll()
+	for i := range first {
+		if !bytes.Equal(first[i], second[i]) {
+			t.Fatalf("iteration %d traces diverged between harnesses:\nfirst:\n%s\nsecond:\n%s",
+				i, first[i], second[i])
+		}
+	}
+}
+
+// TestFaultReplayAutoEnablesFaults locks the ReplayTrace contract: a trace
+// carrying fault decisions replays without the caller wiring any
+// FaultConfig — the engine enables the fault path automatically, and the
+// recorded actions (not a strategy) drive every injection.
+func TestFaultReplayAutoEnablesFaults(t *testing.T) {
+	b := protocols.MustByName("TwoPhaseCommitFT", true)
+	rep := sct.Run(b.SetupMonitored(), sct.Options{
+		Strategy:       sct.NewRandom(2),
+		Iterations:     3000,
+		MaxSteps:       b.MaxSteps,
+		StopOnFirstBug: true,
+		Faults: sct.FaultOptions{
+			Budget: 2, Seed: 2, Horizon: 64,
+			Immune: b.FaultImmune, Restart: true,
+		},
+	})
+	if rep.FirstBug == nil {
+		t.Fatal("no buggy fault trace to replay")
+	}
+	// Note: zero-value TestConfig — no Faults field set.
+	res := sct.ReplayTrace(b.SetupMonitored(), rep.FirstBugTrace, psharp.TestConfig{MaxSteps: b.MaxSteps})
+	if res.Bug == nil || res.Bug.Message != rep.FirstBug.Message {
+		t.Fatalf("replay without explicit FaultConfig got %v, want %v", res.Bug, rep.FirstBug)
+	}
+}

@@ -80,6 +80,7 @@ func (h *TestHarness) Run(cfg TestConfig) IterationResult {
 		SchedulingPoints: c.steps,
 		Machines:         len(h.rt.machines),
 		Trace:            c.trace,
+		Faults:           c.faults,
 	}
 	if c.det != nil {
 		for _, r := range c.det.Races() {
@@ -110,6 +111,8 @@ func (h *TestHarness) reset(cfg TestConfig) {
 	}
 
 	c.cfg = cfg
+	c.setDecider()
+	c.faults = FaultStats{}
 	c.instances = c.instances[:0]
 	c.statuses = c.statuses[:0]
 	c.ready = c.ready[:0]

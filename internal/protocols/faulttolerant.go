@@ -1,0 +1,364 @@
+package protocols
+
+import "github.com/psharp-go/psharp"
+
+// TwoPhaseCommitFT is the crash-tolerant variant of the two-phase commit
+// protocol, built for fault-injection exploration (sct.FaultOptions,
+// psharp-test -faults): a coordinator that persists every decision in a
+// write-ahead log machine and recovers from crashes by replaying the log.
+// The log machine models stable storage and is therefore fault-immune
+// (Benchmark.FaultImmune); everything else — the coordinator and the
+// participants — may be crashed, and their messages dropped, duplicated or
+// reordered, by the strategy.
+//
+// All machines take their configuration as the creation payload, so a
+// crash-with-restart reboots them through the same configuration; the
+// coordinator's first act after (re)boot is to ask the log what was already
+// decided.
+//
+// The correct coordinator follows the write-ahead discipline: log the
+// decision, announce it to participants only once the log acknowledges
+// (with the value the log actually holds), and on recovery re-announce
+// every logged decision before resuming. The buggy variant announces the
+// decision to participants *before* persisting it — harmless in every
+// fault-free schedule (the announced and logged values always agree), but
+// a crash between the announcement sends and the log append loses the
+// decision: recovery re-runs the transaction, the participants vote
+// afresh, and the re-run can decide differently than what the first
+// participant already heard. The FTAtomicity monitor (same shape as
+// TwoPhaseCommit's) observes every outcome report and flags the
+// divergence. The bug is unreachable without a crash fault, which is what
+// makes this benchmark the acceptance case for fault injection.
+
+type ftCoordConfig struct {
+	psharp.EventBase
+	Participants []psharp.MachineID
+	Log          psharp.MachineID
+	Transactions int
+}
+
+type ftPartConfig struct {
+	psharp.EventBase
+	Log psharp.MachineID
+}
+
+type ftPrepare struct {
+	psharp.EventBase
+	Tx   int
+	From psharp.MachineID
+}
+
+type ftVote struct {
+	psharp.EventBase
+	Tx     int
+	Commit bool
+	From   psharp.MachineID
+}
+
+type ftDecide struct {
+	psharp.EventBase
+	Tx     int
+	Commit bool
+}
+
+// ftAppend asks the log to persist a decision; the log acknowledges with
+// the value it holds (first write wins).
+type ftAppend struct {
+	psharp.EventBase
+	Tx     int
+	Commit bool
+	From   psharp.MachineID
+}
+
+type ftAppendAck struct {
+	psharp.EventBase
+	Tx     int
+	Commit bool
+}
+
+type ftRecoverReq struct {
+	psharp.EventBase
+	From psharp.MachineID
+}
+
+type ftRecoverResp struct {
+	psharp.EventBase
+	Decided []ftLogEntry
+	Next    int
+}
+
+type ftLogEntry struct {
+	Tx     int
+	Commit bool
+}
+
+// ftOutcome is a participant's report that it applied a decision; it goes
+// to the log machine (which ignores it) purely so the FTAtomicity monitor
+// observes the send on an immune, always-alive target.
+type ftOutcome struct {
+	psharp.EventBase
+	Tx     int
+	Commit bool
+	From   psharp.MachineID
+}
+
+// ftLog models stable storage: a first-write-wins per-transaction decision
+// log. It is registered fault-immune, so appends and recovery reads never
+// crash, drop or duplicate — exactly the reliability contract of a local
+// disk in the crash-failure model.
+type ftLog struct {
+	psharp.StaticBase
+	decided map[int]bool
+	order   []ftLogEntry
+	next    int
+}
+
+func (*ftLog) ConfigureType(sc *psharp.Schema) {
+	sc.Start("Logging").
+		OnEventDoM(&ftAppend{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			l := m.(*ftLog)
+			a := ev.(*ftAppend)
+			commit, seen := l.decided[a.Tx]
+			if !seen {
+				commit = a.Commit
+				l.decided[a.Tx] = commit
+				l.order = append(l.order, ftLogEntry{Tx: a.Tx, Commit: commit})
+				if a.Tx >= l.next {
+					l.next = a.Tx + 1
+				}
+				ctx.Write("ft.log")
+			}
+			// Acknowledge with the *logged* value: a duplicate append for an
+			// already-decided transaction learns the original decision.
+			ctx.Send(a.From, &ftAppendAck{Tx: a.Tx, Commit: commit})
+		}).
+		OnEventDoM(&ftRecoverReq{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			l := m.(*ftLog)
+			req := ev.(*ftRecoverReq)
+			decided := make([]ftLogEntry, len(l.order))
+			copy(decided, l.order)
+			next := l.next
+			if next == 0 {
+				next = 1
+			}
+			ctx.Send(req.From, &ftRecoverResp{Decided: decided, Next: next})
+		}).
+		Ignore(&ftOutcome{})
+}
+
+// ftCoordinator drives the transactions. Its whole configuration arrives
+// as the creation payload, so a restart re-enters Boot with the same
+// configuration and recovers through the log.
+type ftCoordinator struct {
+	psharp.StaticBase
+	participants []psharp.MachineID
+	log          psharp.MachineID
+	transactions int
+	buggy        bool
+
+	tx       int
+	voted    map[psharp.MachineID]bool
+	commitOK bool
+}
+
+func (probe *ftCoordinator) ConfigureType(sc *psharp.Schema) {
+	// The configuration is the creation payload, delivered to the initial
+	// entry action — on first boot and again on every crash-restart.
+	sc.Start("Boot").
+		OnEntryM(func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			c := m.(*ftCoordinator)
+			cfg := ev.(*ftCoordConfig)
+			c.participants = cfg.Participants
+			c.log = cfg.Log
+			c.transactions = cfg.Transactions
+			ctx.Send(c.log, &ftRecoverReq{From: ctx.ID()})
+			ctx.Goto("Recovering")
+		})
+
+	sc.State("Recovering").
+		OnEventDoM(&ftRecoverResp{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			c := m.(*ftCoordinator)
+			resp := ev.(*ftRecoverResp)
+			// Re-announce every logged decision: a pre-crash announcement may
+			// have reached only some participants (or none), and the dedupe in
+			// the participants makes re-delivery harmless.
+			for _, e := range resp.Decided {
+				for _, p := range c.participants {
+					ctx.Send(p, &ftDecide{Tx: e.Tx, Commit: e.Commit})
+				}
+			}
+			c.tx = resp.Next
+			ctx.Goto("Preparing")
+		}).
+		// Stale traffic from before a crash (or from an earlier recovery)
+		// can drift in while waiting for the log.
+		Ignore(&ftVote{}).
+		Ignore(&ftAppendAck{})
+
+	sc.State("Preparing").
+		OnEntryM(func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			c := m.(*ftCoordinator)
+			if c.tx > c.transactions {
+				ctx.Goto("Done")
+				return
+			}
+			c.voted = make(map[psharp.MachineID]bool, len(c.participants))
+			c.commitOK = true
+			for _, p := range c.participants {
+				ctx.Send(p, &ftPrepare{Tx: c.tx, From: ctx.ID()})
+			}
+			ctx.Goto("WaitVotes")
+		})
+
+	waitVotes := sc.State("WaitVotes").
+		Ignore(&ftAppendAck{}).
+		Ignore(&ftRecoverResp{})
+	waitVotes.OnEventDoM(&ftVote{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+		c := m.(*ftCoordinator)
+		v := ev.(*ftVote)
+		if v.Tx != c.tx {
+			return // stale vote from a pre-crash round
+		}
+		if c.voted[v.From] {
+			return // duplicated vote (message duplication fault)
+		}
+		c.voted[v.From] = true
+		if !v.Commit {
+			c.commitOK = false
+		}
+		if len(c.voted) < len(c.participants) {
+			return
+		}
+		if probe.buggy {
+			// BUG: announce the decision before it is persisted. A crash
+			// between these sends and the append below loses the decision;
+			// recovery re-runs the transaction and can decide differently
+			// than what the participants already heard.
+			for _, p := range c.participants {
+				ctx.Send(p, &ftDecide{Tx: c.tx, Commit: c.commitOK})
+			}
+		}
+		ctx.Send(c.log, &ftAppend{Tx: c.tx, Commit: c.commitOK, From: ctx.ID()})
+		ctx.Goto("AwaitAck")
+	})
+
+	awaitAck := sc.State("AwaitAck").
+		Ignore(&ftVote{}).
+		Ignore(&ftRecoverResp{})
+	awaitAck.OnEventDoM(&ftAppendAck{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+		c := m.(*ftCoordinator)
+		a := ev.(*ftAppendAck)
+		if a.Tx != c.tx {
+			return // duplicated ack from an earlier transaction
+		}
+		if !probe.buggy {
+			// Correct write-ahead order: announce only once logged, and
+			// announce the value the log acknowledged.
+			for _, p := range c.participants {
+				ctx.Send(p, &ftDecide{Tx: a.Tx, Commit: a.Commit})
+			}
+		}
+		c.tx++
+		ctx.Goto("Preparing")
+	})
+
+	sc.State("Done").
+		Ignore(&ftVote{}).
+		Ignore(&ftAppendAck{}).
+		Ignore(&ftRecoverResp{})
+}
+
+// ftParticipant votes nondeterministically on every prepare and applies
+// decisions at most once per transaction, reporting each application to
+// the log (where the FTAtomicity monitor observes it).
+type ftParticipant struct {
+	psharp.StaticBase
+	log     psharp.MachineID
+	applied map[int]bool
+}
+
+func (*ftParticipant) ConfigureType(sc *psharp.Schema) {
+	sc.Start("Boot").
+		OnEntryM(func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			m.(*ftParticipant).log = ev.(*ftPartConfig).Log
+			ctx.Goto("Working")
+		})
+	sc.State("Working").
+		OnEventDoM(&ftPrepare{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			prep := ev.(*ftPrepare)
+			ctx.Send(prep.From, &ftVote{Tx: prep.Tx, Commit: ctx.RandomBool(), From: ctx.ID()})
+		}).
+		OnEventDoM(&ftDecide{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			p := m.(*ftParticipant)
+			d := ev.(*ftDecide)
+			if p.applied[d.Tx] {
+				return // duplicate delivery or recovery re-announcement
+			}
+			p.applied[d.Tx] = true
+			ctx.Write("ft.participant")
+			ctx.Send(p.log, &ftOutcome{Tx: d.Tx, Commit: d.Commit, From: ctx.ID()})
+		})
+}
+
+// ftAtomicityMonitor asserts that every outcome reported for one
+// transaction carries the same decision, across crashes and restarts. Like
+// tpcAtomicityMonitor it observes the ftOutcome sends directly, so it adds
+// no machine and no scheduling points.
+type ftAtomicityMonitor struct {
+	psharp.StaticBase
+	outcome map[int]bool
+}
+
+func (*ftAtomicityMonitor) ConfigureType(sc *psharp.Schema) {
+	sc.Start("Observing").
+		OnEventDoM(&ftOutcome{}, func(m psharp.Machine, ctx *psharp.Context, ev psharp.Event) {
+			mon := m.(*ftAtomicityMonitor)
+			o := ev.(*ftOutcome)
+			prev, seen := mon.outcome[o.Tx]
+			if !seen {
+				mon.outcome[o.Tx] = o.Commit
+				return
+			}
+			if prev != o.Commit {
+				ctx.Assert(false,
+					"atomicity violated for tx %d: %s applied commit=%v, an earlier participant applied %v",
+					o.Tx, o.From, o.Commit, prev)
+			}
+		})
+}
+
+func twoPhaseCommitFTBenchmark(buggy bool) Benchmark {
+	const numParticipants = 2
+	const transactions = 2
+	return Benchmark{
+		Name:     "TwoPhaseCommitFT",
+		Buggy:    buggy,
+		MaxSteps: 1000,
+		Machines: numParticipants + 2,
+		Setup: func(r *psharp.Runtime) {
+			r.MustRegister("FTLog", func() psharp.Machine {
+				return &ftLog{decided: make(map[int]bool)}
+			})
+			r.MustRegister("FTParticipant", func() psharp.Machine {
+				return &ftParticipant{applied: make(map[int]bool)}
+			})
+			r.MustRegister("FTCoordinator", func() psharp.Machine {
+				return &ftCoordinator{buggy: buggy}
+			})
+			log := r.MustCreate("FTLog", nil)
+			parts := make([]psharp.MachineID, numParticipants)
+			for i := range parts {
+				parts[i] = r.MustCreate("FTParticipant", &ftPartConfig{Log: log})
+			}
+			r.MustCreate("FTCoordinator", &ftCoordConfig{
+				Participants: parts, Log: log, Transactions: transactions,
+			})
+		},
+		Monitors: func(r *psharp.Runtime) {
+			r.MustRegisterMonitor("FTAtomicity", func() psharp.Machine {
+				return &ftAtomicityMonitor{outcome: make(map[int]bool)}
+			})
+		},
+		FaultImmune: []string{"FTLog"},
+	}
+}

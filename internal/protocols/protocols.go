@@ -50,6 +50,11 @@ type Benchmark struct {
 	// FairPrefix is the recommended random-prefix length for
 	// sct.NewRandomFair on this benchmark (only meaningful with Temperature).
 	FairPrefix int
+	// FaultImmune lists machine types that model reliable infrastructure
+	// (stable storage, the specification harness) and must never be faulted;
+	// wire it into sct.FaultOptions.Immune when exploring with fault
+	// injection. Empty for benchmarks not designed for fault injection.
+	FaultImmune []string
 }
 
 // SetupMonitored returns Setup with the benchmark's specification monitors
@@ -116,6 +121,19 @@ func Liveness() []Benchmark {
 	}
 }
 
+// FaultTolerant returns the crash-tolerant benchmark suite: protocols
+// written to survive machine crashes, restarts and message faults, whose
+// buggy variants hide bugs that only a fault can expose. They run with
+// their Monitors attached (SetupMonitored) and fault injection enabled
+// (sct.FaultOptions with the benchmark's FaultImmune list) — a fault-free
+// run explores only schedules where the bug cannot manifest.
+func FaultTolerant() []Benchmark {
+	return []Benchmark{
+		twoPhaseCommitFTBenchmark(false),
+		twoPhaseCommitFTBenchmark(true),
+	}
+}
+
 // ByName returns the benchmark with the given name and variant.
 func ByName(name string, buggy bool) (Benchmark, bool) {
 	switch name {
@@ -142,6 +160,8 @@ func ByName(name string, buggy bool) (Benchmark, bool) {
 		return asyncSystemBenchmark(), true
 	case "FairResponder":
 		return fairResponderBenchmark(buggy), true
+	case "TwoPhaseCommitFT":
+		return twoPhaseCommitFTBenchmark(buggy), true
 	default:
 		return Benchmark{}, false
 	}

@@ -75,6 +75,9 @@ type PerfReport struct {
 	// InterpPerf compares the .psl tree-walker against the bytecode VM on
 	// the same corpus. CI gates the speedup at >= MinInterpSpeedup.
 	InterpPerf InterpPerfProbe `json:"interp_perf_probe"`
+	// FaultProbe measures what fault injection buys on the crash-tolerant
+	// corpus: buggy schedules found with the same budget, faults off vs on.
+	FaultProbe FaultProbe `json:"fault_probe"`
 	// WorkerIterations records how many iterations each worker actually
 	// executed (uneven under Dynamic; the static shard sizes otherwise).
 	WorkerIterations []int `json:"worker_iterations"`
@@ -183,6 +186,32 @@ type InterpPerfProbe struct {
 	Speedup float64 `json:"speedup"`
 }
 
+// FaultProbe compares exploration of the crash-tolerant corpus with and
+// without fault injection under an identical schedule budget: the seeded
+// TwoPhaseCommitFT bug is only reachable through a coordinator crash, so
+// the fault-free side is expected to find nothing while the fault-enabled
+// side finds buggy schedules — the bugs-per-budget value the fault
+// subsystem exists to buy. The fault columns record how hard the injector
+// actually drove the program.
+type FaultProbe struct {
+	// Workload names the probed protocol (buggy variant, monitors attached).
+	Workload string `json:"workload"`
+	// ScheduleBudget is the iteration budget given to each side.
+	ScheduleBudget int `json:"schedule_budget"`
+	// FaultBudget is the per-schedule fault budget of the enabled side.
+	FaultBudget int `json:"fault_budget"`
+	// BuggyFaultFree counts buggy schedules found with faults off.
+	BuggyFaultFree int `json:"buggy_schedules_fault_free"`
+	// BuggyWithFaults counts buggy schedules found with faults on.
+	BuggyWithFaults int `json:"buggy_schedules_with_faults"`
+	// Crashes..Reorders break down the faults injected by the enabled side.
+	Crashes    int `json:"crashes"`
+	Restarts   int `json:"restarts"`
+	Drops      int `json:"drops"`
+	Duplicates int `json:"duplicates"`
+	Reorders   int `json:"reorders"`
+}
+
 // MinInterpSpeedup is the regression budget for the interpreter perf probe:
 // the bytecode VM must run corpus schedules at least this many times faster
 // than the tree-walker. CI fails the perf-report step below it.
@@ -264,6 +293,7 @@ func RunPerfProbe(o PerfProbeOptions) (PerfReport, error) {
 	if rep.InterpPerf, err = probeInterpPerf(200); err != nil {
 		return PerfReport{}, err
 	}
+	rep.FaultProbe = probeFaults(o.Seed)
 
 	// Throughput probe, with telemetry attached so the perf artifact embeds
 	// the same campaign document psharp-test -report-out writes.
@@ -301,6 +331,34 @@ func RunPerfProbe(o PerfProbeOptions) (PerfReport, error) {
 		rep.Campaign = sct.NewCampaign(ccfg, &r, nil, tel)
 	}
 	return rep, nil
+}
+
+// probeFaults runs the crash-tolerant corpus benchmark through the engine
+// twice with an identical schedule budget — faults off, then a budget of 2
+// faults per schedule — and reports buggy-schedule counts for both sides
+// plus the injected-fault breakdown. Keep-going mode (no StopOnFirstBug)
+// makes the counts comparable across runs.
+func probeFaults(seed uint64) FaultProbe {
+	b := protocols.MustByName("TwoPhaseCommitFT", true)
+	const budget = 400
+	p := FaultProbe{Workload: b.ID(), ScheduleBudget: budget, FaultBudget: 2}
+	base := sct.Options{
+		Strategy:   sct.NewRandom(seed),
+		Iterations: budget,
+		MaxSteps:   b.MaxSteps,
+	}
+	p.BuggyFaultFree = sct.Run(b.SetupMonitored(), base).BuggyIterations
+	withFaults := base
+	withFaults.Strategy = sct.NewRandom(seed)
+	withFaults.Faults = sct.FaultOptions{
+		Budget: p.FaultBudget, Seed: seed, Horizon: 64,
+		Immune: b.FaultImmune, Restart: true,
+	}
+	r := sct.Run(b.SetupMonitored(), withFaults)
+	p.BuggyWithFaults = r.BuggyIterations
+	p.Crashes, p.Restarts = r.Faults.Crashes, r.Faults.Restarts
+	p.Drops, p.Duplicates, p.Reorders = r.Faults.Drops, r.Faults.Duplicates, r.Faults.Reorders
+	return p
 }
 
 // probeTelemetryOverhead runs the same budget through sct.Run twice — with

@@ -33,6 +33,12 @@ type machineInstance struct {
 	resume  chan struct{}
 	bug     *Bug
 	aborted bool
+	// crashed is set by the controller (while the goroutine is parked) to
+	// make the next park unwind with a crashSignal: the fault-injection
+	// crash. birth is the creation payload, kept so a crash-with-restart
+	// can reboot the machine by re-delivering it.
+	crashed bool
+	birth   Event
 
 	// job feeds a pooled machine goroutine its next iteration's creation
 	// payload; nil under the production runtime, where goroutines are
@@ -55,6 +61,9 @@ func (m *machineInstance) park() {
 	<-m.resume
 	if m.rt.test.isAborting() {
 		panic(abortSignal{})
+	}
+	if m.crashed {
+		panic(crashSignal{})
 	}
 }
 
@@ -97,6 +106,8 @@ func (m *machineInstance) recycle() {
 	m.initReleased = false
 	m.bug = nil
 	m.aborted = false
+	m.crashed = false
+	m.birth = nil
 	m.ctx.currentEvent = nil
 	m.ctx.resetPending()
 }
@@ -112,6 +123,9 @@ func (m *machineInstance) run(payload Event) {
 		switch v := r.(type) {
 		case abortSignal:
 			m.aborted = true
+		case crashSignal:
+			// Fault-injection crash: not a bug. m.crashed is already set;
+			// finish reports ykCrashed to the waiting controller.
 		case assertFailed:
 			m.bug = &Bug{Kind: BugAssertion, Machine: m.id, State: m.state, Message: v.msg}
 		default:
@@ -165,6 +179,10 @@ func (m *machineInstance) finish() {
 	if c := m.rt.test; c != nil {
 		defer c.wg.Done()
 		if m.aborted {
+			return
+		}
+		if m.crashed {
+			c.yield <- yieldMsg{m: m, kind: ykCrashed}
 			return
 		}
 		if m.bug != nil {

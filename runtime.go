@@ -246,6 +246,9 @@ func (r *Runtime) create(machineType string, payload Event, creator *machineInst
 		}
 		c.onCreate(m, creatorIdx)
 		c.wg.Add(1)
+		// Remember the creation payload: a FaultCrash with Restart reboots
+		// the machine by re-delivering it (see controller.restartMachine).
+		m.birth = payload
 		m.job <- payload // hand the iteration to the parked goroutine
 		if creator != nil {
 			creator.yieldPoint() // create-machine is a scheduling point
@@ -303,6 +306,15 @@ func (r *Runtime) enqueue(target MachineID, ev Event, sender MachineID, isMachin
 		}
 	}
 
+	// The per-send fault query: issued on the sending machine's goroutine
+	// for every machine send when faults are enabled, before delivery, so
+	// the query sequence is a function of the schedule alone. Sends to an
+	// already-halted target ignore the answer (there is nothing to fault).
+	fault := FaultAction{}
+	if c != nil && isMachineSend && c.cfg.Faults != nil {
+		fault = c.nextSendFault(target)
+	}
+
 	var clock vclock.VC
 	if c != nil && c.det != nil {
 		clock = c.det.Send(int(sender.Seq))
@@ -315,15 +327,41 @@ func (r *Runtime) enqueue(target MachineID, ev Event, sender MachineID, isMachin
 		if r.logging() {
 			r.logf("dropped %s to halted %s", eventName(ev), target)
 		}
+	} else if fault.Kind == FaultDrop {
+		m.mu.Unlock()
+		c.faults.Drops++
+		r.metrics.DroppedSends.Inc()
+		if r.logging() {
+			r.logf("fault: dropped %s to %s", eventName(ev), target)
+		}
 	} else {
 		r.mu.Lock()
 		r.sendSeq++
 		seq := r.sendSeq
+		var seq2 uint64
+		if fault.Kind == FaultDuplicate {
+			r.sendSeq++
+			seq2 = r.sendSeq
+		}
 		if r.test == nil {
 			r.busy++
 		}
 		r.mu.Unlock()
-		m.queue = append(m.queue, envelope{event: ev, sender: sender, clock: clock, seq: seq})
+		env := envelope{event: ev, sender: sender, clock: clock, seq: seq}
+		switch fault.Kind {
+		case FaultDuplicate:
+			m.queue = append(m.queue, env,
+				envelope{event: ev, sender: sender, clock: clock, seq: seq2})
+			c.faults.Duplicates++
+		case FaultReorder:
+			// Break FIFO: the message overtakes everything already queued.
+			m.queue = append(m.queue, envelope{})
+			copy(m.queue[1:], m.queue)
+			m.queue[0] = env
+			c.faults.Reorders++
+		default:
+			m.queue = append(m.queue, env)
+		}
 		depth := int64(len(m.queue))
 		m.cond.Signal()
 		m.mu.Unlock()

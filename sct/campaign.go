@@ -5,6 +5,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/psharp-go/psharp"
 	"github.com/psharp-go/psharp/obs"
 )
 
@@ -42,6 +43,9 @@ type CampaignConfig struct {
 	Seed       uint64 `json:"seed,omitempty"`
 	Monitors   bool   `json:"monitors,omitempty"`
 	Liveness   bool   `json:"liveness,omitempty"`
+	// FaultBudget is the per-schedule fault-injection budget; 0 means the
+	// campaign ran fault-free.
+	FaultBudget int `json:"fault_budget,omitempty"`
 }
 
 // CampaignResult is the JSON rendering of a merged Report.
@@ -61,6 +65,29 @@ type CampaignResult struct {
 	FirstBugKind          string   `json:"first_bug_kind,omitempty"`
 	FirstBugIteration     int      `json:"first_bug_iteration,omitempty"`
 	Races                 []string `json:"races,omitempty"`
+	// Faults breaks down the faults injected across the campaign; absent
+	// when fault injection was off or never fired.
+	Faults *FaultBreakdown `json:"faults,omitempty"`
+}
+
+// FaultBreakdown is the JSON rendering of psharp.FaultStats, shared by
+// campaign results and telemetry snapshots.
+type FaultBreakdown struct {
+	Crashes    int `json:"crashes,omitempty"`
+	Restarts   int `json:"restarts,omitempty"`
+	Drops      int `json:"drops,omitempty"`
+	Duplicates int `json:"duplicates,omitempty"`
+	Reorders   int `json:"reorders,omitempty"`
+}
+
+func newFaultBreakdown(s psharp.FaultStats) *FaultBreakdown {
+	return &FaultBreakdown{
+		Crashes:    s.Crashes,
+		Restarts:   s.Restarts,
+		Drops:      s.Drops,
+		Duplicates: s.Duplicates,
+		Reorders:   s.Reorders,
+	}
 }
 
 // StrategyBreakdown aggregates the workers that ran one strategy label.
@@ -102,6 +129,9 @@ func NewCampaign(cfg CampaignConfig, rep *Report, workers []WorkerReport, tel *T
 		c.Result.FirstBug = rep.FirstBug.Error()
 		c.Result.FirstBugKind = rep.FirstBug.Kind.String()
 		c.Result.FirstBugIteration = rep.FirstBugIteration
+	}
+	if rep.Faults.Total() > 0 || rep.Faults.Restarts > 0 {
+		c.Result.Faults = newFaultBreakdown(rep.Faults)
 	}
 	c.Strategies = strategyBreakdowns(rep, workers)
 	if tel != nil {

@@ -86,6 +86,19 @@
 // executed), while every found bug still replays deterministically from
 // its trace.
 //
+// Fault injection (Options.Faults) rides the same hot path at near-zero
+// cost when off: with no fault budget the controller never issues fault
+// queries and the trace carries no fault records. With a budget, every
+// scheduler pass and every machine send adds one strategy query and one
+// trace record (an appended Decision, amortized into the recycled trace
+// buffer), and each crash-with-restart pays one factory call plus machine
+// re-wiring — proportional to faults injected, not schedule length. The
+// injector's own randomness is a separate seed-sharded stream, so enabling
+// faults does not perturb which interleavings the inner strategy explores,
+// and fault-enabled parallel runs shard deterministically like Random does
+// (see fault_probe below for what the budget buys on the crash-tolerant
+// corpus).
+//
 // Specification monitors cost almost nothing on this hot path: observation
 // is synchronous, allocation-free dispatch through the monitor's compiled
 // schema (cached per name, instance recycled by the harness), so a
@@ -103,8 +116,10 @@
 // form's cost), monitor_overhead_probe comparing the protocol with its
 // specification monitors attached vs plain, telemetry_overhead_probe
 // comparing allocs/iteration with a Telemetry accumulator attached vs
-// without (its delta is capped at 3), and worker_iterations showing the
-// per-worker split (uneven under Dynamic).
+// without (its delta is capped at 3), fault_probe comparing buggy-schedule
+// yield on the crash-tolerant corpus with faults off vs on under the same
+// schedule budget, and worker_iterations showing the per-worker split
+// (uneven under Dynamic).
 //
 // # Observability
 //

@@ -76,6 +76,13 @@ type Options struct {
 	// One accumulator can also be shared across runs (psharp-bench reuses
 	// one per benchmark variant).
 	Telemetry *Telemetry
+	// Faults configures fault-injection nondeterminism. When Faults.Budget
+	// is positive, the engine wraps Strategy in a FaultInjector (sharded
+	// per worker under RunParallel) and enables fault queries on every
+	// iteration, so schedules explore crashes, drops, duplicates and
+	// reorders on top of interleavings. Zero Budget leaves the run
+	// fault-free.
+	Faults FaultOptions
 }
 
 // Report aggregates an engine run; its fields correspond to the columns of
@@ -111,6 +118,9 @@ type Report struct {
 	Elapsed time.Duration
 	// Races collects distinct race reports from RD-on iterations.
 	Races []string
+	// Faults totals the failure actions injected across all iterations
+	// (zero when the run had no fault budget).
+	Faults psharp.FaultStats
 }
 
 // BugFound reports whether any iteration failed.
@@ -300,6 +310,9 @@ func runWorker(setup func(*psharp.Runtime), sh *shared, w worker) Report {
 	if opts.Telemetry != nil {
 		cfg.Coverage = opts.Telemetry.Coverage()
 	}
+	if opts.Faults.Budget > 0 {
+		cfg.Faults = &psharp.FaultConfig{Immune: opts.Faults.Immune}
+	}
 	for local := 0; ; local++ {
 		if interrupt() {
 			break
@@ -336,6 +349,7 @@ func runWorker(setup func(*psharp.Runtime), sh *shared, w worker) Report {
 		if res.BoundReached {
 			rep.BoundReached++
 		}
+		rep.Faults.Add(res.Faults)
 		if sh.fingerprints.insert(fingerprintTrace(res.Trace)) {
 			rep.DistinctSchedules++
 			sh.distinct.Add(1)
@@ -384,9 +398,13 @@ func Run(setup func(*psharp.Runtime), opts Options) Report {
 		panic("sct: Options.Iterations must be positive")
 	}
 	start := time.Now()
+	strategy := opts.Strategy
+	if opts.Faults.Budget > 0 {
+		strategy = newFaultInjector(strategy, opts.Faults, 0, 1)
+	}
 	sh := newShared(opts, start)
 	rep := runWorker(setup, sh, worker{
-		id: 0, strategy: opts.Strategy, offset: 0, stride: 1, quota: opts.Iterations,
+		id: 0, strategy: strategy, offset: 0, stride: 1, quota: opts.Iterations,
 	})
 	if opts.Telemetry != nil {
 		opts.Telemetry.finish(sh)
@@ -400,9 +418,16 @@ func Run(setup func(*psharp.Runtime), opts Options) Report {
 // cfg's Strategy is replaced by the replay strategy; all other knobs (depth
 // bound, livelock reporting, race detection) apply as given so a livelock
 // trace reproduces as a livelock.
+// If the trace carries fault decisions and cfg.Faults is nil, fault queries
+// are enabled automatically: the recorded actions are self-contained, so
+// replaying a crash schedule needs no knowledge of the original fault
+// configuration.
 func ReplayTrace(setup func(*psharp.Runtime), trace *psharp.Trace, cfg psharp.TestConfig) psharp.IterationResult {
 	rep := NewReplay(trace)
 	rep.PrepareIteration(0)
 	cfg.Strategy = rep
+	if cfg.Faults == nil && trace.HasFaultDecisions() {
+		cfg.Faults = &psharp.FaultConfig{}
+	}
 	return psharp.RunTest(setup, cfg)
 }

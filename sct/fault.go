@@ -1,0 +1,196 @@
+package sct
+
+import (
+	"fmt"
+
+	"github.com/psharp-go/psharp"
+)
+
+// FaultOptions configures PCT-style budgeted fault injection
+// (Options.Faults, psharp-test -faults).
+type FaultOptions struct {
+	// Budget is the maximum number of faults injected per schedule; 0
+	// disables injection entirely.
+	Budget int
+	// Seed seeds the injector's own decision stream (fault placement,
+	// kind, crash target). The stream is sharded across parallel workers
+	// exactly like Random's, so fault-enabled runs stay reproducible and
+	// population-equal under RunParallel.
+	Seed uint64
+	// Horizon is the fault-point count the budget is spread over,
+	// PCT-style: each iteration pre-places Budget injection points
+	// uniformly in [0, Horizon) and fires a fault when an eligible query
+	// lands on one. Fault points beyond the horizon never fault. 0 means
+	// DefaultFaultHorizon. A schedule issues roughly two fault queries per
+	// scheduling point (one per scheduler pass, one per machine send), so
+	// a horizon near the typical schedule's query count concentrates the
+	// budget where the schedule actually runs.
+	Horizon int
+	// Immune lists machine types faults must never touch (see
+	// psharp.FaultConfig.Immune).
+	Immune []string
+	// Restart makes crash faults reboot the machine from its creation
+	// payload with probability 1/2 (a strategy coin flip); when false
+	// every crash is permanent.
+	Restart bool
+	// PreserveMailbox makes crash-with-restart faults keep the machine's
+	// queued events across the reboot instead of clearing them.
+	PreserveMailbox bool
+}
+
+// DefaultFaultHorizon is the fault-point horizon used when
+// FaultOptions.Horizon is zero: wide enough to reach past the warm-up of
+// the protocol workloads, narrow enough that a small budget still fires on
+// typical schedules.
+const DefaultFaultHorizon = 256
+
+// FaultInjector composes fault injection with any inner exploration
+// strategy: machine picks, booleans and integers are delegated to the inner
+// strategy unchanged, while fault queries are answered from a per-iteration
+// PCT-style plan — Budget injection points placed uniformly at random over
+// the first Horizon fault queries of the schedule. When an eligible query
+// lands on an injection point the injector spends one unit of budget on a
+// random fault: a crash of a random crashable machine at schedule points
+// (restarting with probability 1/2 if Restart is set), or a uniformly
+// chosen drop/duplicate/reorder at send points.
+//
+// The injector's own randomness is a seed-sharded splitMix64 stream, kept
+// separate from the inner strategy's so enabling faults does not perturb
+// which interleavings the inner strategy would have explored. It implements
+// Cloneable when the inner strategy does, sharding both streams.
+type FaultInjector struct {
+	inner  Strategy
+	innerD psharp.DecisionStrategy // inner via Decide when it implements it
+
+	budget   int
+	horizon  int
+	seed     uint64
+	restart  bool
+	preserve bool
+	offset   int
+	stride   int
+
+	rng       *splitMix64
+	points    map[int]bool // fault-query indices that inject, this iteration
+	remaining int
+	idx       int // fault queries answered so far this iteration
+}
+
+// NewFaultInjector wraps inner with fault injection per opts; opts.Budget
+// must be positive. The engine calls this automatically when
+// Options.Faults.Budget is set — constructing one directly is only needed
+// to drive a psharp.TestHarness by hand.
+func NewFaultInjector(inner Strategy, opts FaultOptions) *FaultInjector {
+	if opts.Budget <= 0 {
+		panic("sct: NewFaultInjector requires a positive FaultOptions.Budget")
+	}
+	return newFaultInjector(inner, opts, 0, 1)
+}
+
+func newFaultInjector(inner Strategy, opts FaultOptions, offset, stride int) *FaultInjector {
+	horizon := opts.Horizon
+	if horizon <= 0 {
+		horizon = DefaultFaultHorizon
+	}
+	s := &FaultInjector{
+		inner:    inner,
+		budget:   opts.Budget,
+		horizon:  horizon,
+		seed:     opts.Seed,
+		restart:  opts.Restart,
+		preserve: opts.PreserveMailbox,
+		offset:   offset,
+		stride:   stride,
+		rng:      newRNG(opts.Seed),
+		points:   make(map[int]bool, opts.Budget),
+	}
+	s.innerD, _ = inner.(psharp.DecisionStrategy)
+	return s
+}
+
+// Inner returns the wrapped exploration strategy.
+func (s *FaultInjector) Inner() Strategy { return s.inner }
+
+// CloneForWorker shards both the inner strategy and the injector's fault
+// stream; it panics if the inner strategy is not Cloneable.
+func (s *FaultInjector) CloneForWorker(worker, workers int) Strategy {
+	cl, ok := s.inner.(Cloneable)
+	if !ok {
+		panic(fmt.Sprintf("sct: FaultInjector inner strategy %T is not Cloneable", s.inner))
+	}
+	return newFaultInjector(cl.CloneForWorker(worker, workers), FaultOptions{
+		Budget: s.budget, Horizon: s.horizon, Seed: s.seed,
+		Restart: s.restart, PreserveMailbox: s.preserve,
+	}, worker, workers)
+}
+
+// PrepareIteration prepares the inner strategy, then reseeds the fault
+// stream for the global iteration and pre-places the budget's injection
+// points, PCT-style.
+func (s *FaultInjector) PrepareIteration(iter int) bool {
+	if !s.inner.PrepareIteration(iter) {
+		return false
+	}
+	g := uint64(s.offset) + uint64(iter)*uint64(s.stride)
+	// Offset the stream constant so a FaultInjector sharing its seed with
+	// the inner Random still draws an independent sequence.
+	s.rng.reseed(s.seed + 0x6a09e667f3bcc909 + g*0x9e3779b97f4a7c15)
+	clear(s.points)
+	for i := 0; i < s.budget; i++ {
+		s.points[s.rng.intn(s.horizon)] = true
+	}
+	s.remaining = s.budget
+	s.idx = 0
+	return true
+}
+
+// Decide answers fault queries from the iteration's injection plan and
+// routes every other choice to the inner strategy.
+func (s *FaultInjector) Decide(c psharp.Choice) psharp.Decision {
+	if c.Kind != psharp.ChoiceFault {
+		if s.innerD != nil {
+			return s.innerD.Decide(c)
+		}
+		switch c.Kind {
+		case psharp.ChoiceMachine:
+			return psharp.Decision{Kind: psharp.DecisionSchedule, Machine: s.inner.NextMachine(c.Current, c.Enabled)}
+		case psharp.ChoiceBool:
+			return psharp.Decision{Kind: psharp.DecisionBool, Bool: s.inner.NextBool()}
+		case psharp.ChoiceInt:
+			return psharp.Decision{Kind: psharp.DecisionInt, Int: s.inner.NextInt(c.N)}
+		}
+		panic(fmt.Sprintf("sct: fault injector asked for unknown choice kind %d", c.Kind))
+	}
+	i := s.idx
+	s.idx++
+	if s.remaining <= 0 || !c.Eligible || !s.points[i] {
+		return psharp.Decision{Kind: psharp.DecisionFault}
+	}
+	s.remaining--
+	f := psharp.FaultAction{}
+	switch c.Point {
+	case psharp.FaultPointSend:
+		kinds := [3]psharp.FaultKind{psharp.FaultDrop, psharp.FaultDuplicate, psharp.FaultReorder}
+		f.Kind = kinds[s.rng.intn(3)]
+	default: // FaultPointSchedule: crash a random crashable machine
+		f.Kind = psharp.FaultCrash
+		f.Machine = c.Crashable[s.rng.intn(len(c.Crashable))]
+		if s.restart {
+			f.Restart = s.rng.boolean()
+		}
+		f.PreserveMailbox = f.Restart && s.preserve
+	}
+	return psharp.Decision{Kind: psharp.DecisionFault, Fault: f}
+}
+
+// NextMachine delegates to the inner strategy (legacy interface; the
+// controller drives the injector through Decide).
+func (s *FaultInjector) NextMachine(current psharp.MachineID, enabled []psharp.MachineID) psharp.MachineID {
+	return s.inner.NextMachine(current, enabled)
+}
+
+// NextBool delegates to the inner strategy.
+func (s *FaultInjector) NextBool() bool { return s.inner.NextBool() }
+
+// NextInt delegates to the inner strategy.
+func (s *FaultInjector) NextInt(n int) int { return s.inner.NextInt(n) }

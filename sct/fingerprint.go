@@ -53,6 +53,20 @@ func fingerprintTrace(t *psharp.Trace) uint64 {
 			}
 		case psharp.DecisionInt:
 			h = fnvUint64(h, uint64(d.Int))
+		case psharp.DecisionFault:
+			h = fnvByte(h, byte(d.Fault.Kind))
+			if d.Fault.Kind == psharp.FaultCrash {
+				h = fnvString(h, d.Fault.Machine.Type)
+				h = fnvUint64(h, d.Fault.Machine.Seq)
+				bits := byte(0)
+				if d.Fault.Restart {
+					bits |= 1
+				}
+				if d.Fault.PreserveMailbox {
+					bits |= 2
+				}
+				h = fnvByte(h, bits)
+			}
 		}
 	}
 	return h

@@ -95,6 +95,12 @@ func RunParallel(setup func(*psharp.Runtime), opts ParallelOptions) ParallelRepo
 		if err != nil {
 			panic("sct: " + err.Error())
 		}
+		if opts.Faults.Budget > 0 {
+			// Wrap after per-worker resolution so the injector's own fault
+			// stream shards alongside the inner strategy's seed stream.
+			strategy = newFaultInjector(strategy, opts.Faults, w, n)
+			label = "faults+" + label
+		}
 		workers[w] = worker{
 			id:       w,
 			strategy: strategy,
@@ -184,6 +190,7 @@ func mergeReports(workers []WorkerReport) Report {
 		if rep.MaxMachines > merged.MaxMachines {
 			merged.MaxMachines = rep.MaxMachines
 		}
+		merged.Faults.Add(rep.Faults)
 		races.addAll(rep.Races)
 		if rep.FirstBug != nil &&
 			(merged.FirstBug == nil || rep.FirstBugIteration < merged.FirstBugIteration) {
@@ -200,7 +207,9 @@ func mergeReports(workers []WorkerReport) Report {
 
 // strategyName labels a strategy for sub-reports and progress lines.
 func strategyName(s Strategy) string {
-	switch s.(type) {
+	switch s := s.(type) {
+	case *FaultInjector:
+		return "faults+" + strategyName(s.inner)
 	case *Random:
 		return "random"
 	case *RandomFair:

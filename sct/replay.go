@@ -67,3 +67,27 @@ func (s *Replay) NextInt(n int) int {
 	}
 	return d.Int
 }
+
+// Decide implements psharp.DecisionStrategy, which is what lets Replay
+// answer fault queries: a fault-era trace replays by returning each
+// recorded psharp.FaultAction — crashes, drops, duplicates and the
+// FaultNone declines — at exactly the query where it was recorded. The
+// controller re-validates each action against the current state, so a
+// divergent program still fails loudly instead of misinjecting.
+func (s *Replay) Decide(c psharp.Choice) psharp.Decision {
+	switch c.Kind {
+	case psharp.ChoiceMachine:
+		return psharp.Decision{Kind: psharp.DecisionSchedule, Machine: s.NextMachine(c.Current, c.Enabled)}
+	case psharp.ChoiceBool:
+		return s.next(psharp.DecisionBool)
+	case psharp.ChoiceInt:
+		d := s.next(psharp.DecisionInt)
+		if d.Int >= c.N {
+			panic(fmt.Sprintf("sct: replay divergence at decision %d: recorded %d out of range %d", s.pos-1, d.Int, c.N))
+		}
+		return d
+	case psharp.ChoiceFault:
+		return s.next(psharp.DecisionFault)
+	}
+	panic(fmt.Sprintf("sct: replay asked for unknown choice kind %d", c.Kind))
+}

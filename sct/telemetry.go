@@ -29,6 +29,7 @@ type Telemetry struct {
 
 	mu     sync.Mutex
 	census map[string]int64 // bug kind -> buggy iteration count
+	faults psharp.FaultStats
 
 	start time.Time
 }
@@ -51,15 +52,18 @@ func (t *Telemetry) begin(start time.Time) { t.start = start }
 // scheduling hot path (between iterations).
 func (t *Telemetry) record(res *psharp.IterationResult) {
 	t.depth.Observe(int64(res.SchedulingPoints))
+	if res.Bug == nil && res.Faults.Total() == 0 && res.Faults.Restarts == 0 {
+		return
+	}
+	t.mu.Lock()
 	if res.Bug != nil {
-		kind := res.Bug.Kind.String()
-		t.mu.Lock()
 		if t.census == nil {
 			t.census = make(map[string]int64)
 		}
-		t.census[kind]++
-		t.mu.Unlock()
+		t.census[res.Bug.Kind.String()]++
 	}
+	t.faults.Add(res.Faults)
+	t.mu.Unlock()
 }
 
 // maybeSample takes a growth-curve point if the current time bucket is due.
@@ -102,6 +106,9 @@ type TelemetrySnapshot struct {
 	Coverage           []obs.TransitionCount `json:"coverage,omitempty"`
 	// BugCensus counts buggy iterations by bug kind.
 	BugCensus map[string]int64 `json:"bug_census,omitempty"`
+	// Faults breaks down injected faults across the campaign; present only
+	// when fault injection was on and at least one fault fired.
+	Faults *FaultBreakdown `json:"faults,omitempty"`
 	// GrowthCurve samples campaign progress over wall-clock time.
 	GrowthCurve []GrowthPoint `json:"growth_curve,omitempty"`
 }
@@ -121,6 +128,9 @@ func (t *Telemetry) Snapshot() *TelemetrySnapshot {
 		for k, v := range t.census {
 			s.BugCensus[k] = v
 		}
+	}
+	if t.faults.Total() > 0 || t.faults.Restarts > 0 {
+		s.Faults = newFaultBreakdown(t.faults)
 	}
 	t.mu.Unlock()
 	for _, p := range t.curve.Points() {

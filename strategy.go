@@ -1,5 +1,7 @@
 package psharp
 
+import "fmt"
+
 // Strategy decides scheduling and nondeterministic choices in bug-finding
 // mode (paper Section 6.2). The serialized runtime calls NextMachine at each
 // scheduling point (before send and create-machine operations, and when the
@@ -13,8 +15,138 @@ package psharp
 // All calls within one iteration are serialized by the runtime, so Strategy
 // implementations need no internal locking. Concrete strategies (random,
 // DFS, PCT, delay-bounding, replay) live in the sct package.
+//
+// Strategy is the compatibility surface of the decision model below: the
+// controller drives every strategy through DecisionStrategy, wrapping a
+// plain Strategy in an adapter that maps the three methods onto the
+// corresponding Choice kinds and answers fault queries with FaultNone. A
+// strategy that wants to inject faults (or to see every nondeterminism
+// point through one entry point) implements DecisionStrategy as well; the
+// controller then calls Decide directly and the three methods are unused.
 type Strategy interface {
 	NextMachine(current MachineID, enabled []MachineID) MachineID
 	NextBool() bool
 	NextInt(n int) int
+}
+
+// ChoiceKind labels the nondeterminism points the controller can put to a
+// strategy.
+type ChoiceKind int
+
+// Choice kinds.
+const (
+	// ChoiceMachine asks which enabled machine steps next.
+	ChoiceMachine ChoiceKind = iota
+	// ChoiceBool asks for a controlled boolean (Context.RandomBool).
+	ChoiceBool
+	// ChoiceInt asks for a controlled integer in [0, N) (Context.RandomInt).
+	ChoiceInt
+	// ChoiceFault asks whether to inject a failure action here. Fault
+	// queries happen only when TestConfig.Faults is set: once per
+	// scheduler pass (may a machine crash?) and once per machine send
+	// (should this message be dropped, duplicated or reordered?).
+	ChoiceFault
+)
+
+// FaultPoint says where in the schedule a ChoiceFault query arises.
+type FaultPoint int
+
+// Fault query points.
+const (
+	// FaultPointSchedule is the per-pass query issued by the scheduler
+	// loop before it picks the next machine; the only fault expressible
+	// here is FaultCrash against one of Choice.Crashable.
+	FaultPointSchedule FaultPoint = iota
+	// FaultPointSend is the per-send query issued while a machine-to-
+	// machine message is in flight; the faults expressible here are
+	// FaultDrop, FaultDuplicate and FaultReorder.
+	FaultPointSend
+)
+
+// Choice describes one nondeterminism point. Only the fields of the active
+// Kind are meaningful. The Enabled and Crashable slices are scratch buffers
+// the runtime reuses; copy them to keep them.
+//
+// Fault queries are issued unconditionally whenever faults are enabled —
+// even when no fault is permitted at this point — so that the query
+// sequence is a function of the schedule alone and recorded traces replay
+// without knowing the original fault configuration. Ineligible queries
+// (Eligible false: the send targets an immune machine, or no machine is
+// crashable) must be answered FaultNone.
+type Choice struct {
+	Kind ChoiceKind
+
+	// ChoiceMachine.
+	Current MachineID
+	Enabled []MachineID
+
+	// ChoiceInt: the exclusive upper bound.
+	N int
+
+	// ChoiceFault.
+	Point     FaultPoint
+	Crashable []MachineID // FaultPointSchedule: machines a crash may target
+	Target    MachineID   // FaultPointSend: the message's destination
+	Eligible  bool        // false: the only valid answer is FaultNone
+}
+
+// DecisionStrategy is the generalized strategy interface: one entry point
+// the controller calls at every nondeterminism point. Decide must return a
+// Decision whose Kind matches the query (ChoiceMachine → DecisionSchedule,
+// ChoiceBool → DecisionBool, ChoiceInt → DecisionInt, ChoiceFault →
+// DecisionFault); a mismatched or invalid decision ends the iteration with
+// a bug attributed to the strategy. Like Strategy, all calls within one
+// iteration are serialized.
+type DecisionStrategy interface {
+	Decide(c Choice) Decision
+}
+
+// legacyDecider adapts a plain Strategy to the decision API. It answers
+// every fault query with FaultNone, so pre-fault strategies compose with
+// fault-enabled configs (they just never inject anything). The controller
+// embeds one by value to avoid a per-iteration allocation.
+type legacyDecider struct {
+	s Strategy
+}
+
+func (a *legacyDecider) Decide(c Choice) Decision {
+	switch c.Kind {
+	case ChoiceMachine:
+		return Decision{Kind: DecisionSchedule, Machine: a.s.NextMachine(c.Current, c.Enabled)}
+	case ChoiceBool:
+		return Decision{Kind: DecisionBool, Bool: a.s.NextBool()}
+	case ChoiceInt:
+		return Decision{Kind: DecisionInt, Int: a.s.NextInt(c.N)}
+	case ChoiceFault:
+		return Decision{Kind: DecisionFault}
+	}
+	panic(fmt.Sprintf("psharp: unknown choice kind %d", c.Kind))
+}
+
+// AsStrategy wraps a pure DecisionStrategy as a Strategy so it can be used
+// as TestConfig.Strategy. The controller detects the underlying
+// DecisionStrategy and routes every query — including fault queries —
+// through Decide; the three legacy methods exist only to satisfy the
+// config's type. Strategies that already implement both interfaces (like
+// sct.FaultInjector and sct.Replay) do not need the wrapper.
+func AsStrategy(d DecisionStrategy) Strategy {
+	return &deciderStrategy{d: d}
+}
+
+type deciderStrategy struct {
+	d DecisionStrategy
+}
+
+func (w *deciderStrategy) Decide(c Choice) Decision { return w.d.Decide(c) }
+
+func (w *deciderStrategy) NextMachine(current MachineID, enabled []MachineID) MachineID {
+	return w.d.Decide(Choice{Kind: ChoiceMachine, Current: current, Enabled: enabled}).Machine
+}
+
+func (w *deciderStrategy) NextBool() bool {
+	return w.d.Decide(Choice{Kind: ChoiceBool}).Bool
+}
+
+func (w *deciderStrategy) NextInt(n int) int {
+	return w.d.Decide(Choice{Kind: ChoiceInt, N: n}).Int
 }

@@ -52,6 +52,16 @@ type TestConfig struct {
 	// recorded into it. The set is safe for concurrent use, so parallel
 	// exploration workers can share one and report campaign-wide coverage.
 	Coverage *obs.StateEventCoverage
+	// Faults, if non-nil, enables fault-injection nondeterminism: the
+	// controller issues a ChoiceFault query once per scheduler pass (crash?)
+	// and once per machine-to-machine send (drop/duplicate/reorder?), and
+	// records every answer — including declines — in the trace. Plain
+	// Strategy values answer FaultNone to every query via the compatibility
+	// adapter; to actually inject faults the strategy must implement
+	// DecisionStrategy (see sct.FaultInjector). Replaying a fault-era trace
+	// needs only a non-nil &FaultConfig{}: the recorded actions carry
+	// everything else.
+	Faults *FaultConfig
 	// Log, if non-nil, receives the execution log of the iteration.
 	Log io.Writer
 }
@@ -74,6 +84,8 @@ type IterationResult struct {
 	Trace *Trace
 	// Races lists data races found by the detector in RD-on mode.
 	Races []string
+	// Faults counts the failure actions injected during the iteration.
+	Faults FaultStats
 }
 
 type yieldKind int
@@ -83,6 +95,7 @@ const (
 	ykBlocked
 	ykBug
 	ykHalted
+	ykCrashed
 )
 
 type yieldMsg struct {
@@ -138,6 +151,17 @@ type controller struct {
 	bound       bool
 	interrupted bool
 	det         *vclock.Detector
+
+	// decider is the strategy as seen through the decision API: the
+	// strategy itself if it implements DecisionStrategy, else legacy
+	// wrapping it (embedded by value so the adapter never allocates).
+	decider DecisionStrategy
+	legacy  legacyDecider
+
+	// faults counts injected failures; crashScratch is the reusable
+	// crashable-machine list handed to schedule-level fault queries.
+	faults       FaultStats
+	crashScratch []MachineID
 
 	aborting atomic.Bool
 }
@@ -217,19 +241,36 @@ func (c *controller) onDequeue(m *machineInstance, env envelope) {
 	}
 }
 
+// setDecider caches the per-iteration view of cfg.Strategy through the
+// decision API, avoiding the type assertion at every nondeterminism point.
+func (c *controller) setDecider() {
+	if ds, ok := c.cfg.Strategy.(DecisionStrategy); ok {
+		c.decider = ds
+		return
+	}
+	c.legacy.s = c.cfg.Strategy
+	c.decider = &c.legacy
+}
+
 func (c *controller) nextBool() bool {
-	v := c.cfg.Strategy.NextBool()
-	c.trace.addBool(v)
-	return v
+	d := c.decider.Decide(Choice{Kind: ChoiceBool})
+	if d.Kind != DecisionBool {
+		panic(assertFailed{msg: fmt.Sprintf("strategy answered a bool choice with decision kind %d", d.Kind)})
+	}
+	c.trace.addBool(d.Bool)
+	return d.Bool
 }
 
 func (c *controller) nextInt(n int) int {
-	v := c.cfg.Strategy.NextInt(n)
-	if v < 0 || v >= n {
-		panic(assertFailed{msg: fmt.Sprintf("strategy returned %d for NextInt(%d)", v, n)})
+	d := c.decider.Decide(Choice{Kind: ChoiceInt, N: n})
+	if d.Kind != DecisionInt {
+		panic(assertFailed{msg: fmt.Sprintf("strategy answered an int choice with decision kind %d", d.Kind)})
 	}
-	c.trace.addInt(v)
-	return v
+	if d.Int < 0 || d.Int >= n {
+		panic(assertFailed{msg: fmt.Sprintf("strategy returned %d for NextInt(%d)", d.Int, n)})
+	}
+	c.trace.addInt(d.Int)
+	return d.Int
 }
 
 // anyQueuedWhileBlocked detects the deadlock case: machines hold only
@@ -279,8 +320,25 @@ func (c *controller) loop() {
 			}
 			break
 		}
+		if c.cfg.Faults != nil {
+			crashed := c.scheduleFault()
+			if c.bug != nil {
+				break
+			}
+			if crashed {
+				// Start the pass over: the crash may have emptied the ready
+				// set, and the next pass gets its own fault query.
+				continue
+			}
+		}
 		c.scratch = append(c.scratch[:0], c.ready...)
-		next := c.cfg.Strategy.NextMachine(c.current, c.scratch)
+		d := c.decider.Decide(Choice{Kind: ChoiceMachine, Current: c.current, Enabled: c.scratch})
+		if d.Kind != DecisionSchedule {
+			c.bug = &Bug{Kind: BugPanic,
+				Message: fmt.Sprintf("strategy answered a machine choice with decision kind %d", d.Kind)}
+			break
+		}
+		next := d.Machine
 		if !contains(c.scratch, next) {
 			c.bug = &Bug{Kind: BugPanic, Machine: next,
 				Message: fmt.Sprintf("strategy chose %s, which is not enabled", next)}

@@ -8,6 +8,12 @@ import (
 	"strings"
 )
 
+// TraceFormatVersion is the version of the trace text encoding this build
+// reads and writes. Version 2 added the header line and fault-decision
+// records; version-1 traces (headerless, pre-fault) are rejected by
+// DecodeTrace because a fault-era controller would misreplay them.
+const TraceFormatVersion = 2
+
 // DecisionKind labels entries of a schedule trace.
 type DecisionKind int
 
@@ -19,14 +25,69 @@ const (
 	DecisionBool
 	// DecisionInt records a controlled integer choice.
 	DecisionInt
+	// DecisionFault records the answer to a fault query: which failure
+	// action (possibly none) the strategy injected at this point.
+	DecisionFault
 )
+
+// FaultKind enumerates the failure actions a strategy can inject when
+// TestConfig.Faults is set.
+type FaultKind int
+
+// Fault kinds.
+const (
+	// FaultNone records that the strategy declined to inject a fault at
+	// this query. Recording the declines keeps the trace a complete
+	// transcript of every decision, so replay never has to guess where the
+	// queries happened.
+	FaultNone FaultKind = iota
+	// FaultCrash halts a machine mid-schedule (at a schedule-level fault
+	// point), optionally restarting it from its creation payload.
+	FaultCrash
+	// FaultDrop silently discards the message being sent.
+	FaultDrop
+	// FaultDuplicate delivers the message being sent twice.
+	FaultDuplicate
+	// FaultReorder enqueues the message being sent at the front of the
+	// target's queue instead of the back, breaking FIFO delivery.
+	FaultReorder
+)
+
+// String returns the record mnemonic used in the trace encoding.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultCrash:
+		return "crash"
+	case FaultDrop:
+		return "drop"
+	case FaultDuplicate:
+		return "dup"
+	case FaultReorder:
+		return "reorder"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// FaultAction is a strategy's answer to a fault query: the failure to
+// inject, if any. Machine, Restart and PreserveMailbox apply to FaultCrash
+// only; the drop/duplicate/reorder kinds act on the message whose send
+// triggered the query.
+type FaultAction struct {
+	Kind            FaultKind
+	Machine         MachineID // FaultCrash: the machine to crash
+	Restart         bool      // FaultCrash: reboot it from its creation payload
+	PreserveMailbox bool      // FaultCrash+Restart: keep queued events across the reboot
+}
 
 // Decision is one scheduling or nondeterminism decision.
 type Decision struct {
 	Kind    DecisionKind
-	Machine MachineID // DecisionSchedule
-	Bool    bool      // DecisionBool
-	Int     int       // DecisionInt
+	Machine MachineID   // DecisionSchedule
+	Bool    bool        // DecisionBool
+	Int     int         // DecisionInt
+	Fault   FaultAction // DecisionFault
 }
 
 // Trace records every decision of one test iteration. Because machine IDs
@@ -49,8 +110,26 @@ func (t *Trace) addInt(v int) {
 	t.Decisions = append(t.Decisions, Decision{Kind: DecisionInt, Int: v})
 }
 
+func (t *Trace) addFault(f FaultAction) {
+	t.Decisions = append(t.Decisions, Decision{Kind: DecisionFault, Fault: f})
+}
+
 // Len returns the number of recorded decisions.
 func (t *Trace) Len() int { return len(t.Decisions) }
+
+// HasFaultDecisions reports whether the trace contains any fault-query
+// records, i.e. whether it was recorded with TestConfig.Faults enabled.
+// Replaying such a trace requires fault queries to be enabled again;
+// sct.ReplayTrace and psharp-test -replay use this to turn them on
+// automatically.
+func (t *Trace) HasFaultDecisions() bool {
+	for _, d := range t.Decisions {
+		if d.Kind == DecisionFault {
+			return true
+		}
+	}
+	return false
+}
 
 // Clone returns a deep copy of the trace. A TestHarness reuses its trace
 // buffer across iterations, so callers that retain an IterationResult.Trace
@@ -62,13 +141,22 @@ func (t *Trace) Clone() *Trace {
 	return &Trace{Decisions: append([]Decision(nil), t.Decisions...)}
 }
 
-// Encode writes the trace in a line-oriented text format:
+// Encode writes the trace in a line-oriented text format. The first line is
+// a required header naming the format version; the records are
 //
-//	s <machine-type> <machine-seq>
-//	b 0|1
-//	i <value>
+//	s <machine-type> <machine-seq>              scheduling pick
+//	b 0|1                                       controlled boolean
+//	i <value>                                   controlled integer
+//	f none|drop|dup|reorder                     fault query answer (send point)
+//	f crash <machine-type> <machine-seq> <restart 0|1> <keepq 0|1>
 func (t *Trace) Encode(w io.Writer) error {
 	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "psharp-trace %d\n", TraceFormatVersion); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(bw, "# records: s <type> <seq> | b 0|1 | i <value> | f none|drop|dup|reorder | f crash <type> <seq> <restart> <keepq>"); err != nil {
+		return err
+	}
 	for _, d := range t.Decisions {
 		var err error
 		switch d.Kind {
@@ -82,6 +170,20 @@ func (t *Trace) Encode(w io.Writer) error {
 			_, err = fmt.Fprintf(bw, "b %d\n", v)
 		case DecisionInt:
 			_, err = fmt.Fprintf(bw, "i %d\n", d.Int)
+		case DecisionFault:
+			if d.Fault.Kind == FaultCrash {
+				restart, keepq := 0, 0
+				if d.Fault.Restart {
+					restart = 1
+				}
+				if d.Fault.PreserveMailbox {
+					keepq = 1
+				}
+				_, err = fmt.Fprintf(bw, "f crash %s %d %d %d\n",
+					d.Fault.Machine.Type, d.Fault.Machine.Seq, restart, keepq)
+			} else {
+				_, err = fmt.Fprintf(bw, "f %s\n", d.Fault.Kind)
+			}
 		}
 		if err != nil {
 			return err
@@ -90,15 +192,37 @@ func (t *Trace) Encode(w io.Writer) error {
 	return bw.Flush()
 }
 
-// DecodeTrace parses the format produced by Encode.
+// DecodeTrace parses the format produced by Encode. Traces without the
+// "psharp-trace <version>" header — including every trace recorded before
+// format version 2 introduced fault decisions — are rejected with a clear
+// error rather than silently misreplayed; re-record them with this build.
 func DecodeTrace(r io.Reader) (*Trace, error) {
 	t := &Trace{}
 	sc := bufio.NewScanner(r)
 	line := 0
+	sawHeader := false
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
+		if text == "" {
+			continue
+		}
+		if !sawHeader {
+			fields := strings.Fields(text)
+			if fields[0] != "psharp-trace" || len(fields) != 2 {
+				return nil, fmt.Errorf("trace line %d: missing 'psharp-trace %d' header — this looks like a pre-fault (version 1) trace or not a trace at all; re-record it with this build", line, TraceFormatVersion)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("trace line %d: bad format version %q", line, fields[1])
+			}
+			if v != TraceFormatVersion {
+				return nil, fmt.Errorf("trace line %d: unsupported trace format version %d (this build reads version %d)", line, v, TraceFormatVersion)
+			}
+			sawHeader = true
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
 			continue
 		}
 		fields := strings.Fields(text)
@@ -126,9 +250,63 @@ func DecodeTrace(r io.Reader) (*Trace, error) {
 				return nil, fmt.Errorf("trace line %d: bad value: %v", line, err)
 			}
 			t.addInt(v)
+		case "f":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("trace line %d: want 'f <kind>', got %q", line, text)
+			}
+			switch fields[1] {
+			case "none", "drop", "dup", "reorder":
+				if len(fields) != 2 {
+					return nil, fmt.Errorf("trace line %d: want 'f %s', got %q", line, fields[1], text)
+				}
+				kind := map[string]FaultKind{
+					"none": FaultNone, "drop": FaultDrop, "dup": FaultDuplicate, "reorder": FaultReorder,
+				}[fields[1]]
+				t.addFault(FaultAction{Kind: kind})
+			case "crash":
+				if len(fields) != 6 {
+					return nil, fmt.Errorf("trace line %d: want 'f crash <type> <seq> <restart> <keepq>', got %q", line, text)
+				}
+				seq, err := strconv.ParseUint(fields[3], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("trace line %d: bad seq: %v", line, err)
+				}
+				restart, err := parseTraceBit(fields[4])
+				if err != nil {
+					return nil, fmt.Errorf("trace line %d: bad restart flag: %v", line, err)
+				}
+				keepq, err := parseTraceBit(fields[5])
+				if err != nil {
+					return nil, fmt.Errorf("trace line %d: bad keepq flag: %v", line, err)
+				}
+				t.addFault(FaultAction{
+					Kind:            FaultCrash,
+					Machine:         MachineID{Type: fields[2], Seq: seq},
+					Restart:         restart,
+					PreserveMailbox: keepq,
+				})
+			default:
+				return nil, fmt.Errorf("trace line %d: unknown fault kind %q", line, fields[1])
+			}
 		default:
 			return nil, fmt.Errorf("trace line %d: unknown record %q", line, fields[0])
 		}
 	}
-	return t, sc.Err()
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("trace: empty input, missing 'psharp-trace %d' header", TraceFormatVersion)
+	}
+	return t, nil
+}
+
+func parseTraceBit(s string) (bool, error) {
+	switch s {
+	case "0":
+		return false, nil
+	case "1":
+		return true, nil
+	}
+	return false, fmt.Errorf("want 0 or 1, got %q", s)
 }

@@ -72,3 +72,67 @@ func TestTraceEncodeDecodeRoundTrip(t *testing.T) {
 		t.Fatalf("decoded trace did not replay the bug: got %v, want %v", res.Bug, bug)
 	}
 }
+
+// TestTraceRejectsHeaderless locks the version gate: a version-1 trace
+// (or any non-trace input) has no "psharp-trace" header and must fail
+// loudly instead of silently replaying the wrong decisions.
+func TestTraceRejectsHeaderless(t *testing.T) {
+	v1 := "s Worker 1\nb 1\ns Worker 2\n"
+	if _, err := psharp.DecodeTrace(strings.NewReader(v1)); err == nil {
+		t.Fatal("DecodeTrace accepted a headerless (pre-fault, version 1) trace")
+	} else if !strings.Contains(err.Error(), "header") {
+		t.Fatalf("error %q does not mention the missing header", err)
+	}
+	if _, err := psharp.DecodeTrace(strings.NewReader("")); err == nil {
+		t.Fatal("DecodeTrace accepted empty input")
+	}
+}
+
+// TestTraceRejectsUnknownVersion checks that traces from a future format
+// version are refused rather than misparsed.
+func TestTraceRejectsUnknownVersion(t *testing.T) {
+	future := "psharp-trace 3\ns Worker 1\n"
+	if _, err := psharp.DecodeTrace(strings.NewReader(future)); err == nil {
+		t.Fatal("DecodeTrace accepted an unsupported future version")
+	} else if !strings.Contains(err.Error(), "version") {
+		t.Fatalf("error %q does not mention the version", err)
+	}
+}
+
+// TestTraceFaultRecordsRoundTrip round-trips every fault record shape —
+// declines, message faults, and crashes with each restart/mailbox
+// combination — through the version-2 text encoding.
+func TestTraceFaultRecordsRoundTrip(t *testing.T) {
+	trace := &psharp.Trace{Decisions: []psharp.Decision{
+		{Kind: psharp.DecisionSchedule, Machine: psharp.MachineID{Type: "Coord", Seq: 1}},
+		{Kind: psharp.DecisionFault}, // a recorded decline (FaultNone)
+		{Kind: psharp.DecisionFault, Fault: psharp.FaultAction{Kind: psharp.FaultDrop}},
+		{Kind: psharp.DecisionFault, Fault: psharp.FaultAction{Kind: psharp.FaultDuplicate}},
+		{Kind: psharp.DecisionFault, Fault: psharp.FaultAction{Kind: psharp.FaultReorder}},
+		{Kind: psharp.DecisionBool, Bool: true},
+		{Kind: psharp.DecisionFault, Fault: psharp.FaultAction{
+			Kind: psharp.FaultCrash, Machine: psharp.MachineID{Type: "Coord", Seq: 1}}},
+		{Kind: psharp.DecisionFault, Fault: psharp.FaultAction{
+			Kind: psharp.FaultCrash, Machine: psharp.MachineID{Type: "Worker", Seq: 2}, Restart: true}},
+		{Kind: psharp.DecisionFault, Fault: psharp.FaultAction{
+			Kind: psharp.FaultCrash, Machine: psharp.MachineID{Type: "Worker", Seq: 3}, Restart: true, PreserveMailbox: true}},
+		{Kind: psharp.DecisionInt, Int: 4},
+	}}
+	if !trace.HasFaultDecisions() {
+		t.Fatal("HasFaultDecisions is false on a trace full of fault records")
+	}
+	var buf bytes.Buffer
+	if err := trace.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "psharp-trace 2\n") {
+		t.Fatalf("encoded trace does not begin with the version header:\n%s", buf.String())
+	}
+	decoded, err := psharp.DecodeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(trace.Decisions, decoded.Decisions) {
+		t.Fatalf("fault records diverged after round-trip:\nbefore: %v\nafter:  %v", trace.Decisions, decoded.Decisions)
+	}
+}
