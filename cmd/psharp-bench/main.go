@@ -122,6 +122,11 @@ func main() {
 			rep.FaultProbe.FaultBudget, rep.FaultProbe.BuggyFaultFree,
 			rep.FaultProbe.Crashes, rep.FaultProbe.Restarts, rep.FaultProbe.Drops,
 			rep.FaultProbe.Duplicates, rep.FaultProbe.Reorders)
+		fmt.Printf("resume round trip on %s: split at %d/%d, resumed to %d distinct (%d buggy) vs solo %d distinct (%d buggy), resumed slice ran %d\n",
+			rep.ResumeProbe.Workload, rep.ResumeProbe.SplitAt, rep.ResumeProbe.ScheduleBudget,
+			rep.ResumeProbe.DistinctResumed, rep.ResumeProbe.BuggyResumed,
+			rep.ResumeProbe.DistinctSolo, rep.ResumeProbe.BuggySolo,
+			rep.ResumeProbe.ResumedSliceIterations)
 		// The telemetry-overhead gate: CI runs this command, so a regression
 		// that makes observability allocate on the hot path fails the build.
 		if rep.TelemetryProbe.DeltaAllocs > tables.MaxTelemetryDeltaAllocs {
@@ -134,6 +139,16 @@ func main() {
 		if rep.InterpPerf.Speedup < tables.MinInterpSpeedup {
 			fmt.Fprintf(os.Stderr, "psharp-bench: interp perf gate: bytecode speedup %.2fx is below the %.0fx floor\n",
 				rep.InterpPerf.Speedup, tables.MinInterpSpeedup)
+			os.Exit(1)
+		}
+		// The resume gate: a budget-split journaled campaign must converge on
+		// the uninterrupted run's population exactly.
+		if !rep.ResumeProbe.PopulationsMatch {
+			fmt.Fprintf(os.Stderr, "psharp-bench: resume gate: split campaign diverged from the uninterrupted run (distinct %d vs %d, buggy %d vs %d, resumed slice %d of %d)\n",
+				rep.ResumeProbe.DistinctResumed, rep.ResumeProbe.DistinctSolo,
+				rep.ResumeProbe.BuggyResumed, rep.ResumeProbe.BuggySolo,
+				rep.ResumeProbe.ResumedSliceIterations,
+				rep.ResumeProbe.ScheduleBudget-rep.ResumeProbe.SplitAt)
 			os.Exit(1)
 		}
 	}

@@ -11,6 +11,7 @@
 //	psharp-test -bench Raft -buggy -parallel 8 [-dynamic]
 //	psharp-test -bench Raft -buggy -parallel 8 -portfolio default
 //	psharp-test -bench Raft -buggy -report-out campaign.json [-http :6060]
+//	psharp-test -bench Raft -buggy -journal camp/ [-resume] [-shard 2/4]
 //	psharp-test -psl Raft -racy -iterations 200 [-interp walk]
 //	psharp-test -psl Raft -disasm
 //	psharp-test -list
@@ -46,6 +47,24 @@
 // serves /debug/vars (the live telemetry snapshot) and /debug/pprof/ for
 // the duration of the run.
 //
+// # Resumable campaigns
+//
+// -journal DIR makes the campaign durable: workers append their schedule
+// fingerprints, strategy cursors and counters to a crash-safe append-only
+// journal (see the journal package), so a run killed at any point — SIGKILL
+// included — can continue with -resume instead of starting over. A resumed
+// run skips every journaled schedule, restarts each worker's seed stream at
+// its cursor, and reports campaign-cumulative counters; growing -iterations
+// across resumes splits one budget over several invocations. -shard i/n
+// (1-based) lets n processes share one journal directory and jointly
+// explore the exact population a single n×-parallel process would.
+// -journal-sync trades durability against fsync traffic.
+//
+// SIGINT/SIGTERM stop the run cooperatively: in-flight schedules finish,
+// the journal gets a final checkpoint, and -report-out/-trace-out are still
+// written (the report carries an "interrupted" marker, as it does when the
+// hard -timeout expires). A second signal exits immediately.
+//
 // -report-out FILE writes a versioned campaign report after the run. For
 // example,
 //
@@ -64,12 +83,17 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"github.com/psharp-go/psharp"
 	"github.com/psharp-go/psharp/internal/benchsrc"
 	"github.com/psharp-go/psharp/internal/protocols"
+	"github.com/psharp-go/psharp/journal"
 	"github.com/psharp-go/psharp/obs"
 	"github.com/psharp-go/psharp/sct"
 )
@@ -106,6 +130,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	progressEvery := fs.Int("progress-every", 0, "emit a progress snapshot every N iterations of each worker (0 = off)")
 	progressJSONL := fs.String("progress-jsonl", "", "stream progress snapshots as JSON lines to this file instead of human text ('-' for stdout; defaults -progress-every to 1000)")
 	reportOut := fs.String("report-out", "", "write a versioned campaign report (coverage, growth curves, bug census) to this file; see the worked example in the command docs")
+	journalDir := fs.String("journal", "", "crash-safe campaign journal directory: schedule fingerprints, strategy cursors and counters are appended durably so a killed run can continue with -resume")
+	resumeRun := fs.Bool("resume", false, "resume the journaled campaign in -journal: skip already-covered schedules, continue each worker's stream at its cursor, report campaign-cumulative counters")
+	shardSpec := fs.String("shard", "", "run one shard i/n (1-based, e.g. 2/4) of a multi-process campaign; all n processes share the -journal directory and jointly explore one population")
+	journalSync := fs.Int("journal-sync", 0, "journal fsync cadence in records (0 = default 64; 1 = fsync every record, maximally durable; -1 = fsync only at checkpoints and exit)")
 	httpAddr := fs.String("http", "", "serve /debug/vars (live telemetry) and /debug/pprof/ on this address for the duration of the run, e.g. :6060 or 127.0.0.1:0")
 	psl := fs.String("psl", "", "explore a Table 1 .psl benchmark through the interp package instead of a Go-native protocol (uses -racy, -interp, -disasm, -iterations, -seed)")
 	racy := fs.Bool("racy", false, "with -psl: use the racy source variant")
@@ -275,36 +303,145 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	})
 
-	var rep sct.Report
-	var workerReports []sct.WorkerReport
-	workerCount := 1
 	label := *strategy
 	campaignStrategy := *strategy
 	if *dynamic && *portfolio == "" && *parallel == 1 {
 		fmt.Fprintln(stderr, "psharp-test: -dynamic requires -parallel or -portfolio")
 		return 2
 	}
-	if *portfolio != "" || *parallel != 1 {
-		popts := sct.ParallelOptions{Options: opts, Workers: *parallel, Dynamic: *dynamic}
-		if *portfolio != "" {
-			// Fair members take the same prefix as -strategy fair, so a
-			// -liveness temperature calibrated above the prefix stays sound.
-			pf, err := sct.ParsePortfolioPrefix(*portfolio, *seed, b.MaxSteps, *fairPrefix)
-			if err != nil {
-				fmt.Fprintln(stderr, "psharp-test:", err)
-				return 2
-			}
-			popts.Portfolio = pf
-			label = "portfolio[" + *portfolio + "]"
-			campaignStrategy = label
+	var pf *sct.Portfolio
+	if *portfolio != "" {
+		// Fair members take the same prefix as -strategy fair, so a
+		// -liveness temperature calibrated above the prefix stays sound.
+		var err error
+		pf, err = sct.ParsePortfolioPrefix(*portfolio, *seed, b.MaxSteps, *fairPrefix)
+		if err != nil {
+			fmt.Fprintln(stderr, "psharp-test:", err)
+			return 2
+		}
+		label = "portfolio[" + *portfolio + "]"
+		campaignStrategy = label
+		if parallelSet && *parallel > 0 && *parallel < pf.Size() {
+			fmt.Fprintf(stderr, "psharp-test: warning: -parallel %d runs only the first %d of %d portfolio members\n",
+				*parallel, *parallel, pf.Size())
+		}
+	}
+
+	shardIndex, shardCount := 0, 1
+	if *shardSpec != "" {
+		var err error
+		shardIndex, shardCount, err = parseShard(*shardSpec)
+		if err != nil {
+			fmt.Fprintln(stderr, "psharp-test:", err)
+			return 2
+		}
+	}
+	useParallel := *portfolio != "" || *parallel != 1 || shardCount > 1
+	// Resolve the per-process worker count exactly as RunParallel will, so
+	// the journal meta pins the campaign's true worker layout.
+	workerCount := 1
+	if useParallel {
+		n := *parallel
+		if pf != nil && !parallelSet {
 			// -portfolio implies one worker per member unless -parallel was
 			// given explicitly; fewer workers than members drops members.
-			if !parallelSet {
-				popts.Workers = pf.Size()
-			} else if *parallel > 0 && *parallel < pf.Size() {
-				fmt.Fprintf(stderr, "psharp-test: warning: -parallel %d runs only the first %d of %d portfolio members\n",
-					*parallel, *parallel, pf.Size())
-			}
+			n = pf.Size()
+		}
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		if shardCount == 1 && n > *iterations {
+			n = *iterations
+		}
+		workerCount = n
+	}
+
+	// Journal wiring: open (or resume) this process's shard of the campaign
+	// journal before exploring, and preload its recovered state through
+	// Options.Journal.
+	if *resumeRun && *journalDir == "" {
+		fmt.Fprintln(stderr, "psharp-test: -resume requires -journal")
+		return 2
+	}
+	if *shardSpec != "" && *journalDir == "" {
+		fmt.Fprintf(stderr, "psharp-test: note: -shard without -journal splits the budget but records nothing; shard results merge only through a shared journal\n")
+	}
+	var jc *journal.Campaign
+	resumed := false
+	if *journalDir != "" {
+		if *dynamic {
+			fmt.Fprintln(stderr, "psharp-test: -journal is incompatible with -dynamic (work-stealing has no resumable cursor)")
+			return 2
+		}
+		meta := journal.Meta{
+			Benchmark:    b.ID(),
+			Strategy:     campaignStrategy,
+			Seed:         *seed,
+			Workers:      workerCount,
+			ShardIndex:   shardIndex,
+			ShardCount:   shardCount,
+			MaxSteps:     b.MaxSteps,
+			FaultBudget:  *faults,
+			FaultHorizon: *faultHorizon,
+			Extra: fmt.Sprintf("monitors=%t liveness=%t temperature=%d fair-prefix=%d",
+				*monitors, *liveness, *temperature, *fairPrefix),
+		}
+		jopts := journal.Options{SyncEvery: *journalSync}
+		var err error
+		if *resumeRun {
+			jc, err = journal.Resume(*journalDir, meta, jopts)
+		} else {
+			jc, err = journal.Create(*journalDir, meta, jopts)
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "psharp-test:", err)
+			return 1
+		}
+		opts.Journal = jc
+		resumed = jc.Resumed()
+		if resumed {
+			base := jc.Counters()
+			fmt.Fprintf(stderr, "psharp-test: resuming campaign in %s: %d iterations and %d distinct schedules journaled\n",
+				*journalDir, base.Iterations, len(jc.Fingerprints()))
+		}
+	}
+
+	// Graceful shutdown: the first SIGINT/SIGTERM stops the run
+	// cooperatively — workers finish their in-flight schedule, the journal
+	// flushes a final checkpoint, and the report/trace outputs below still
+	// run. A second signal exits immediately.
+	stop := make(chan struct{})
+	opts.Stop = stop
+	var signalled atomic.Bool
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig, ok := <-sigc
+		if !ok {
+			return
+		}
+		signalled.Store(true)
+		fmt.Fprintf(stderr, "psharp-test: %v: stopping after in-flight schedules (journal and reports will be written; repeat to exit immediately)\n", sig)
+		close(stop)
+		if _, ok := <-sigc; ok {
+			os.Exit(130)
+		}
+	}()
+	defer func() {
+		signal.Stop(sigc)
+		close(sigc) // releases the watcher; safe after Stop
+	}()
+
+	var rep sct.Report
+	var workerReports []sct.WorkerReport
+	if useParallel {
+		popts := sct.ParallelOptions{
+			Options:    opts,
+			Workers:    workerCount,
+			Portfolio:  pf,
+			Dynamic:    *dynamic,
+			ShardIndex: shardIndex,
+			ShardCount: shardCount,
 		}
 		prep := sct.RunParallel(setup, popts)
 		if *verbose {
@@ -319,6 +456,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *dynamic {
 			sharding = ", dynamic"
 		}
+		if shardCount > 1 {
+			sharding = fmt.Sprintf(", shard %d/%d", shardIndex+1, shardCount)
+		}
 		label = fmt.Sprintf("%s x%d workers%s", label, len(prep.Workers), sharding)
 	} else {
 		rep = sct.Run(setup, opts)
@@ -328,6 +468,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		suffix = " (monitored)"
 	}
 	fmt.Fprintf(stdout, "%s under %s%s: %s\n", b.ID(), label, suffix, rep.String())
+	if rep.Interrupted {
+		resumeHint := ""
+		if jc != nil {
+			resumeHint = fmt.Sprintf("; resume with -journal %s -resume", *journalDir)
+		}
+		fmt.Fprintf(stdout, "campaign interrupted: partial results%s\n", resumeHint)
+	}
 	if *faults > 0 {
 		fmt.Fprintf(stdout, "faults injected: %d crashes (%d restarted), %d drops, %d duplicates, %d reorders\n",
 			rep.Faults.Crashes, rep.Faults.Restarts, rep.Faults.Drops, rep.Faults.Duplicates, rep.Faults.Reorders)
@@ -345,7 +492,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "trace written to %s (%d decisions)\n", *traceOut, rep.FirstBugTrace.Len())
 	}
 	if *reportOut != "" {
-		c := sct.NewCampaign(sct.CampaignConfig{
+		cfg := sct.CampaignConfig{
 			Benchmark:   b.ID(),
 			Strategy:    campaignStrategy,
 			Workers:     workerCount,
@@ -357,7 +504,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Monitors:    *monitors,
 			Liveness:    *liveness,
 			FaultBudget: *faults,
-		}, &rep, workerReports, tel)
+			Resumed:     resumed,
+		}
+		if shardCount > 1 {
+			cfg.Shard = fmt.Sprintf("%d/%d", shardIndex+1, shardCount)
+		}
+		c := sct.NewCampaign(cfg, &rep, workerReports, tel)
 		if err := c.WriteFile(*reportOut); err != nil {
 			fmt.Fprintln(stderr, "psharp-test:", err)
 			return 1
@@ -365,10 +517,50 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "campaign report written to %s (version %d, %d transitions covered, %d growth points)\n",
 			*reportOut, c.Version, c.Telemetry.CoveredTransitions, len(c.Telemetry.GrowthCurve))
 	}
+	if jc != nil {
+		// A sick journal never fails the exploration, but it must not fail
+		// silently either: the campaign ran unjournaled from the first error
+		// on, so resuming from this directory would lose that work.
+		if err := jc.Err(); err != nil {
+			fmt.Fprintf(stderr, "psharp-test: warning: journal degraded, campaign not fully recorded: %v\n", err)
+		}
+		if err := jc.Close(); err != nil {
+			fmt.Fprintf(stderr, "psharp-test: warning: closing journal: %v\n", err)
+		} else if st, err := journal.ReadState(*journalDir); err == nil {
+			fmt.Fprintf(stdout, "journal: %s holds %d distinct schedules and %d iterations across %d/%d shard(s)\n",
+				*journalDir, st.DistinctSchedules, st.Counters.Iterations, st.ShardsPresent, st.Shards)
+		}
+	}
+	if signalled.Load() {
+		return 130
+	}
 	if rep.BugFound() {
 		return 1
 	}
 	return 0
+}
+
+// parseShard parses a 1-based "i/n" shard spec into a 0-based index and a
+// count.
+func parseShard(spec string) (index, count int, err error) {
+	i := strings.IndexByte(spec, '/')
+	bad := func() (int, int, error) {
+		return 0, 0, fmt.Errorf("psharp-test: -shard wants i/n with 1 <= i <= n (e.g. 2/4), got %q", spec)
+	}
+	if i <= 0 {
+		return bad()
+	}
+	var idx, cnt int
+	if _, err := fmt.Sscanf(spec[:i], "%d", &idx); err != nil {
+		return bad()
+	}
+	if _, err := fmt.Sscanf(spec[i+1:], "%d", &cnt); err != nil {
+		return bad()
+	}
+	if cnt < 1 || idx < 1 || idx > cnt {
+		return bad()
+	}
+	return idx - 1, cnt, nil
 }
 
 // writeTrace encodes tr into path.

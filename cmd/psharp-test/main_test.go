@@ -16,6 +16,7 @@ import (
 	"sync"
 	"testing"
 
+	"github.com/psharp-go/psharp/journal"
 	"github.com/psharp-go/psharp/sct"
 )
 
@@ -298,6 +299,168 @@ func TestHTTPDebugEndpoint(t *testing.T) {
 	// After the run the listener must be closed (deferred shutdown).
 	if _, err := http.Get("http://" + addr + "/debug/vars"); err == nil {
 		t.Fatal("debug endpoint still serving after run returned")
+	}
+}
+
+// readCampaign decodes a -report-out file.
+func readCampaign(t *testing.T, path string) sct.Campaign {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c sct.Campaign
+	if err := json.Unmarshal(data, &c); err != nil {
+		t.Fatalf("campaign does not decode: %v", err)
+	}
+	return c
+}
+
+// TestJournalResumeCLIRoundTrip drives the resumable-campaign workflow end
+// to end through the flags: a budget-split campaign (two invocations, the
+// second with -resume) must land on exactly the distinct-schedule count of
+// one uninterrupted run, and the resumed report must say so.
+func TestJournalResumeCLIRoundTrip(t *testing.T) {
+	tmp := t.TempDir()
+	jdir := filepath.Join(tmp, "journal")
+	common := []string{"-bench", "TwoPhaseCommit", "-buggy", "-keep-going", "-seed", "3"}
+
+	code, stdout, stderr := runCLI(t, append(common,
+		"-iterations", "120", "-journal", jdir)...)
+	if code != 1 {
+		t.Fatalf("first slice exit = %d, want 1\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "journal: "+jdir+" holds") {
+		t.Fatalf("no journal summary line:\n%s", stdout)
+	}
+
+	// Re-running without -resume must refuse rather than clobber the campaign.
+	code, _, stderr = runCLI(t, append(common, "-iterations", "120", "-journal", jdir)...)
+	if code != 1 || !strings.Contains(stderr, "resume") {
+		t.Fatalf("journal overwrite not refused: code=%d stderr=%s", code, stderr)
+	}
+
+	resumedReport := filepath.Join(tmp, "resumed.json")
+	code, stdout, stderr = runCLI(t, append(common,
+		"-iterations", "400", "-journal", jdir, "-resume", "-report-out", resumedReport)...)
+	if code != 1 {
+		t.Fatalf("resume exit = %d, want 1\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stderr, "resuming campaign") {
+		t.Fatalf("no resume note on stderr:\n%s", stderr)
+	}
+
+	soloReport := filepath.Join(tmp, "solo.json")
+	code, _, stderr = runCLI(t, append(common, "-iterations", "400", "-report-out", soloReport)...)
+	if code != 1 {
+		t.Fatalf("solo exit = %d\nstderr: %s", code, stderr)
+	}
+
+	resumed, solo := readCampaign(t, resumedReport), readCampaign(t, soloReport)
+	if !resumed.Config.Resumed {
+		t.Fatal("resumed report not marked resumed")
+	}
+	if resumed.Result.Iterations != 400 {
+		t.Fatalf("resumed campaign totals %d iterations, want 400", resumed.Result.Iterations)
+	}
+	if resumed.Result.DistinctSchedules != solo.Result.DistinctSchedules {
+		t.Fatalf("distinct schedules diverged: resumed %d vs solo %d",
+			resumed.Result.DistinctSchedules, solo.Result.DistinctSchedules)
+	}
+	if resumed.Result.BuggyIterations != solo.Result.BuggyIterations {
+		t.Fatalf("buggy iterations diverged: resumed %d vs solo %d",
+			resumed.Result.BuggyIterations, solo.Result.BuggyIterations)
+	}
+}
+
+// TestShardedJournalCLI splits one campaign across two -shard processes
+// sharing a journal directory and checks they jointly cover the population
+// of an equivalent single-process run.
+func TestShardedJournalCLI(t *testing.T) {
+	tmp := t.TempDir()
+	jdir := filepath.Join(tmp, "journal")
+	common := []string{"-bench", "TwoPhaseCommit", "-buggy", "-keep-going",
+		"-seed", "3", "-iterations", "300", "-parallel", "2"}
+
+	for shard := 1; shard <= 2; shard++ {
+		spec := []string{"-journal", jdir, "-shard"}
+		spec = append(spec, []string{"1/2", "2/2"}[shard-1])
+		code, stdout, stderr := runCLI(t, append(common, spec...)...)
+		if code != 1 {
+			t.Fatalf("shard %d exit = %d\nstdout: %s\nstderr: %s", shard, code, stdout, stderr)
+		}
+		if !strings.Contains(stdout, "shard "+[]string{"1/2", "2/2"}[shard-1]) {
+			t.Fatalf("shard %d summary does not name its shard:\n%s", shard, stdout)
+		}
+	}
+
+	soloReport := filepath.Join(tmp, "solo.json")
+	if code, _, stderr := runCLI(t, append(common, "-parallel", "4", "-report-out", soloReport)...); code != 1 {
+		t.Fatalf("solo exit = %d\nstderr: %s", code, stderr)
+	}
+	solo := readCampaign(t, soloReport)
+
+	// The second shard's journal summary merges both shard files; re-read it
+	// via a third, fully-resumed invocation with zero new work... simpler:
+	// the summary line was already printed by shard 2. Assert the merged
+	// count by reading the directory with the journal API.
+	st, err := journal.ReadState(jdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ShardsPresent != 2 {
+		t.Fatalf("shards present = %d, want 2", st.ShardsPresent)
+	}
+	if int(st.Counters.Iterations) != 300 {
+		t.Fatalf("sharded campaign totals %d iterations, want 300", st.Counters.Iterations)
+	}
+	if st.DistinctSchedules != solo.Result.DistinctSchedules {
+		t.Fatalf("sharded population %d distinct vs solo %d", st.DistinctSchedules, solo.Result.DistinctSchedules)
+	}
+}
+
+// TestJournalFlagValidation pins the usage errors around the new flags.
+func TestJournalFlagValidation(t *testing.T) {
+	if code, _, stderr := runCLI(t, "-bench", "Raft", "-resume"); code != 2 || !strings.Contains(stderr, "-journal") {
+		t.Fatalf("-resume without -journal: code=%d stderr=%s", code, stderr)
+	}
+	if code, _, stderr := runCLI(t, "-bench", "Raft", "-journal", t.TempDir(), "-dynamic", "-parallel", "2"); code != 2 || !strings.Contains(stderr, "dynamic") {
+		t.Fatalf("-journal with -dynamic: code=%d stderr=%s", code, stderr)
+	}
+	for _, bad := range []string{"0/2", "3/2", "x/y", "2"} {
+		if code, _, stderr := runCLI(t, "-bench", "Raft", "-journal", t.TempDir(), "-shard", bad); code != 2 {
+			t.Fatalf("-shard %s accepted: code=%d stderr=%s", bad, code, stderr)
+		}
+	}
+}
+
+// TestTimeoutWritesInterruptedReport is satellite 1: a run cut off by the
+// hard time budget still writes its campaign report, marked interrupted.
+func TestTimeoutWritesInterruptedReport(t *testing.T) {
+	report := filepath.Join(t.TempDir(), "partial.json")
+	code, stdout, stderr := runCLI(t,
+		"-bench", "TwoPhaseCommit", "-buggy", "-keep-going",
+		"-iterations", "100000000", "-seed", "1", "-timeout", "100ms",
+		"-report-out", report)
+	// Exit 1 if a buggy schedule landed before the deadline, 0 if not —
+	// how many iterations fit in 100ms is timing-dependent (the race
+	// detector cuts throughput an order of magnitude). Either way the
+	// interrupted report below must be written.
+	if code != 0 && code != 1 {
+		t.Fatalf("exit = %d, want 0 or 1\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "[interrupted]") {
+		t.Fatalf("summary missing the interrupted marker:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "campaign interrupted: partial results") {
+		t.Fatalf("no partial-results note:\n%s", stdout)
+	}
+	c := readCampaign(t, report)
+	if !c.Result.Interrupted {
+		t.Fatal("report not marked interrupted")
+	}
+	if c.Result.Iterations == 0 || c.Result.Iterations >= 100000000 {
+		t.Fatalf("implausible interrupted iteration count %d", c.Result.Iterations)
 	}
 }
 

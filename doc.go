@@ -258,4 +258,44 @@
 // layers campaign-level telemetry — depth histograms, coverage growth
 // curves over wall-clock time, typed progress snapshots, and versioned
 // campaign reports — on the same primitives; see its Observability section.
+//
+// # Resumable campaigns
+//
+// Exploration state no longer dies with the process. psharp-test -journal
+// <dir> makes a campaign durable: every explored schedule's fingerprint,
+// each worker's strategy cursor (the position in its seed stream, or the
+// DFS frontier), the campaign counters and periodic telemetry checkpoints
+// are appended to a crash-safe binary journal (the journal package — a
+// versioned header and length+FNV-1a-checksummed record framing). After a
+// crash — SIGKILL, OOM, CI timeout — rerunning with -resume recovers the
+// journal, truncates any torn final record, skips the already-covered
+// schedules, and continues each strategy exactly where its cursor left
+// off, so an interrupted-and-resumed campaign converges on the same
+// distinct-schedule population as an uninterrupted run of the same seed
+// and budget. Recovery is strict about what it forgives: a torn tail (the
+// one failure appending can produce) is truncated silently, while a
+// checksum mismatch mid-file or an unknown format version is rejected
+// loudly rather than silently resurrecting wrong state.
+//
+// Durability has one knob, -journal-sync, the fsync cadence in records:
+// 1 fsyncs every record (an OS crash costs nothing, but every append pays
+// a disk round trip), the default 64 bounds a power-loss window to one
+// batch, and -1 fsyncs only at checkpoints and exit (a process kill still
+// loses nothing — the OS flushes the page cache — only a machine crash
+// can cost the tail). Because fingerprints are flushed before the cursor
+// that covers them, any tear re-executes at most one batch of schedules
+// (idempotent) and never skips one.
+//
+// A journal directory is also a shard manifest: psharp-test -shard i/n
+// gives each of n processes its own journal file in the shared directory,
+// with the manifest pinning the campaign identity (benchmark, strategy,
+// seed, worker count) so mismatched processes are refused. Each shard
+// preloads its peers' fingerprints, and journal.ReadState merges the
+// directory into one campaign-wide view — the foundation for a continuous
+// fuzzing service where N machines soak one corpus protocol and any of
+// them can die and resume. Interruption is first-class either way: SIGINT
+// or SIGTERM (and the hard -timeout) flush a final checkpoint and still
+// write -report-out and -trace-out, with the campaign report marked
+// interrupted. See the sct package docs for how the journal stays off the
+// exploration hot path.
 package psharp

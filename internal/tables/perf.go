@@ -11,6 +11,7 @@ import (
 	"github.com/psharp-go/psharp/internal/benchsrc"
 	"github.com/psharp-go/psharp/internal/protocols"
 	"github.com/psharp-go/psharp/interp"
+	"github.com/psharp-go/psharp/journal"
 	"github.com/psharp-go/psharp/lang"
 	"github.com/psharp-go/psharp/obs"
 	"github.com/psharp-go/psharp/sct"
@@ -78,6 +79,10 @@ type PerfReport struct {
 	// FaultProbe measures what fault injection buys on the crash-tolerant
 	// corpus: buggy schedules found with the same budget, faults off vs on.
 	FaultProbe FaultProbe `json:"fault_probe"`
+	// ResumeProbe validates the resumable-campaign invariant: a budget-split
+	// journaled run must converge on the uninterrupted run's population.
+	// CI fails the perf-report step when the populations diverge.
+	ResumeProbe ResumeProbe `json:"resume_probe"`
 	// WorkerIterations records how many iterations each worker actually
 	// executed (uneven under Dynamic; the static shard sizes otherwise).
 	WorkerIterations []int `json:"worker_iterations"`
@@ -212,6 +217,35 @@ type FaultProbe struct {
 	Reorders   int `json:"reorders"`
 }
 
+// ResumeProbe records a journaled budget-split campaign against an
+// uninterrupted control run of the same seed and budget: the first slice
+// explores part of the budget and closes its journal, the second resumes it
+// to the full budget, and the populations must match exactly — same
+// distinct-schedule count, same buggy-schedule count, and the resumed slice
+// executing only the remaining budget (zero re-executed schedules).
+type ResumeProbe struct {
+	// Workload names the probed protocol (buggy variant).
+	Workload string `json:"workload"`
+	// ScheduleBudget is the full campaign budget; SplitAt is where the first
+	// slice stopped and the journal took over.
+	ScheduleBudget int `json:"schedule_budget"`
+	SplitAt        int `json:"split_at"`
+	// DistinctSolo/DistinctResumed are the distinct-schedule populations of
+	// the control run and of the split campaign after its resume.
+	DistinctSolo    int `json:"distinct_schedules_solo"`
+	DistinctResumed int `json:"distinct_schedules_resumed"`
+	// BuggySolo/BuggyResumed are the buggy-schedule counts of both sides.
+	BuggySolo    int `json:"buggy_schedules_solo"`
+	BuggyResumed int `json:"buggy_schedules_resumed"`
+	// ResumedSliceIterations is how many schedules the resuming process
+	// itself executed; equality with budget−split proves no journal-covered
+	// schedule was re-run.
+	ResumedSliceIterations int `json:"resumed_slice_iterations"`
+	// PopulationsMatch summarizes the gate: distinct and buggy counts equal
+	// and the resumed slice ran exactly the remaining budget.
+	PopulationsMatch bool `json:"populations_match"`
+}
+
 // MinInterpSpeedup is the regression budget for the interpreter perf probe:
 // the bytecode VM must run corpus schedules at least this many times faster
 // than the tree-walker. CI fails the perf-report step below it.
@@ -294,6 +328,9 @@ func RunPerfProbe(o PerfProbeOptions) (PerfReport, error) {
 		return PerfReport{}, err
 	}
 	rep.FaultProbe = probeFaults(o.Seed)
+	if rep.ResumeProbe, err = probeResume(o.Benchmark, o.Seed); err != nil {
+		return PerfReport{}, err
+	}
 
 	// Throughput probe, with telemetry attached so the perf artifact embeds
 	// the same campaign document psharp-test -report-out writes.
@@ -359,6 +396,58 @@ func probeFaults(seed uint64) FaultProbe {
 	p.Crashes, p.Restarts = r.Faults.Crashes, r.Faults.Restarts
 	p.Drops, p.Duplicates, p.Reorders = r.Faults.Drops, r.Faults.Duplicates, r.Faults.Reorders
 	return p
+}
+
+// probeResume runs the journal subsystem's acceptance scenario under the
+// perf artifact: a campaign split into two slices around a durable journal
+// vs one uninterrupted run, all sequential with the same seed.
+func probeResume(benchmark string, seed uint64) (ResumeProbe, error) {
+	b := protocols.MustByName(benchmark, true)
+	const budget, split = 400, 150
+	p := ResumeProbe{Workload: b.ID(), ScheduleBudget: budget, SplitAt: split}
+
+	solo := sct.Run(b.Setup, sct.Options{
+		Strategy: sct.NewRandom(seed), Iterations: budget, MaxSteps: b.MaxSteps,
+	})
+	p.DistinctSolo, p.BuggySolo = solo.DistinctSchedules, solo.BuggyIterations
+
+	dir, err := os.MkdirTemp("", "psharp-resume-probe-*")
+	if err != nil {
+		return p, err
+	}
+	defer os.RemoveAll(dir)
+	meta := journal.Meta{
+		Benchmark: b.ID(), Strategy: "random", Seed: seed,
+		Workers: 1, ShardCount: 1, MaxSteps: b.MaxSteps,
+	}
+	first, err := journal.Create(dir, meta, journal.Options{})
+	if err != nil {
+		return p, err
+	}
+	sct.Run(b.Setup, sct.Options{
+		Strategy: sct.NewRandom(seed), Iterations: split, MaxSteps: b.MaxSteps,
+		Journal: first,
+	})
+	if err := first.Close(); err != nil {
+		return p, err
+	}
+	second, err := journal.Resume(dir, meta, journal.Options{})
+	if err != nil {
+		return p, err
+	}
+	resumed := sct.Run(b.Setup, sct.Options{
+		Strategy: sct.NewRandom(seed), Iterations: budget, MaxSteps: b.MaxSteps,
+		Journal: second,
+	})
+	if err := second.Close(); err != nil {
+		return p, err
+	}
+	p.DistinctResumed, p.BuggyResumed = resumed.DistinctSchedules, resumed.BuggyIterations
+	p.ResumedSliceIterations = resumed.Iterations - split // merged counter minus the journaled baseline
+	p.PopulationsMatch = p.DistinctResumed == p.DistinctSolo &&
+		p.BuggyResumed == p.BuggySolo &&
+		p.ResumedSliceIterations == budget-split
+	return p, nil
 }
 
 // probeTelemetryOverhead runs the same budget through sct.Run twice — with

@@ -1,0 +1,120 @@
+package journal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden fixtures under testdata/ pin the recovery classification to
+// files whose bytes are committed, so a framing or checksum change that
+// silently alters how old journals are read fails here even if the
+// round-trip tests (which use the new code on both sides) still pass.
+//
+//	torn-tail.journal     valid prefix + half a record  → truncate and continue
+//	bad-checksum.journal  mid-file bit flip, data after → *CorruptError
+//	bad-version.journal   header version 7              → *VersionError
+//
+// Regenerate with: JOURNAL_WRITE_GOLDENS=1 go test ./journal -run TestWriteGoldens
+
+// goldenRecords is the record stream the corrupt fixtures are derived from:
+// a plausible miniature campaign journal (meta, fingerprints, cursor).
+func goldenRecords() []Record {
+	return []Record{
+		{Kind: recMeta, Payload: []byte(`{"strategy":"random","seed":42,"workers":2,"shard_index":0,"shard_count":1}`)},
+		{Kind: recFingerprints, Payload: []byte{
+			0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88,
+			0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff, 0x00,
+		}},
+		{Kind: recCursor, Payload: []byte{0x00, 0x80, 0x01}}, // worker 0, 128 completed
+	}
+}
+
+func goldenImages() map[string][]byte {
+	recs := goldenRecords()
+	torn := encodeFile(Version, recs)
+	extra := encodeRecord(recFingerprints, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	torn = append(torn, extra[:len(extra)/2]...) // half an appended record
+
+	bad := encodeFile(Version, recs)
+	fpOff := headerLen + 5 + len(recs[0].Payload) + 8 // start of the fingerprint record
+	bad[fpOff+5+3] ^= 0x40                            // flip a payload bit; a valid cursor record follows
+
+	return map[string][]byte{
+		"torn-tail.journal":    torn,
+		"bad-checksum.journal": bad,
+		"bad-version.journal":  encodeFile(7, recs),
+	}
+}
+
+func TestWriteGoldens(t *testing.T) {
+	if os.Getenv("JOURNAL_WRITE_GOLDENS") == "" {
+		t.Skip("set JOURNAL_WRITE_GOLDENS=1 to regenerate testdata fixtures")
+	}
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range goldenImages() {
+		if err := os.WriteFile(filepath.Join("testdata", name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestGoldenFixturesMatchGenerator guards against the committed fixtures
+// drifting from the generator that documents them.
+func TestGoldenFixturesMatchGenerator(t *testing.T) {
+	for name, want := range goldenImages() {
+		got, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s is stale; regenerate with JOURNAL_WRITE_GOLDENS=1", name)
+		}
+	}
+}
+
+func TestGoldenTornTailRecovers(t *testing.T) {
+	got, _, err := RecoverFile(filepath.Join("testdata", "torn-tail.journal"))
+	if err != nil {
+		t.Fatalf("torn tail must recover, got %v", err)
+	}
+	sameRecords(t, got, goldenRecords())
+
+	// OpenLog must be able to adopt it for appending; work on a copy so the
+	// fixture itself is never truncated.
+	data, _ := os.ReadFile(filepath.Join("testdata", "torn-tail.journal"))
+	path := filepath.Join(t.TempDir(), "torn-tail.journal")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, got2, err := OpenLog(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRecords(t, got2, goldenRecords())
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGoldenBadChecksumRejected(t *testing.T) {
+	_, _, err := RecoverFile(filepath.Join("testdata", "bad-checksum.journal"))
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("mid-file corruption must fail loudly, got %v", err)
+	}
+}
+
+func TestGoldenBadVersionRejected(t *testing.T) {
+	_, _, err := RecoverFile(filepath.Join("testdata", "bad-version.journal"))
+	var ve *VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("unknown version must fail loudly, got %v", err)
+	}
+	if ve.Version != 7 {
+		t.Fatalf("reported version %d, want 7", ve.Version)
+	}
+}

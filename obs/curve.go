@@ -73,6 +73,25 @@ func (c *Curve) Sample(elapsed time.Duration, force bool, values ...int64) {
 	c.nextAt.Store(next)
 }
 
+// Restore appends a point recovered from durable storage — prior runs of a
+// resumed campaign replay their checkpoints in time order before live
+// sampling begins — and arms the next due boundary past it, so the curve
+// continues from the restored point instead of restarting at zero.
+func (c *Curve) Restore(p CurvePoint) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.points = append(c.points, p)
+	if len(c.points) >= c.max {
+		c.thin()
+	}
+	// Jump (not step) past the restored elapsed: checkpoints can sit hours
+	// into a long campaign.
+	if next := c.nextAt.Load(); next <= int64(p.Elapsed) {
+		iv := int64(c.interval)
+		c.nextAt.Store((int64(p.Elapsed)/iv + 1) * iv)
+	}
+}
+
 // thin halves the stored points (keeping the later of each pair, since the
 // metrics are cumulative) and doubles the interval.
 func (c *Curve) thin() {

@@ -46,25 +46,35 @@ type CampaignConfig struct {
 	// FaultBudget is the per-schedule fault-injection budget; 0 means the
 	// campaign ran fault-free.
 	FaultBudget int `json:"fault_budget,omitempty"`
+	// Shard is "i/n" when the run was one shard of a multi-process
+	// campaign; empty otherwise.
+	Shard string `json:"shard,omitempty"`
+	// Resumed marks a run that continued a journaled campaign; its result
+	// counters are campaign-cumulative, not this process's alone.
+	Resumed bool `json:"resumed,omitempty"`
 }
 
 // CampaignResult is the JSON rendering of a merged Report.
 type CampaignResult struct {
-	Iterations            int      `json:"iterations"`
-	DistinctSchedules     int      `json:"distinct_schedules"`
-	BuggyIterations       int      `json:"buggy_iterations"`
-	PercentBuggy          float64  `json:"percent_buggy"`
-	SchedulesPerSecond    float64  `json:"schedules_per_sec"`
-	MaxSchedulingPoints   int      `json:"max_scheduling_points"`
-	TotalSchedulingPoints int64    `json:"total_scheduling_points"`
-	MaxMachines           int      `json:"max_machines"`
-	BoundReached          int      `json:"bound_reached"`
-	Exhausted             bool     `json:"exhausted,omitempty"`
-	ElapsedMS             float64  `json:"elapsed_ms"`
-	FirstBug              string   `json:"first_bug,omitempty"`
-	FirstBugKind          string   `json:"first_bug_kind,omitempty"`
-	FirstBugIteration     int      `json:"first_bug_iteration,omitempty"`
-	Races                 []string `json:"races,omitempty"`
+	Iterations            int     `json:"iterations"`
+	DistinctSchedules     int     `json:"distinct_schedules"`
+	BuggyIterations       int     `json:"buggy_iterations"`
+	PercentBuggy          float64 `json:"percent_buggy"`
+	SchedulesPerSecond    float64 `json:"schedules_per_sec"`
+	MaxSchedulingPoints   int     `json:"max_scheduling_points"`
+	TotalSchedulingPoints int64   `json:"total_scheduling_points"`
+	MaxMachines           int     `json:"max_machines"`
+	BoundReached          int     `json:"bound_reached"`
+	Exhausted             bool    `json:"exhausted,omitempty"`
+	// Interrupted marks a partial campaign: the run was stopped early
+	// (signal or hard timeout) and its counters cover only the explored
+	// prefix. A journaled campaign can be resumed to completion.
+	Interrupted       bool     `json:"interrupted,omitempty"`
+	ElapsedMS         float64  `json:"elapsed_ms"`
+	FirstBug          string   `json:"first_bug,omitempty"`
+	FirstBugKind      string   `json:"first_bug_kind,omitempty"`
+	FirstBugIteration int      `json:"first_bug_iteration,omitempty"`
+	Races             []string `json:"races,omitempty"`
 	// Faults breaks down the faults injected across the campaign; absent
 	// when fault injection was off or never fired.
 	Faults *FaultBreakdown `json:"faults,omitempty"`
@@ -121,6 +131,7 @@ func NewCampaign(cfg CampaignConfig, rep *Report, workers []WorkerReport, tel *T
 			MaxMachines:           rep.MaxMachines,
 			BoundReached:          rep.BoundReached,
 			Exhausted:             rep.Exhausted,
+			Interrupted:           rep.Interrupted,
 			ElapsedMS:             float64(rep.Elapsed) / float64(time.Millisecond),
 			Races:                 rep.Races,
 		},

@@ -1,6 +1,8 @@
 package sct
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"github.com/psharp-go/psharp"
@@ -148,6 +150,133 @@ func (s *DFS) choice(kind psharp.DecisionKind, n int) int {
 	s.stack = append(s.stack, dfsNode{kind: kind, options: n})
 	s.pos++
 	return 0
+}
+
+// dfsCursorVersion versions the DFS cursor blob layout inside journal
+// cursor records.
+const dfsCursorVersion = 1
+
+// SaveCursor serializes the DFS frontier — the backtracking stack after
+// the most recently completed iteration, plus the shard layout and the
+// jumped/exhausted flags — implementing CursorStrategy. Unlike the
+// reseeded strategies, DFS's position cannot be recomputed from an
+// iteration index, so resumable campaigns journal the stack itself.
+func (s *DFS) SaveCursor() []byte {
+	buf := []byte{dfsCursorVersion}
+	var flags byte
+	if s.jumped {
+		flags |= 1
+	}
+	if s.exhausted {
+		flags |= 2
+	}
+	buf = append(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(s.shard))
+	buf = binary.AppendUvarint(buf, uint64(s.shards))
+	buf = binary.AppendUvarint(buf, uint64(len(s.stack)))
+	for i := range s.stack {
+		n := &s.stack[i]
+		buf = append(buf, byte(n.kind))
+		buf = binary.AppendUvarint(buf, uint64(n.options))
+		buf = binary.AppendUvarint(buf, uint64(n.idx))
+		buf = binary.AppendUvarint(buf, uint64(len(n.machines)))
+		for _, m := range n.machines {
+			buf = binary.AppendUvarint(buf, uint64(len(m.Type)))
+			buf = append(buf, m.Type...)
+			buf = binary.AppendUvarint(buf, m.Seq)
+		}
+	}
+	return buf
+}
+
+// LoadCursor restores a frontier saved by SaveCursor. The receiver must be
+// configured for the same worker shard the cursor was saved under;
+// PrepareIteration then backtracks from the restored stack exactly as the
+// uninterrupted run would have.
+func (s *DFS) LoadCursor(cursor []byte) error {
+	r := cursorReader{buf: cursor}
+	if v := r.byte(); v != dfsCursorVersion {
+		return fmt.Errorf("unknown DFS cursor version %d", v)
+	}
+	flags := r.byte()
+	shard, shards := int(r.uvarint()), int(r.uvarint())
+	if r.err == nil && (shard != s.shard || shards != s.shards) {
+		return fmt.Errorf("DFS cursor was saved for shard %d/%d, this worker is shard %d/%d", shard, shards, s.shard, s.shards)
+	}
+	nodes := int(r.uvarint())
+	if r.err == nil && nodes > len(cursor) {
+		return errors.New("DFS cursor stack length exceeds blob size")
+	}
+	stack := make([]dfsNode, 0, nodes)
+	for i := 0; i < nodes && r.err == nil; i++ {
+		n := dfsNode{
+			kind:    psharp.DecisionKind(r.byte()),
+			options: int(r.uvarint()),
+			idx:     int(r.uvarint()),
+		}
+		machines := int(r.uvarint())
+		if r.err == nil && machines > len(cursor) {
+			return errors.New("DFS cursor machine count exceeds blob size")
+		}
+		for j := 0; j < machines && r.err == nil; j++ {
+			n.machines = append(n.machines, psharp.MachineID{Type: r.string(), Seq: r.uvarint()})
+		}
+		stack = append(stack, n)
+	}
+	if r.err != nil {
+		return r.err
+	}
+	s.stack = stack
+	s.pos = 0
+	s.jumped = flags&1 != 0
+	s.exhausted = flags&2 != 0
+	return nil
+}
+
+// cursorReader is a tiny error-latching decoder for cursor blobs.
+type cursorReader struct {
+	buf []byte
+	err error
+}
+
+func (r *cursorReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) == 0 {
+		r.err = errors.New("truncated cursor")
+		return 0
+	}
+	b := r.buf[0]
+	r.buf = r.buf[1:]
+	return b
+}
+
+func (r *cursorReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		r.err = errors.New("truncated cursor")
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+func (r *cursorReader) string() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.buf)) {
+		r.err = errors.New("truncated cursor")
+		return ""
+	}
+	s := string(r.buf[:n])
+	r.buf = r.buf[n:]
+	return s
 }
 
 func contains(ids []psharp.MachineID, id psharp.MachineID) bool {

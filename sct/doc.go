@@ -153,4 +153,43 @@
 //     result, a per-strategy breakdown of portfolio workers, and the
 //     telemetry snapshot with its coverage-growth curve. psharp-test
 //     -report-out writes one; psharp-bench embeds them per benchmark.
+//
+// # Resumable campaigns
+//
+// Options.Journal attaches a journal.Campaign, making the run durable and
+// resumable (see the journal package for the file format and recovery
+// semantics). Each worker appends its schedule fingerprints and its
+// strategy cursor in batches of JournalFlushEvery iterations from a
+// preallocated buffer, off the scheduling hot path — journaling adds at
+// most one allocation per steady-state iteration (measured zero; gated by
+// the alloc test), and journal IO errors are latched on the Campaign
+// rather than propagated into the exploration loop. Within a batch,
+// fingerprints are appended before the cursor that covers them, so a torn
+// tail can only re-execute up to one batch of schedules after resume —
+// idempotent work — and never skip any.
+//
+// On a resumed run the engine restores each worker before its first
+// iteration: strategies implementing CursorStrategy (DFS, whose cursor is
+// its serialized enumeration frontier) reload their exact position via
+// LoadCursor, while the reseeding strategies (Random, RandomFair, PCT,
+// DelayBounding, FaultInjector around any of them) need only the
+// completed-iteration count, because worker w's iteration k is a pure
+// function of (seed, w, k). Workers then skip their already-completed
+// slots of the global iteration stream — zero journal-covered schedules
+// re-execute (observable in ParallelReport.Workers, whose per-worker
+// iteration counts are this-process-only) — and the merged Report carries
+// campaign-cumulative counters: the journaled base counters merge in
+// monotonically (sums for sums, maxes for high-water marks), and
+// Report.DistinctSchedules counts the union of journaled and new
+// fingerprints. Dynamic work stealing is refused with a journal: ticket
+// assignment is not a function of (seed, worker), so a stolen iteration
+// could not be attributed to a resumable cursor.
+//
+// Options.Stop is the cooperative-cancellation side of the same story:
+// closing the channel (psharp-test wires SIGINT/SIGTERM to it) stops every
+// worker at its next scheduling point, flushes the journal batches and a
+// final checkpoint, and returns a Report with Interrupted set — partial
+// results intact — rather than dying with state unwritten. The hard
+// Timeout deadline reports the same way; exhausting the budget or
+// StopOnFirstBug does not count as an interruption.
 package sct

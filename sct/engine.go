@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/psharp-go/psharp"
+	"github.com/psharp-go/psharp/journal"
 )
 
 // Strategy is an iterative scheduling strategy: a psharp.Strategy plus the
@@ -76,6 +77,24 @@ type Options struct {
 	// One accumulator can also be shared across runs (psharp-bench reuses
 	// one per benchmark variant).
 	Telemetry *Telemetry
+	// Journal, if non-nil, makes the campaign durable and resumable: workers
+	// append their newly-distinct schedule fingerprints and strategy cursors
+	// to the crash-safe journal in batches (see JournalFlushEvery), counters
+	// merge monotonically across resumed runs, and a journal opened with
+	// journal.Resume preloads the prior runs' state so covered schedules are
+	// never re-executed. Incompatible with ParallelOptions.Dynamic, whose
+	// work assignment is not replayable. Journal IO errors are latched
+	// (Journal.Err), never propagated into the exploration loop.
+	Journal *journal.Campaign
+	// JournalFlushEvery is the per-worker journal batching cadence in
+	// iterations; 0 selects DefaultJournalFlushEvery.
+	JournalFlushEvery int
+	// Stop, when non-nil, requests cooperative cancellation when it is
+	// closed: workers notice at the next scheduling point, the run winds
+	// down normally (final journal flush, telemetry point, merged Report
+	// with Interrupted set). This is how psharp-test turns SIGINT/SIGTERM
+	// into a clean partial campaign instead of lost work.
+	Stop <-chan struct{}
 	// Faults configures fault-injection nondeterminism. When Faults.Budget
 	// is positive, the engine wraps Strategy in a FaultInjector (sharded
 	// per worker under RunParallel) and enables fault queries on every
@@ -114,6 +133,10 @@ type Report struct {
 	BoundReached int
 	// Exhausted reports that the strategy completed its search space.
 	Exhausted bool
+	// Interrupted reports that the run ended early — an external stop
+	// (Options.Stop) or the hard Timeout deadline — with budget left
+	// unexplored. A journaled interrupted run resumes where it stopped.
+	Interrupted bool
 	// Elapsed is total wall-clock time.
 	Elapsed time.Duration
 	// Races collects distinct race reports from RD-on iterations.
@@ -148,9 +171,13 @@ func (r *Report) String() string {
 	if r.FirstBug != nil {
 		bug = fmt.Sprintf("bug at iteration %d: %v", r.FirstBugIteration, r.FirstBug)
 	}
-	return fmt.Sprintf("%d schedules (%d distinct), %d buggy (%.1f%%), maxSP=%d, %.1f sch/sec, %s",
+	mark := ""
+	if r.Interrupted {
+		mark = " [interrupted]"
+	}
+	return fmt.Sprintf("%d schedules (%d distinct), %d buggy (%.1f%%), maxSP=%d, %.1f sch/sec, %s%s",
 		r.Iterations, r.DistinctSchedules, r.BuggyIterations, r.PercentBuggy(), r.MaxSchedulingPoints,
-		r.SchedulesPerSecond(), bug)
+		r.SchedulesPerSecond(), bug, mark)
 }
 
 // raceSet deduplicates race reports in O(1) per insert while preserving
@@ -192,6 +219,13 @@ type shared struct {
 	// deadline, and external aborts set it; workers poll it between
 	// iterations and (via TestConfig.Interrupt) at every scheduling point.
 	stop atomic.Bool
+	// external records that stop was set by Options.Stop: the run counts as
+	// interrupted regardless of how much budget it had consumed.
+	external atomic.Bool
+	// baseElapsed is the cumulative wall-clock time of the prior journaled
+	// runs of this campaign (zero without a journal); telemetry and
+	// checkpoints report base+current so curves span resumes.
+	baseElapsed time.Duration
 
 	// iterations, buggy and distinct count campaign-wide explored, buggy,
 	// and distinct-fingerprint schedules across all workers; progress
@@ -218,10 +252,64 @@ func newShared(opts Options, start time.Time) *shared {
 	if opts.Timeout > 0 {
 		sh.deadline = start.Add(opts.Timeout)
 	}
+	if j := opts.Journal; j != nil {
+		// Preload the campaign's journaled fingerprints (this shard's and
+		// every peer's) so already-covered schedules count as duplicates, and
+		// the prior runs' counters so progress lines report campaign totals.
+		for _, fp := range j.Fingerprints() {
+			sh.fingerprints.insert(fp)
+		}
+		sh.distinct.Store(int64(sh.fingerprints.size()))
+		base := j.Counters()
+		sh.baseElapsed = time.Duration(base.ElapsedMicros) * time.Microsecond
+		sh.iterations.Store(base.Iterations)
+		sh.buggy.Store(base.BuggyIterations)
+	}
 	if opts.Telemetry != nil {
 		opts.Telemetry.begin(start)
+		if j := opts.Journal; j != nil {
+			opts.Telemetry.restore(sh.baseElapsed, j.Checkpoints())
+		}
 	}
 	return sh
+}
+
+// watchStop wires Options.Stop into the cooperative cancellation flag; the
+// returned release func must be called when the run ends so the watcher
+// goroutine exits.
+func (sh *shared) watchStop() (release func()) {
+	if sh.opts.Stop == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-sh.opts.Stop:
+			sh.external.Store(true)
+			sh.stop.Store(true)
+		case <-done:
+		}
+	}()
+	return func() { close(done) }
+}
+
+// interruptedOutcome classifies a finished run: true when it ended on an
+// external stop or on the hard deadline with planned iterations still
+// unexplored. Complete runs, exhausted strategies and deliberate
+// StopOnFirstBug stops are not interruptions. Callers evaluate this before
+// merging any journaled baseline, so rep.Iterations counts this run only
+// and planned is this run's residual budget.
+func (sh *shared) interruptedOutcome(rep *Report, planned int) bool {
+	if sh.external.Load() {
+		return true
+	}
+	if !sh.expired() || rep.Exhausted {
+		return false
+	}
+	if sh.opts.StopOnFirstBug && rep.FirstBug != nil {
+		return false
+	}
+	return rep.Iterations < planned
 }
 
 // emitProgress builds a campaign-wide progress snapshot and hands it to the
@@ -261,7 +349,11 @@ type worker struct {
 	offset   int
 	stride   int
 	quota    int
-	dynamic  bool
+	// start is the local iteration to begin at: 0 for fresh runs, the
+	// journaled completed count when resuming (the worker→iteration mapping
+	// is position-independent, so restarting the stream there is exact).
+	start   int
+	dynamic bool
 }
 
 // globalIter maps a local iteration index to its global index.
@@ -313,7 +405,12 @@ func runWorker(setup func(*psharp.Runtime), sh *shared, w worker) Report {
 	if opts.Faults.Budget > 0 {
 		cfg.Faults = &psharp.FaultConfig{Immune: opts.Faults.Immune}
 	}
-	for local := 0; ; local++ {
+	var jw *journalWriter
+	if opts.Journal != nil {
+		jw = newJournalWriter(sh, &w)
+	}
+	completed := w.start
+	for local := w.start; ; local++ {
 		if interrupt() {
 			break
 		}
@@ -350,9 +447,15 @@ func runWorker(setup func(*psharp.Runtime), sh *shared, w worker) Report {
 			rep.BoundReached++
 		}
 		rep.Faults.Add(res.Faults)
-		if sh.fingerprints.insert(fingerprintTrace(res.Trace)) {
+		completed = local + 1
+		fp := fingerprintTrace(res.Trace)
+		isNew := sh.fingerprints.insert(fp)
+		if isNew {
 			rep.DistinctSchedules++
 			sh.distinct.Add(1)
+		}
+		if jw != nil {
+			jw.note(fp, isNew, completed)
 		}
 		races.addAll(res.Races)
 		if res.Bug != nil {
@@ -380,6 +483,11 @@ func runWorker(setup func(*psharp.Runtime), sh *shared, w worker) Report {
 			sh.emitProgress(&w, local+1)
 		}
 	}
+	if jw != nil {
+		// The final flush makes every completed iteration durable, whatever
+		// ended the loop (quota, deadline, external stop, first bug).
+		jw.flush(completed)
+	}
 	rep.Races = races.list
 	rep.Elapsed = time.Since(start)
 	return rep
@@ -403,13 +511,19 @@ func Run(setup func(*psharp.Runtime), opts Options) Report {
 		strategy = newFaultInjector(strategy, opts.Faults, 0, 1)
 	}
 	sh := newShared(opts, start)
-	rep := runWorker(setup, sh, worker{
-		id: 0, strategy: strategy, offset: 0, stride: 1, quota: opts.Iterations,
-	})
+	w := worker{id: 0, strategy: strategy, offset: 0, stride: 1, quota: opts.Iterations}
+	if opts.Journal != nil {
+		restoreCursor(opts.Journal, &w)
+	}
+	release := sh.watchStop()
+	rep := runWorker(setup, sh, w)
+	release()
 	if opts.Telemetry != nil {
 		opts.Telemetry.finish(sh)
 	}
 	rep.Elapsed = time.Since(start)
+	rep.Interrupted = sh.interruptedOutcome(&rep, opts.Iterations-w.start)
+	finishJournal(sh, &rep)
 	return rep
 }
 

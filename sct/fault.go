@@ -124,6 +124,26 @@ func (s *FaultInjector) CloneForWorker(worker, workers int) Strategy {
 	}, worker, workers)
 }
 
+// SaveCursor delegates to the inner strategy: the injector's own fault
+// stream is reseeded per global iteration (see PrepareIteration) and so
+// needs no cursor of its own — only the inner search state, if any, must
+// survive a resume.
+func (s *FaultInjector) SaveCursor() []byte {
+	if cs, ok := s.inner.(CursorStrategy); ok {
+		return cs.SaveCursor()
+	}
+	return nil
+}
+
+// LoadCursor restores the inner strategy's journaled state.
+func (s *FaultInjector) LoadCursor(cursor []byte) error {
+	cs, ok := s.inner.(CursorStrategy)
+	if !ok {
+		return fmt.Errorf("cursor blob present but inner strategy %T cannot load cursors", s.inner)
+	}
+	return cs.LoadCursor(cursor)
+}
+
 // PrepareIteration prepares the inner strategy, then reseeds the fault
 // stream for the global iteration and pre-places the budget's injection
 // points, PCT-style.

@@ -1,0 +1,314 @@
+package sct_test
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/psharp-go/psharp"
+	"github.com/psharp-go/psharp/journal"
+	"github.com/psharp-go/psharp/sct"
+)
+
+// chancySetup is fan-in plus a 1-in-8 assertion bug, so equivalence checks
+// cover buggy-iteration counting as well as fingerprints.
+func chancySetup(r *psharp.Runtime) {
+	r.MustRegister("Chancy", func() psharp.Machine {
+		return psharp.MachineFunc(func(sc *psharp.Schema) {
+			sc.Start("S").OnEntry(func(ctx *psharp.Context, ev psharp.Event) {
+				a, b, c := ctx.RandomBool(), ctx.RandomBool(), ctx.RandomBool()
+				ctx.Assert(!(a && b && c), "the 1-in-8 combination")
+			})
+		})
+	})
+	r.MustCreate("Chancy", nil)
+	fanInSetup(2)(r)
+}
+
+func campaignMeta(workers int) journal.Meta {
+	return journal.Meta{
+		Benchmark: "Chancy", Strategy: "random", Seed: 7,
+		Workers: workers, ShardCount: 1, MaxSteps: 200,
+	}
+}
+
+// journaledFingerprints reopens a closed campaign directory and returns its
+// recovered fingerprint set.
+func journaledFingerprints(t *testing.T, dir string, meta journal.Meta) map[uint64]bool {
+	t.Helper()
+	c, err := journal.Resume(dir, meta, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	set := make(map[uint64]bool)
+	for _, fp := range c.Fingerprints() {
+		set[fp] = true
+	}
+	return set
+}
+
+func runJournaled(t *testing.T, dir string, workers, iterations int, resume bool) sct.ParallelReport {
+	t.Helper()
+	open := journal.Create
+	if resume {
+		open = journal.Resume
+	}
+	c, err := open(dir, campaignMeta(workers), journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sct.RunParallel(chancySetup, sct.ParallelOptions{
+		Options: sct.Options{
+			Strategy:   sct.NewRandom(7),
+			Iterations: iterations,
+			MaxSteps:   200,
+			Journal:    c,
+		},
+		Workers: workers,
+	})
+	if err := c.Err(); err != nil {
+		t.Fatalf("journal degraded: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestJournalResumeEquivalence is the ISSUE's acceptance scenario: a
+// campaign split into two budget slices via -resume must converge on
+// exactly the state of one uninterrupted run — same cumulative counters,
+// same distinct-fingerprint set — and the resumed slice must re-execute
+// zero journal-covered schedules.
+func TestJournalResumeEquivalence(t *testing.T) {
+	const workers, half, full = 2, 80, 200
+	splitDir := filepath.Join(t.TempDir(), "split")
+	soloDir := filepath.Join(t.TempDir(), "solo")
+
+	first := runJournaled(t, splitDir, workers, half, false)
+	if first.Report.Iterations != half {
+		t.Fatalf("first slice ran %d iterations, want %d", first.Report.Iterations, half)
+	}
+	second := runJournaled(t, splitDir, workers, full, true)
+	solo := runJournaled(t, soloDir, workers, full, false)
+
+	if second.Report.Iterations != full {
+		t.Fatalf("resumed campaign totals %d iterations, want %d", second.Report.Iterations, full)
+	}
+	// Zero re-executed schedules: the resumed process itself ran exactly the
+	// remaining budget (per-worker sub-reports count this run only).
+	ranNow := 0
+	for _, w := range second.Workers {
+		ranNow += w.Report.Iterations
+	}
+	if ranNow != full-half {
+		t.Fatalf("resumed process executed %d schedules, want exactly the remaining %d", ranNow, full-half)
+	}
+	if a, b := second.Report.BuggyIterations, solo.Report.BuggyIterations; a != b {
+		t.Fatalf("buggy iterations diverged: split %d vs solo %d", a, b)
+	}
+	if a, b := second.Report.DistinctSchedules, solo.Report.DistinctSchedules; a != b {
+		t.Fatalf("distinct schedules diverged: split %d vs solo %d", a, b)
+	}
+	splitFPs := journaledFingerprints(t, splitDir, campaignMeta(workers))
+	soloFPs := journaledFingerprints(t, soloDir, campaignMeta(workers))
+	if len(splitFPs) != len(soloFPs) {
+		t.Fatalf("fingerprint sets differ in size: %d vs %d", len(splitFPs), len(soloFPs))
+	}
+	for fp := range soloFPs {
+		if !splitFPs[fp] {
+			t.Fatalf("fingerprint %x found solo but missing from the split campaign", fp)
+		}
+	}
+}
+
+// TestJournalKillAtRandomRecordResume truncates the shard file at random
+// byte offsets — simulating SIGKILL at arbitrary append points — and checks
+// every resumed campaign still converges on the uninterrupted run's
+// fingerprint set. Lost tail records may only cause re-execution (counters
+// can overshoot), never lost or phantom schedules.
+func TestJournalKillAtRandomRecordResume(t *testing.T) {
+	const workers, half, full = 2, 80, 200
+	meta := campaignMeta(workers)
+
+	baseDir := filepath.Join(t.TempDir(), "base")
+	runJournaled(t, baseDir, workers, half, false)
+	shard := journal.ShardFileName(0, 1)
+	img, err := os.ReadFile(filepath.Join(baseDir, shard))
+	if err != nil {
+		t.Fatal(err)
+	}
+	manifest, err := os.ReadFile(filepath.Join(baseDir, journal.ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	soloDir := filepath.Join(t.TempDir(), "solo")
+	runJournaled(t, soloDir, workers, full, false)
+	soloFPs := journaledFingerprints(t, soloDir, meta)
+
+	// Keep the meta record (without it the shard restarts empty, which the
+	// CLI treats as a fresh shard rather than a kill survivor).
+	minCut := 16 + 16 + 300 // header + frame + generous bound on the meta JSON
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 5; trial++ {
+		cut := minCut + rng.Intn(len(img)-minCut)
+		dir := filepath.Join(t.TempDir(), "killed")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, journal.ManifestName), manifest, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, shard), img[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		out := runJournaled(t, dir, workers, full, true)
+		if out.Report.DistinctSchedules != len(soloFPs) {
+			t.Fatalf("cut at %d: resumed to %d distinct schedules, want %d",
+				cut, out.Report.DistinctSchedules, len(soloFPs))
+		}
+		got := journaledFingerprints(t, dir, meta)
+		for fp := range soloFPs {
+			if !got[fp] {
+				t.Fatalf("cut at %d: fingerprint %x lost", cut, fp)
+			}
+		}
+		for fp := range got {
+			if !soloFPs[fp] {
+				t.Fatalf("cut at %d: phantom fingerprint %x", cut, fp)
+			}
+		}
+	}
+}
+
+// TestJournalDFSCursorResume checks the one cursor-carrying strategy: a DFS
+// enumeration split across a resume must visit exactly the schedules of an
+// uninterrupted enumeration, ending exhausted at the same count.
+func TestJournalDFSCursorResume(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "dfs")
+	meta := journal.Meta{Benchmark: "FanIn3", Strategy: "dfs", Seed: 0,
+		Workers: 1, ShardCount: 1, MaxSteps: 1000}
+
+	solo := sct.Run(fanInSetup(3), sct.Options{
+		Strategy: sct.NewDFS(), Iterations: 1_000_000, MaxSteps: 1000,
+	})
+	if !solo.Exhausted {
+		t.Fatal("baseline DFS did not exhaust")
+	}
+
+	c, err := journal.Create(dir, meta, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstBudget := solo.Iterations / 3
+	first := sct.Run(fanInSetup(3), sct.Options{
+		Strategy: sct.NewDFS(), Iterations: firstBudget, MaxSteps: 1000,
+		Journal: c, JournalFlushEvery: 1,
+	})
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if first.Exhausted || first.Iterations != firstBudget {
+		t.Fatalf("first slice: %s", first.String())
+	}
+
+	r, err := journal.Resume(dir, meta, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest := sct.Run(fanInSetup(3), sct.Options{
+		Strategy: sct.NewDFS(), Iterations: 1_000_000, MaxSteps: 1000,
+		Journal: r,
+	})
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !rest.Exhausted {
+		t.Fatalf("resumed DFS did not exhaust: %s", rest.String())
+	}
+	if rest.Iterations != solo.Iterations {
+		t.Fatalf("resumed DFS visited %d schedules total, solo visited %d", rest.Iterations, solo.Iterations)
+	}
+	if rest.DistinctSchedules != solo.DistinctSchedules {
+		t.Fatalf("resumed DFS found %d distinct, solo %d", rest.DistinctSchedules, solo.DistinctSchedules)
+	}
+}
+
+// TestStopChannelInterruptsRun covers cooperative cancellation: closing
+// Options.Stop ends the run early with Interrupted set, without a journal
+// in the picture.
+func TestStopChannelInterruptsRun(t *testing.T) {
+	stop := make(chan struct{})
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		close(stop)
+	}()
+	rep := sct.Run(fanInSetup(3), sct.Options{
+		Strategy:   sct.NewRandom(1),
+		Iterations: 1 << 30,
+		MaxSteps:   1000,
+		Stop:       stop,
+	})
+	if !rep.Interrupted {
+		t.Fatalf("stopped run not marked interrupted: %s", rep.String())
+	}
+	if rep.Iterations >= 1<<30 {
+		t.Fatal("stopped run consumed the whole budget")
+	}
+}
+
+// TestTimeoutMarksInterrupted: a hard deadline with budget left is an
+// interruption (satellite 1's marker flows from here into reports).
+func TestTimeoutMarksInterrupted(t *testing.T) {
+	rep := sct.Run(fanInSetup(3), sct.Options{
+		Strategy:   sct.NewRandom(1),
+		Iterations: 1 << 30,
+		MaxSteps:   1000,
+		Timeout:    20 * time.Millisecond,
+	})
+	if !rep.Interrupted {
+		t.Fatalf("timed-out run not marked interrupted: %s", rep.String())
+	}
+}
+
+// TestCompletedRunNotInterrupted guards the negative: running the budget to
+// the end, or exhausting the space, is not an interruption.
+func TestCompletedRunNotInterrupted(t *testing.T) {
+	rep := sct.Run(fanInSetup(2), sct.Options{
+		Strategy: sct.NewRandom(1), Iterations: 20, MaxSteps: 1000,
+	})
+	if rep.Interrupted {
+		t.Fatalf("completed run marked interrupted: %s", rep.String())
+	}
+	rep = sct.Run(fanInSetup(2), sct.Options{
+		Strategy: sct.NewDFS(), Iterations: 1_000_000, MaxSteps: 1000,
+		Timeout: time.Hour,
+	})
+	if !rep.Exhausted || rep.Interrupted {
+		t.Fatalf("exhausted run marked interrupted: %s", rep.String())
+	}
+}
+
+// TestJournalRejectsDynamic pins the documented incompatibility.
+func TestJournalRejectsDynamic(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "dyn")
+	c, err := journal.Create(dir, campaignMeta(2), journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dynamic + Journal must panic")
+		}
+	}()
+	sct.RunParallel(chancySetup, sct.ParallelOptions{
+		Options: sct.Options{Strategy: sct.NewRandom(7), Iterations: 10, MaxSteps: 200, Journal: c},
+		Workers: 2, Dynamic: true,
+	})
+}

@@ -39,8 +39,20 @@ type ParallelOptions struct {
 	// run to run and are not comparable to the sequential run. Every found
 	// bug still carries a trace that replays deterministically through
 	// ReplayTrace, and WorkerReport sub-reports record how many iterations
-	// each worker actually executed.
+	// each worker actually executed. Dynamic runs cannot be journaled: the
+	// ticket assignment is not replayable, so there is no well-defined
+	// cursor to resume from.
 	Dynamic bool
+	// ShardIndex/ShardCount split one campaign across ShardCount processes:
+	// this process runs global workers ShardIndex*Workers ..
+	// (ShardIndex+1)*Workers-1 out of Workers*ShardCount, so the N processes
+	// jointly explore exactly the population one process with N×Workers
+	// workers would. A zero ShardCount means unsharded. Shards pair with
+	// Options.Journal (each process journals its own shard file in the
+	// shared campaign directory; see the journal package) but also work
+	// without one as a pure budget split.
+	ShardIndex int
+	ShardCount int
 }
 
 // WorkerReport is one worker's sub-report of a parallel run.
@@ -82,42 +94,71 @@ func RunParallel(setup func(*psharp.Runtime), opts ParallelOptions) ParallelRepo
 	if opts.Iterations <= 0 {
 		panic("sct: Options.Iterations must be positive")
 	}
+	shards := opts.ShardCount
+	if shards <= 0 {
+		shards = 1
+	}
+	if opts.ShardIndex < 0 || opts.ShardIndex >= shards {
+		panic(fmt.Sprintf("sct: ShardIndex %d out of range [0,%d)", opts.ShardIndex, shards))
+	}
+	if opts.Dynamic && opts.Journal != nil {
+		panic("sct: a journaled campaign requires static sharding; Dynamic work-stealing has no resumable cursor")
+	}
+	if opts.Dynamic && shards > 1 {
+		panic("sct: a sharded campaign requires static sharding; Dynamic only balances within one process")
+	}
 	n := opts.Workers
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	if n > opts.Iterations {
+	if shards == 1 && n > opts.Iterations {
 		n = opts.Iterations // never start a worker with an empty quota
 	}
+	// Workers are numbered globally across shards: this process runs global
+	// workers shardIndex*n .. shardIndex*n+n-1 of n*shards, so seed streams,
+	// portfolio assignment and fault streams shard campaign-wide and the
+	// processes jointly explore the single-process population.
+	globalWorkers := n * shards
 	workers := make([]worker, n)
 	for w := 0; w < n; w++ {
-		strategy, label, err := workerStrategy(opts, w, n)
+		gw := opts.ShardIndex*n + w
+		strategy, label, err := workerStrategy(opts, gw, globalWorkers)
 		if err != nil {
 			panic("sct: " + err.Error())
 		}
 		if opts.Faults.Budget > 0 {
 			// Wrap after per-worker resolution so the injector's own fault
 			// stream shards alongside the inner strategy's seed stream.
-			strategy = newFaultInjector(strategy, opts.Faults, w, n)
+			strategy = newFaultInjector(strategy, opts.Faults, gw, globalWorkers)
 			label = "faults+" + label
 		}
 		workers[w] = worker{
 			id:       w,
 			strategy: strategy,
 			label:    label,
-			offset:   w,
-			stride:   n,
-			quota:    shardQuota(opts.Iterations, w, n),
+			offset:   gw,
+			stride:   globalWorkers,
+			quota:    shardQuota(opts.Iterations, gw, globalWorkers),
 			dynamic:  opts.Dynamic,
 		}
 		// Dynamic workers ignore quota: the shared ticket counter decides how
 		// much of the budget each one executes, and progress snapshots always
 		// report the global iteration counter against the global budget.
+		if opts.Journal != nil {
+			restoreCursor(opts.Journal, &workers[w])
+		}
+	}
+	planned := 0
+	for w := range workers {
+		if workers[w].quota > workers[w].start {
+			planned += workers[w].quota - workers[w].start
+		}
 	}
 
 	start := time.Now()
 	sh := newShared(opts.Options, start)
 	sh.workers = n
+	release := sh.watchStop()
 	out := ParallelReport{Workers: make([]WorkerReport, n)}
 	var wg sync.WaitGroup
 	for w := range workers {
@@ -132,6 +173,7 @@ func RunParallel(setup func(*psharp.Runtime), opts ParallelOptions) ParallelRepo
 		}(w)
 	}
 	wg.Wait()
+	release()
 
 	if opts.Telemetry != nil {
 		opts.Telemetry.finish(sh)
@@ -139,6 +181,8 @@ func RunParallel(setup func(*psharp.Runtime), opts ParallelOptions) ParallelRepo
 	out.Report = mergeReports(out.Workers)
 	out.Report.DistinctSchedules = sh.fingerprints.size()
 	out.Report.Elapsed = time.Since(start)
+	out.Report.Interrupted = sh.interruptedOutcome(&out.Report, planned)
+	finishJournal(sh, &out.Report)
 	return out
 }
 

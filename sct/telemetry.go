@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/psharp-go/psharp"
+	"github.com/psharp-go/psharp/journal"
 	"github.com/psharp-go/psharp/obs"
 )
 
@@ -32,6 +33,11 @@ type Telemetry struct {
 	faults psharp.FaultStats
 
 	start time.Time
+	// base offsets every sample's elapsed time by the prior journaled runs'
+	// cumulative wall-clock, so a resumed campaign's growth curve continues
+	// where the interrupted run's checkpoints left off instead of
+	// restarting at zero.
+	base time.Duration
 }
 
 // NewTelemetry returns a telemetry accumulator whose growth curve samples
@@ -47,6 +53,23 @@ func (t *Telemetry) Coverage() *obs.StateEventCoverage { return &t.coverage }
 
 // begin stamps the run's start time; called by the engine.
 func (t *Telemetry) begin(start time.Time) { t.start = start }
+
+// restore seeds the growth curve from a resumed campaign's journaled
+// checkpoints and offsets subsequent samples past them; called by the
+// engine when a run carries a journal. The iteration and
+// distinct-schedule series genuinely span the whole campaign (counters
+// and fingerprints are recovered); the covered-transitions series
+// re-accumulates per process, since the coverage set itself is not
+// journaled, so it can dip at a resume boundary.
+func (t *Telemetry) restore(base time.Duration, checkpoints []journal.Checkpoint) {
+	t.base = base
+	for _, cp := range checkpoints {
+		t.curve.Restore(obs.CurvePoint{
+			Elapsed: time.Duration(cp.ElapsedMicros) * time.Microsecond,
+			Values:  []int64{cp.Iterations, cp.DistinctSchedules, cp.CoveredTransitions},
+		})
+	}
+}
 
 // record folds one finished iteration in; called by workers off the
 // scheduling hot path (between iterations).
@@ -69,7 +92,7 @@ func (t *Telemetry) record(res *psharp.IterationResult) {
 // maybeSample takes a growth-curve point if the current time bucket is due.
 // The not-due path is one atomic load, so workers poll it every iteration.
 func (t *Telemetry) maybeSample(sh *shared) {
-	elapsed := time.Since(t.start)
+	elapsed := t.base + time.Since(t.start)
 	if !t.curve.Due(elapsed) {
 		return
 	}
@@ -79,7 +102,7 @@ func (t *Telemetry) maybeSample(sh *shared) {
 // finish forces a final curve point so even runs shorter than one bucket
 // interval report their end state.
 func (t *Telemetry) finish(sh *shared) {
-	t.sample(time.Since(t.start), true, sh)
+	t.sample(t.base+time.Since(t.start), true, sh)
 }
 
 func (t *Telemetry) sample(elapsed time.Duration, force bool, sh *shared) {
