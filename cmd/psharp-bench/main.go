@@ -127,6 +127,16 @@ func main() {
 			rep.ResumeProbe.DistinctResumed, rep.ResumeProbe.BuggyResumed,
 			rep.ResumeProbe.DistinctSolo, rep.ResumeProbe.BuggySolo,
 			rep.ResumeProbe.ResumedSliceIterations)
+		for _, g := range rep.DPORProbe.Benchmarks {
+			fmt.Printf("dpor probe on %s: %d schedules to the bug vs random's %d (ratio %.2f, +%d pruned, %d distinct states, found dpor=%v random=%v)\n",
+				g.Workload, g.DPORSchedules, g.RandomSchedules, g.Ratio,
+				g.PrunedIterations, g.DistinctStates, g.FoundDPOR, g.FoundRandom)
+		}
+		fmt.Printf("state cache on %s: %d of %d attempts pruned (%.1f%%), %d explored, %d distinct states (%.0f states/s)\n",
+			rep.StateCacheProbe.Workload, rep.StateCacheProbe.Pruned,
+			rep.StateCacheProbe.Explored+rep.StateCacheProbe.Pruned,
+			rep.StateCacheProbe.PrunedPercent, rep.StateCacheProbe.Explored,
+			rep.StateCacheProbe.DistinctStates, rep.StateCacheProbe.StatesPerSec)
 		// The telemetry-overhead gate: CI runs this command, so a regression
 		// that makes observability allocate on the hot path fails the build.
 		if rep.TelemetryProbe.DeltaAllocs > tables.MaxTelemetryDeltaAllocs {
@@ -139,6 +149,14 @@ func main() {
 		if rep.InterpPerf.Speedup < tables.MinInterpSpeedup {
 			fmt.Fprintf(os.Stderr, "psharp-bench: interp perf gate: bytecode speedup %.2fx is below the %.0fx floor\n",
 				rep.InterpPerf.Speedup, tables.MinInterpSpeedup)
+			os.Exit(1)
+		}
+		// The DPOR gate: on the gated corpus subset, DPOR with the state cache
+		// must reach every seeded bug in at most half the schedules random
+		// search needs — the reduction's reason to exist.
+		if !rep.DPORProbe.AllFound || rep.DPORProbe.WorstRatio > tables.MaxDPORScheduleRatio {
+			fmt.Fprintf(os.Stderr, "psharp-bench: dpor gate: all bugs found=%v, worst schedule ratio %.2f (budget %.2f)\n",
+				rep.DPORProbe.AllFound, rep.DPORProbe.WorstRatio, tables.MaxDPORScheduleRatio)
 			os.Exit(1)
 		}
 		// The resume gate: a budget-split journaled campaign must converge on

@@ -8,6 +8,7 @@
 //	psharp-test -bench Raft -buggy -monitors -replay raft.trace
 //	psharp-test -bench FairResponder -buggy -liveness
 //	psharp-test -bench TwoPhaseCommitFT -buggy -monitors -faults 2
+//	psharp-test -bench TwoPhaseCommit -buggy -strategy dpor -state-cache
 //	psharp-test -bench Raft -buggy -parallel 8 [-dynamic]
 //	psharp-test -bench Raft -buggy -parallel 8 -portfolio default
 //	psharp-test -bench Raft -buggy -report-out campaign.json [-http :6060]
@@ -38,6 +39,16 @@
 // storage machines are automatically immune. Fault decisions are recorded
 // in the trace, so -trace-out and -replay reproduce crash schedules
 // exactly.
+//
+// -strategy dpor selects dynamic partial-order reduction with sleep sets: a
+// systematic enumerator like dfs that skips schedules differing only in the
+// order of independent steps. -state-cache (with dfs or dpor) adds a hashed
+// global-state cache that cuts schedules short when they revisit an
+// already-covered global state; pruned schedules are reported separately
+// from explored ones and never inflate throughput numbers. Both refuse the
+// combinations they would be unsound under (-faults, -dynamic, mixed
+// portfolios) — see the sct package docs, "Partial-order reduction and
+// state caching".
 //
 // # Observability
 //
@@ -110,7 +121,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list available benchmarks (the liveness suite is marked)")
 	bench := fs.String("bench", "", "benchmark name (see -list)")
 	buggy := fs.Bool("buggy", false, "use the buggy variant")
-	strategy := fs.String("strategy", "", "random | fair | dfs | pct | delay (default random; fair under -liveness)")
+	strategy := fs.String("strategy", "", "random | fair | dfs | dpor | pct | delay (default random; fair under -liveness)")
 	iterations := fs.Int("iterations", 10000, "schedule budget")
 	timeout := fs.Duration("timeout", 5*time.Minute, "time budget (hard deadline)")
 	seed := fs.Uint64("seed", 1, "seed for randomized strategies")
@@ -121,6 +132,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fairPrefix := fs.Int("fair-prefix", -1, "random-prefix length of the fair strategy and of portfolio fair members (default: the benchmark's recommendation, else maxsteps/2)")
 	traceOut := fs.String("trace-out", "", "write the first buggy schedule trace to this file (psharp.Trace.Encode format)")
 	faults := fs.Int("faults", 0, "per-schedule fault-injection budget: crashes (with restart), drops, duplicates, reorders as scheduler decisions (0 = off; see -list's [faults] benchmarks)")
+	stateCache := fs.Bool("state-cache", false, "hashed global-state cache: cut short schedules that revisit an already-covered global state (requires -strategy dfs or dpor; pruned schedules are reported separately)")
 	faultHorizon := fs.Int("fault-horizon", 0, "fault-point horizon the budget is spread over (0 = sct.DefaultFaultHorizon)")
 	replay := fs.String("replay", "", "replay a trace file against the benchmark instead of exploring; exits 0 if the bug reproduces")
 	parallel := fs.Int("parallel", 1, "number of exploration workers (0 = GOMAXPROCS)")
@@ -236,6 +248,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opts.Strategy = sct.NewRandomFair(*seed, *fairPrefix)
 	case "dfs":
 		opts.Strategy = sct.NewDFS()
+	case "dpor":
+		opts.Strategy = sct.NewDPOR()
 	case "pct":
 		opts.Strategy = sct.NewPCT(*seed, 3, b.MaxSteps)
 	case "delay":
@@ -243,6 +257,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 	default:
 		fmt.Fprintf(stderr, "psharp-test: unknown strategy %q\n", *strategy)
 		return 2
+	}
+	// The reduction stack has documented incompatibilities; refuse the
+	// combinations here with a clear message instead of panicking deep in
+	// the engine (same pattern as -journal + -dynamic below).
+	if *strategy == "dpor" {
+		if *faults > 0 {
+			fmt.Fprintln(stderr, "psharp-test: -strategy dpor is incompatible with -faults: fault decisions are not footprint-tracked, so the partial-order reduction would be unsound")
+			return 2
+		}
+		if *dynamic {
+			fmt.Fprintln(stderr, "psharp-test: -strategy dpor is incompatible with -dynamic: work-stealing reassigns iterations across workers, breaking the depth-first backtracking order the reduction depends on")
+			return 2
+		}
+	}
+	if *stateCache {
+		if *portfolio != "" {
+			fmt.Fprintln(stderr, "psharp-test: -state-cache is incompatible with -portfolio: pruning is only sound when every worker runs a depth-first strategy (dfs or dpor)")
+			return 2
+		}
+		if *strategy != "dfs" && *strategy != "dpor" {
+			fmt.Fprintf(stderr, "psharp-test: -state-cache requires -strategy dfs or dpor (got %q): pruning revisited states only preserves coverage under depth-first enumeration\n", *strategy)
+			return 2
+		}
+		if *faults > 0 {
+			fmt.Fprintln(stderr, "psharp-test: -state-cache is incompatible with -faults: injected faults mutate state outside the hashed footprint")
+			return 2
+		}
+		opts.StateCache = true
 	}
 	if *liveness {
 		if *portfolio != "" {
@@ -383,8 +425,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			MaxSteps:     b.MaxSteps,
 			FaultBudget:  *faults,
 			FaultHorizon: *faultHorizon,
-			Extra: fmt.Sprintf("monitors=%t liveness=%t temperature=%d fair-prefix=%d",
-				*monitors, *liveness, *temperature, *fairPrefix),
+			Extra: fmt.Sprintf("monitors=%t liveness=%t temperature=%d fair-prefix=%d state-cache=%t",
+				*monitors, *liveness, *temperature, *fairPrefix, *stateCache),
 		}
 		jopts := journal.Options{SyncEvery: *journalSync}
 		var err error
@@ -504,6 +546,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Monitors:    *monitors,
 			Liveness:    *liveness,
 			FaultBudget: *faults,
+			StateCache:  *stateCache,
 			Resumed:     resumed,
 		}
 		if shardCount > 1 {

@@ -155,6 +155,31 @@
 // injection existed lack the header and are rejected loudly rather than
 // replayed wrong.
 //
+// # Partial-order reduction and state caching
+//
+// Beyond placing scheduling points only before sends and creates (the
+// paper's static reduction, above), the testing stack prunes equivalent
+// schedules dynamically. sct.NewDPOR is dynamic partial-order reduction
+// with sleep sets: the controller reports every executed step's footprint —
+// the machine that ran, the mailbox it targeted, the machine it created —
+// through the StepObserver hook, and the strategy backtracks only where two
+// steps of different machines actually conflict, collapsing interleavings
+// of independent operations into one representative while remaining as
+// exhaustive as DFS. TestConfig.StateCache (sct Options.StateCache, or
+// psharp-test -state-cache) adds a hashed global-state cache: the
+// controller maintains an incremental FNV-1a fingerprint of the global
+// state — machine fields, control states, queue contents, monitor states
+// and liveness temperatures — at every scheduling point, and cuts an
+// iteration short when it reaches a state an earlier schedule already
+// covered no deeper. Both hooks are off by default and cost nothing when
+// off — the controller skips the footprint and hashing work entirely, and
+// the allocation caps above hold either way. Pruned attempts are reported
+// separately (PrunedIterations, DistinctStates) and never inflate
+// schedule-throughput or distinct-schedule counts. See the sct package's
+// "Partial-order reduction and state caching" section for soundness scope
+// (depth-first strategies only, no fault injection) and the measured
+// reductions.
+//
 // # Declaring machines
 //
 // A machine type declares its states, transitions and action bindings on a

@@ -76,6 +76,7 @@ func (h *TestHarness) Run(cfg TestConfig) IterationResult {
 	res := IterationResult{
 		Bug:              c.bug,
 		Interrupted:      c.interrupted,
+		Pruned:           c.pruned,
 		BoundReached:     c.bound,
 		SchedulingPoints: c.steps,
 		Machines:         len(h.rt.machines),

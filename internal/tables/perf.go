@@ -83,6 +83,14 @@ type PerfReport struct {
 	// journaled run must converge on the uninterrupted run's population.
 	// CI fails the perf-report step when the populations diverge.
 	ResumeProbe ResumeProbe `json:"resume_probe"`
+	// DPORProbe measures schedules-to-bug on the gated corpus subset, random
+	// vs DPOR with the state cache. CI fails the perf-report step when any
+	// bug is missed or any ratio exceeds MaxDPORScheduleRatio.
+	DPORProbe DPORProbe `json:"dpor_probe"`
+	// StateCacheProbe quantifies the hashed global-state cache's hit rate on
+	// a real protocol: how much of a fixed attempt budget is pruned as
+	// revisits of already-covered global states.
+	StateCacheProbe StateCacheProbe `json:"state_cache_probe"`
 	// WorkerIterations records how many iterations each worker actually
 	// executed (uneven under Dynamic; the static shard sizes otherwise).
 	WorkerIterations []int `json:"worker_iterations"`
@@ -251,6 +259,71 @@ type ResumeProbe struct {
 // than the tree-walker. CI fails the perf-report step below it.
 const MinInterpSpeedup = 5.0
 
+// MaxDPORScheduleRatio is the regression budget for the DPOR probe: on every
+// gated benchmark, DPOR with the state cache must reach the seeded bug in at
+// most this fraction of the schedules the random strategy needs. CI fails
+// the perf-report step beyond it, and whenever either side misses a bug.
+const MaxDPORScheduleRatio = 0.5
+
+// DPORBenchProbe records one gated benchmark's schedules-to-bug comparison.
+// Both sides run StopOnFirstBug under the same budget; the DPOR side counts
+// only explored schedules — pruned attempts are reported separately, never
+// folded into the ratio's numerator (they cost hash lookups, not replays).
+type DPORBenchProbe struct {
+	// Workload names the probed protocol (buggy variant, monitors attached).
+	Workload string `json:"workload"`
+	// ScheduleBudget is the iteration budget given to each side.
+	ScheduleBudget int `json:"schedule_budget"`
+	// RandomSchedules is how many schedules random search needed to reach
+	// the seeded bug (first-bug iteration + 1).
+	RandomSchedules int `json:"random_schedules_to_bug"`
+	// DPORSchedules is how many schedules DPOR+cache explored to the bug.
+	DPORSchedules int `json:"dpor_schedules_to_bug"`
+	// PrunedIterations and DistinctStates are the DPOR side's cache census.
+	PrunedIterations int `json:"pruned_iterations"`
+	DistinctStates   int `json:"distinct_states"`
+	// FoundRandom/FoundDPOR report whether each side reached the bug.
+	FoundRandom bool `json:"found_random"`
+	FoundDPOR   bool `json:"found_dpor"`
+	// Ratio is DPORSchedules over RandomSchedules (lower is better).
+	Ratio float64 `json:"schedule_ratio"`
+}
+
+// DPORProbe aggregates the gated corpus subset — the benchmarks whose
+// seeded bugs systematic depth-first exploration can reach (the full Table 2
+// corpus is covered by the DFS-parity soundness test instead, since
+// depth-first search inherently misses the deep bugs random stumbles into).
+type DPORProbe struct {
+	Benchmarks []DPORBenchProbe `json:"benchmarks"`
+	// WorstRatio is the largest schedule ratio across the gated subset.
+	WorstRatio float64 `json:"worst_ratio"`
+	// AllFound reports whether both sides reached every seeded bug.
+	AllFound bool `json:"all_found"`
+}
+
+// StateCacheProbe records one keep-going DPOR run with the hashed
+// global-state cache attached: of a fixed attempt budget, how many schedules
+// were cut short because their prefix reached an already-covered global
+// state, and how large the distinct-state population grew.
+type StateCacheProbe struct {
+	// Workload names the probed protocol (buggy variant, monitors attached).
+	Workload string `json:"workload"`
+	// AttemptBudget is the iteration budget; explored + pruned sums to it
+	// (modulo early exhaustion).
+	AttemptBudget int `json:"attempt_budget"`
+	// Explored is the schedules run to completion (Report.Iterations —
+	// pruned attempts are excluded from it and from SchedulesPerSecond).
+	Explored int `json:"explored_schedules"`
+	// Pruned is the attempts cut short by a cache hit.
+	Pruned int `json:"pruned_schedules"`
+	// DistinctStates is the hashed global-state population.
+	DistinctStates int `json:"distinct_states"`
+	// PrunedPercent is pruned over total attempts (the cache hit rate).
+	PrunedPercent float64 `json:"pruned_percent"`
+	// StatesPerSec is distinct states discovered per second of exploration.
+	StatesPerSec float64 `json:"distinct_states_per_sec"`
+}
+
 // PerfProbeOptions configures RunPerfProbe. Zero values select defaults.
 type PerfProbeOptions struct {
 	Benchmark  string // default "TwoPhaseCommit" (buggy variant)
@@ -331,6 +404,8 @@ func RunPerfProbe(o PerfProbeOptions) (PerfReport, error) {
 	if rep.ResumeProbe, err = probeResume(o.Benchmark, o.Seed); err != nil {
 		return PerfReport{}, err
 	}
+	rep.DPORProbe = probeDPOR(o.Seed)
+	rep.StateCacheProbe = probeStateCache()
 
 	// Throughput probe, with telemetry attached so the perf artifact embeds
 	// the same campaign document psharp-test -report-out writes.
@@ -395,6 +470,85 @@ func probeFaults(seed uint64) FaultProbe {
 	p.BuggyWithFaults = r.BuggyIterations
 	p.Crashes, p.Restarts = r.Faults.Crashes, r.Faults.Restarts
 	p.Drops, p.Duplicates, p.Reorders = r.Faults.Drops, r.Faults.Duplicates, r.Faults.Reorders
+	return p
+}
+
+// probeDPOR runs the gated corpus subset through random search and through
+// DPOR with the state cache, StopOnFirstBug on both sides, and reports how
+// many schedules each needed to reach the seeded bug. The budgets mirror the
+// corpus soundness tests: TwoPhaseCommit needs headroom for the ~3.5k
+// attempts the cache prunes before the bug branch.
+func probeDPOR(seed uint64) DPORProbe {
+	gated := []struct {
+		name   string
+		budget int
+	}{
+		{"TwoPhaseCommit", 4000},
+		{"Chord", 2000},
+	}
+	p := DPORProbe{AllFound: true}
+	for _, g := range gated {
+		b := protocols.MustByName(g.name, true)
+		r := DPORBenchProbe{Workload: b.ID(), ScheduleBudget: g.budget}
+		base := sct.Options{
+			Iterations:     g.budget,
+			MaxSteps:       b.MaxSteps,
+			LivelockAsBug:  b.LivelockAsBug,
+			StopOnFirstBug: true,
+		}
+		rndOpts := base
+		rndOpts.Strategy = sct.NewRandom(seed)
+		rnd := sct.Run(b.SetupMonitored(), rndOpts)
+		if r.FoundRandom = rnd.BugFound(); r.FoundRandom {
+			r.RandomSchedules = rnd.FirstBugIteration + 1
+		}
+		dpOpts := base
+		dpOpts.Strategy = sct.NewDPOR()
+		dpOpts.StateCache = true
+		dp := sct.Run(b.SetupMonitored(), dpOpts)
+		r.FoundDPOR = dp.BugFound()
+		r.DPORSchedules = dp.Iterations
+		r.PrunedIterations = dp.PrunedIterations
+		r.DistinctStates = dp.DistinctStates
+		if r.FoundRandom && r.FoundDPOR && r.RandomSchedules > 0 {
+			r.Ratio = float64(r.DPORSchedules) / float64(r.RandomSchedules)
+		}
+		if !r.FoundRandom || !r.FoundDPOR {
+			p.AllFound = false
+		}
+		if r.Ratio > p.WorstRatio {
+			p.WorstRatio = r.Ratio
+		}
+		p.Benchmarks = append(p.Benchmarks, r)
+	}
+	return p
+}
+
+// probeStateCache runs DPOR+cache keep-going over a fixed attempt budget on
+// the default protocol and reports the cache hit rate and distinct-state
+// discovery throughput.
+func probeStateCache() StateCacheProbe {
+	b := protocols.MustByName("TwoPhaseCommit", true)
+	const budget = 2000
+	rep := sct.Run(b.SetupMonitored(), sct.Options{
+		Strategy:   sct.NewDPOR(),
+		Iterations: budget,
+		MaxSteps:   b.MaxSteps,
+		StateCache: true,
+	})
+	p := StateCacheProbe{
+		Workload:       b.ID(),
+		AttemptBudget:  budget,
+		Explored:       rep.Iterations,
+		Pruned:         rep.PrunedIterations,
+		DistinctStates: rep.DistinctStates,
+	}
+	if attempts := p.Explored + p.Pruned; attempts > 0 {
+		p.PrunedPercent = 100 * float64(p.Pruned) / float64(attempts)
+	}
+	if secs := rep.Elapsed.Seconds(); secs > 0 {
+		p.StatesPerSec = float64(p.DistinctStates) / secs
+	}
 	return p
 }
 

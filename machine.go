@@ -39,6 +39,14 @@ type machineInstance struct {
 	// can reboot the machine by re-delivering it.
 	crashed bool
 	birth   Event
+	// hprog is the machine's mid-handler position hash, maintained only
+	// when the controller's state hasher is active: seeded at event
+	// dispatch from the event type and payload, advanced at every visible
+	// operation the handler performs (sends, creates, nondeterministic
+	// choices), and zeroed when the handler completes. Two global states
+	// with equal visible state but different pending continuations must
+	// hash differently, or the state cache would conflate them.
+	hprog uint64
 
 	// job feeds a pooled machine goroutine its next iteration's creation
 	// payload; nil under the production runtime, where goroutines are
@@ -52,6 +60,22 @@ func newMachineInstance(rt *Runtime, id MachineID, logic Machine, schema *compil
 	m.ctx = &Context{m: m, rt: rt}
 	m.resume = make(chan struct{})
 	return m
+}
+
+// progDispatch seeds the mid-handler position hash at event dispatch;
+// progIdle clears it once the handler has run to completion, so a machine
+// waiting for its next event contributes a stable "idle" position to the
+// global-state hash. Both are no-ops unless state hashing is active.
+func (m *machineInstance) progDispatch(ev Event) {
+	if c := m.rt.test; c != nil && c.hasher != nil {
+		m.hprog = c.hasher.dispatchHash(ev)
+	}
+}
+
+func (m *machineInstance) progIdle() {
+	if c := m.rt.test; c != nil && c.hasher != nil {
+		m.hprog = 0
+	}
 }
 
 // park blocks the machine goroutine until the testing controller schedules
@@ -108,6 +132,7 @@ func (m *machineInstance) recycle() {
 	m.aborted = false
 	m.crashed = false
 	m.birth = nil
+	m.hprog = 0
 	m.ctx.currentEvent = nil
 	m.ctx.resetPending()
 }
@@ -143,10 +168,12 @@ func (m *machineInstance) run(payload Event) {
 	}
 	st := m.schema.states[m.state]
 	if st.hasEntry() {
+		m.progDispatch(payload)
 		if bug := m.execute(st.onEntry, st.onEntryM, payload); bug != nil {
 			m.bug = bug
 			return
 		}
+		m.progIdle()
 	}
 	m.releaseInit()
 	for !m.halted {
@@ -161,7 +188,9 @@ func (m *machineInstance) run(payload Event) {
 		if m.rt.logging() {
 			m.rt.logf("%s: dequeued %s in state %q", m.id, eventName(env.event), m.state)
 		}
+		m.progDispatch(env.event)
 		bug = m.handleEvent(env.event)
+		m.progIdle()
 		// The work unit for this event is released only after its handler
 		// has completed, so production-mode Wait cannot observe quiescence
 		// while an action is still running.

@@ -307,6 +307,12 @@ func (r *Runtime) observeMonitors(ev Event) {
 		defer r.monMu.Unlock()
 	} else if len(r.monitors) == 0 {
 		return
+	} else if r.test.observing {
+		// Monitor verdicts are order-sensitive global state: mark the
+		// executing step monitor-observed so DPOR treats any two observed
+		// steps as dependent, and note that the monitors' hash components
+		// may have moved.
+		r.test.stepObserved = true
 	}
 	r.metrics.MonitorDispatches.Add(int64(len(r.monitors)))
 	for _, mon := range r.monitors {

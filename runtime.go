@@ -251,6 +251,9 @@ func (r *Runtime) create(machineType string, payload Event, creator *machineInst
 		m.birth = payload
 		m.job <- payload // hand the iteration to the parked goroutine
 		if creator != nil {
+			if c.observing {
+				c.noteCreate(creator, id)
+			}
 			creator.yieldPoint() // create-machine is a scheduling point
 		}
 		return id, nil
@@ -377,6 +380,9 @@ func (r *Runtime) enqueue(target MachineID, ev Event, sender MachineID, isMachin
 
 	if c != nil && isMachineSend {
 		if sm := r.machineByID(sender); sm != nil {
+			if c.observing {
+				c.noteSend(sm, target, ev)
+			}
 			sm.yieldPoint() // send is a scheduling point (Section 6.2)
 		}
 	}

@@ -46,6 +46,8 @@ type CampaignConfig struct {
 	// FaultBudget is the per-schedule fault-injection budget; 0 means the
 	// campaign ran fault-free.
 	FaultBudget int `json:"fault_budget,omitempty"`
+	// StateCache marks a campaign run with the hashed global-state cache.
+	StateCache bool `json:"state_cache,omitempty"`
 	// Shard is "i/n" when the run was one shard of a multi-process
 	// campaign; empty otherwise.
 	Shard string `json:"shard,omitempty"`
@@ -65,7 +67,13 @@ type CampaignResult struct {
 	TotalSchedulingPoints int64   `json:"total_scheduling_points"`
 	MaxMachines           int     `json:"max_machines"`
 	BoundReached          int     `json:"bound_reached"`
-	Exhausted             bool    `json:"exhausted,omitempty"`
+	// PrunedIterations and DistinctStates report the state-cache prune
+	// census (Report.PrunedIterations / Report.DistinctStates); absent when
+	// the campaign ran without Options.StateCache. Pruned iterations are not
+	// included in Iterations or SchedulesPerSecond.
+	PrunedIterations int  `json:"pruned_iterations,omitempty"`
+	DistinctStates   int  `json:"distinct_states,omitempty"`
+	Exhausted        bool `json:"exhausted,omitempty"`
 	// Interrupted marks a partial campaign: the run was stopped early
 	// (signal or hard timeout) and its counters cover only the explored
 	// prefix. A journaled campaign can be resumed to completion.
@@ -130,6 +138,8 @@ func NewCampaign(cfg CampaignConfig, rep *Report, workers []WorkerReport, tel *T
 			TotalSchedulingPoints: rep.TotalSchedulingPoints,
 			MaxMachines:           rep.MaxMachines,
 			BoundReached:          rep.BoundReached,
+			PrunedIterations:      rep.PrunedIterations,
+			DistinctStates:        rep.DistinctStates,
 			Exhausted:             rep.Exhausted,
 			Interrupted:           rep.Interrupted,
 			ElapsedMS:             float64(rep.Elapsed) / float64(time.Millisecond),

@@ -61,6 +61,56 @@
 // inherently racy), and a bug trace found by any worker replays through
 // ReplayTrace exactly like a sequentially-found one.
 //
+// # Partial-order reduction and state caching
+//
+// Exhaustive enumeration wastes most of its budget on schedules that differ
+// only in the order of commuting operations — sends to different machines,
+// steps of machines that never interact. Two reduction mechanisms prune
+// that redundancy, composable and individually optional:
+//
+//   - DPOR (NewDPOR) is dynamic partial-order reduction in the
+//     Flanagan–Godefroid style with sleep sets. The engine reports each
+//     executed step's footprint (which machine ran, which mailbox it
+//     targeted, which machine it created) back to the strategy, which
+//     inserts backtrack points only where two steps of different machines
+//     actually conflict; interleavings of independent steps collapse into
+//     one representative. Sleep sets steer workers away from branches whose
+//     conflicts were already explored. DPOR is exhaustive where DFS is —
+//     when it exhausts its tree, every Mazurkiewicz trace of the program
+//     has a representative explored — but reaches exhaustion orders of
+//     magnitude sooner on programs with independent components. It shards
+//     across parallel workers by residue class of the root branch (the
+//     root keeps all branches, so sharding never loses soundness), and
+//     implements CursorStrategy, so journaled DPOR campaigns resume
+//     mid-frontier.
+//
+//   - The hashed global-state cache (Options.StateCache) fingerprints the
+//     global state — every machine's serialized fields, control state and
+//     queue contents, plus monitor states and liveness temperatures — at
+//     each scheduling point, incrementally (only machines that stepped
+//     rehash). When a schedule reaches a state some earlier schedule
+//     already covered at the same or shallower depth with a different
+//     prefix, the rest of the iteration is cut short: everything reachable
+//     below it has been or will be explored from the first visit. Pruned
+//     attempts are reported as Report.PrunedIterations and the state
+//     population as Report.DistinctStates — never folded into Iterations,
+//     DistinctSchedules or SchedulesPerSecond, so throughput numbers stay
+//     comparable with cache-free runs.
+//
+// Both mechanisms are sound for bug finding (they skip only executions
+// equivalent to an explored one) but only relative to depth-first
+// exploration, and neither composes with fault injection (fault decisions
+// are not footprint-tracked). The engine enforces this: StateCache demands
+// a DFS or DPOR strategy and no fault budget, DPOR refuses fault injection
+// and dynamic work stealing, and psharp-test turns the same rules into
+// exit-2 flag errors. Note the paper's own Table 2 caveat applies — on
+// protocols whose bugs hide deep in long schedules, random search finds
+// what any depth-first enumeration (reduced or not) misses; DPOR+cache is
+// the right tool when exhaustiveness or a reproducible sweep of a
+// tractable state space is the goal, and the dpor_probe gate in
+// psharp-bench holds it to at most half of random's schedules-to-bug on
+// the corpus subset where both apply.
+//
 // # Performance model
 //
 // Each worker owns a psharp.TestHarness, so consecutive iterations recycle
@@ -118,8 +168,11 @@
 // comparing allocs/iteration with a Telemetry accumulator attached vs
 // without (its delta is capped at 3), fault_probe comparing buggy-schedule
 // yield on the crash-tolerant corpus with faults off vs on under the same
-// schedule budget, and worker_iterations showing the per-worker split
-// (uneven under Dynamic).
+// schedule budget, dpor_probe comparing schedules-to-bug for DPOR+cache vs
+// random search on the gated corpus subset (the ratio is capped at 0.5),
+// state_cache_probe recording the cache's prune rate and distinct-state
+// population on a keep-going run, and worker_iterations showing the
+// per-worker split (uneven under Dynamic).
 //
 // # Observability
 //
@@ -169,9 +222,10 @@
 // idempotent work — and never skip any.
 //
 // On a resumed run the engine restores each worker before its first
-// iteration: strategies implementing CursorStrategy (DFS, whose cursor is
-// its serialized enumeration frontier) reload their exact position via
-// LoadCursor, while the reseeding strategies (Random, RandomFair, PCT,
+// iteration: strategies implementing CursorStrategy (DFS and DPOR, whose
+// cursors are their serialized enumeration frontiers — DPOR's additionally
+// carries its backtrack sets, sleep sets and step footprints) reload their
+// exact position via LoadCursor, while the reseeding strategies (Random, RandomFair, PCT,
 // DelayBounding, FaultInjector around any of them) need only the
 // completed-iteration count, because worker w's iteration k is a pure
 // function of (seed, w, k). Workers then skip their already-completed

@@ -95,6 +95,14 @@ type Options struct {
 	// with Interrupted set). This is how psharp-test turns SIGINT/SIGTERM
 	// into a clean partial campaign instead of lost work.
 	Stop <-chan struct{}
+	// StateCache attaches a hashed global-state cache shared by every
+	// worker of the run: iterations that revisit an already-covered global
+	// state are cut short (pruned) instead of re-exploring its subtree.
+	// Pruned iterations are reported separately (Report.PrunedIterations)
+	// and never count toward Iterations or DistinctSchedules. Only sound
+	// with depth-first strategies — the engine panics unless every worker
+	// runs DFS or DPOR — and incompatible with fault injection.
+	StateCache bool
 	// Faults configures fault-injection nondeterminism. When Faults.Budget
 	// is positive, the engine wraps Strategy in a FaultInjector (sharded
 	// per worker under RunParallel) and enables fault queries on every
@@ -131,6 +139,15 @@ type Report struct {
 	MaxMachines int
 	// BoundReached counts iterations truncated by MaxSteps.
 	BoundReached int
+	// PrunedIterations counts iterations the state cache cut short at a
+	// revisited global state (Options.StateCache). Pruned iterations
+	// consume schedule budget but explore nothing new, so they are kept
+	// out of Iterations, DistinctSchedules and SchedulesPerSecond.
+	PrunedIterations int
+	// DistinctStates is the number of distinct hashed global states the
+	// run visited; 0 when the state cache was off. Per-run only: state
+	// hashes are not journaled, so a resumed campaign's count restarts.
+	DistinctStates int
 	// Exhausted reports that the strategy completed its search space.
 	Exhausted bool
 	// Interrupted reports that the run ended early — an external stop
@@ -234,6 +251,10 @@ type shared struct {
 	iterations atomic.Int64
 	buggy      atomic.Int64
 	distinct   atomic.Int64
+	// pruned counts state-cache-truncated iterations campaign-wide; cache
+	// is the shared state cache, nil unless Options.StateCache is set.
+	pruned atomic.Int64
+	cache  *stateCache
 
 	// budget and ticket implement work-stealing (ParallelOptions.Dynamic):
 	// dynamic workers claim global iteration tickets from the shared counter
@@ -251,6 +272,9 @@ func newShared(opts Options, start time.Time) *shared {
 	sh := &shared{opts: opts, start: start, workers: 1, budget: opts.Iterations}
 	if opts.Timeout > 0 {
 		sh.deadline = start.Add(opts.Timeout)
+	}
+	if opts.StateCache {
+		sh.cache = newStateCache()
 	}
 	if j := opts.Journal; j != nil {
 		// Preload the campaign's journaled fingerprints (this shard's and
@@ -309,7 +333,9 @@ func (sh *shared) interruptedOutcome(rep *Report, planned int) bool {
 	if sh.opts.StopOnFirstBug && rep.FirstBug != nil {
 		return false
 	}
-	return rep.Iterations < planned
+	// Pruned iterations consumed budget too: a deadline that fired after
+	// the last planned iteration is not an interruption.
+	return rep.Iterations+rep.PrunedIterations < planned
 }
 
 // emitProgress builds a campaign-wide progress snapshot and hands it to the
@@ -324,7 +350,11 @@ func (sh *shared) emitProgress(w *worker, workerIters int) {
 		Budget:           sh.budget,
 		Buggy:            sh.buggy.Load(),
 		Distinct:         sh.distinct.Load(),
+		Pruned:           sh.pruned.Load(),
 		Elapsed:          time.Since(sh.start),
+	}
+	if sh.cache != nil {
+		p.DistinctStates = int64(sh.cache.size())
 	}
 	sh.progressMu.Lock()
 	sh.opts.Progress(p)
@@ -405,6 +435,9 @@ func runWorker(setup func(*psharp.Runtime), sh *shared, w worker) Report {
 	if opts.Faults.Budget > 0 {
 		cfg.Faults = &psharp.FaultConfig{Immune: opts.Faults.Immune}
 	}
+	if sh.cache != nil {
+		cfg.StateCache = sh.cache
+	}
 	var jw *journalWriter
 	if opts.Journal != nil {
 		jw = newJournalWriter(sh, &w)
@@ -433,6 +466,19 @@ func runWorker(setup func(*psharp.Runtime), sh *shared, w worker) Report {
 		res := h.Run(cfg)
 		if res.Interrupted {
 			break // partial schedule: not counted
+		}
+		if res.Pruned {
+			// A revisited state truncated the schedule: budget was spent but
+			// nothing new was explored. Keep the iteration out of every
+			// throughput and distinctness counter, but advance the journal
+			// position — on resume the strategy re-derives the same prune.
+			rep.PrunedIterations++
+			sh.pruned.Add(1)
+			completed = local + 1
+			if jw != nil {
+				jw.note(0, false, completed)
+			}
+			continue
 		}
 		rep.Iterations++
 		sh.iterations.Add(1)
@@ -508,7 +554,11 @@ func Run(setup func(*psharp.Runtime), opts Options) Report {
 	start := time.Now()
 	strategy := opts.Strategy
 	if opts.Faults.Budget > 0 {
+		checkFaultable(strategy)
 		strategy = newFaultInjector(strategy, opts.Faults, 0, 1)
+	}
+	if opts.StateCache {
+		checkStateCacheable(strategy, opts.Faults.Budget)
 	}
 	sh := newShared(opts, start)
 	w := worker{id: 0, strategy: strategy, offset: 0, stride: 1, quota: opts.Iterations}
@@ -523,8 +573,34 @@ func Run(setup func(*psharp.Runtime), opts Options) Report {
 	}
 	rep.Elapsed = time.Since(start)
 	rep.Interrupted = sh.interruptedOutcome(&rep, opts.Iterations-w.start)
+	if sh.cache != nil {
+		rep.DistinctStates = sh.cache.size()
+	}
 	finishJournal(sh, &rep)
 	return rep
+}
+
+// checkStateCacheable panics unless strategy is one the state cache is
+// sound under — a depth-first enumerator whose lexicographic order
+// completes a state's owning subtree before any other prefix revisits it.
+func checkStateCacheable(strategy Strategy, faultBudget int) {
+	if faultBudget > 0 {
+		panic("sct: Options.StateCache cannot be combined with fault injection: injected faults mutate state outside the hashed footprint")
+	}
+	switch strategy.(type) {
+	case *DFS, *DPOR:
+	default:
+		panic(fmt.Sprintf("sct: Options.StateCache requires a depth-first strategy (DFS or DPOR), not %s: pruning revisited states is only exhaustive-preserving under depth-first enumeration", strategyName(strategy)))
+	}
+}
+
+// checkFaultable panics for strategies that cannot sit inside a
+// FaultInjector: DPOR needs the controller's StepObserver hook, which the
+// injector wrapper would hide (and fault decisions carry no footprints).
+func checkFaultable(strategy Strategy) {
+	if _, ok := strategy.(*DPOR); ok {
+		panic("sct: DPOR does not support fault injection: fault decisions are not footprint-tracked, so the reduction would be unsound")
+	}
 }
 
 // ReplayTrace re-executes a recorded trace against the program and returns

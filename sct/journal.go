@@ -12,8 +12,10 @@ import (
 // reseed per global iteration (Random, RandomFair, PCT, DelayBounding, and
 // FaultInjector's fault stream) need no cursor — their position is fully
 // determined by the iteration index the engine journals for every worker —
-// so only DFS, whose frontier is a schedule-tree stack, implements it
-// directly; FaultInjector delegates to its inner strategy.
+// so only the systematic enumerators implement it directly: DFS and DPOR,
+// whose frontiers are schedule-tree stacks (DPOR's additionally carries its
+// backtrack sets and step footprints); FaultInjector delegates to its inner
+// strategy.
 type CursorStrategy interface {
 	Strategy
 	// SaveCursor serializes the strategy's cross-iteration state after the

@@ -127,6 +127,12 @@ func RunParallel(setup func(*psharp.Runtime), opts ParallelOptions) ParallelRepo
 			panic("sct: " + err.Error())
 		}
 		if opts.Faults.Budget > 0 {
+			checkFaultable(strategy)
+		}
+		if opts.StateCache {
+			checkStateCacheable(strategy, opts.Faults.Budget)
+		}
+		if opts.Faults.Budget > 0 {
 			// Wrap after per-worker resolution so the injector's own fault
 			// stream shards alongside the inner strategy's seed stream.
 			strategy = newFaultInjector(strategy, opts.Faults, gw, globalWorkers)
@@ -180,6 +186,9 @@ func RunParallel(setup func(*psharp.Runtime), opts ParallelOptions) ParallelRepo
 	}
 	out.Report = mergeReports(out.Workers)
 	out.Report.DistinctSchedules = sh.fingerprints.size()
+	if sh.cache != nil {
+		out.Report.DistinctStates = sh.cache.size()
+	}
 	out.Report.Elapsed = time.Since(start)
 	out.Report.Interrupted = sh.interruptedOutcome(&out.Report, planned)
 	finishJournal(sh, &out.Report)
@@ -225,6 +234,7 @@ func mergeReports(workers []WorkerReport) Report {
 	for i := range workers {
 		rep := &workers[i].Report
 		merged.Iterations += rep.Iterations
+		merged.PrunedIterations += rep.PrunedIterations
 		merged.BuggyIterations += rep.BuggyIterations
 		merged.TotalSchedulingPoints += rep.TotalSchedulingPoints
 		merged.BoundReached += rep.BoundReached
@@ -264,6 +274,8 @@ func strategyName(s Strategy) string {
 		return "delay"
 	case *DFS:
 		return "dfs"
+	case *DPOR:
+		return "dpor"
 	case *Replay:
 		return "replay"
 	default:

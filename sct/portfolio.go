@@ -73,7 +73,7 @@ func DefaultPortfolio(seed uint64, maxSteps int) *Portfolio {
 
 // ParsePortfolio builds a portfolio from a comma-separated member spec such
 // as "random,pct,delay,dfs" or "random,random,pct". Valid member names are
-// random, fair, pct, delay and dfs; "default" expands to the
+// random, fair, pct, delay, dfs and dpor; "default" expands to the
 // DefaultPortfolio roster. Randomized members derive distinct seeds from the
 // base seed by member position, PCT/delay-bounding size their change/delay
 // points to maxSteps (0 falls back to 1000 expected steps), and fair's
@@ -118,10 +118,12 @@ func ParsePortfolioPrefix(spec string, seed uint64, maxSteps, fairPrefix int) (*
 			s = NewDelayBounding(memberSeed, 2, steps)
 		case "dfs":
 			s = NewDFS()
+		case "dpor":
+			s = NewDPOR()
 		case "":
 			return nil, fmt.Errorf("sct: empty portfolio member in %q", spec)
 		default:
-			return nil, fmt.Errorf("sct: unknown portfolio member %q (want random, fair, pct, delay or dfs)", name)
+			return nil, fmt.Errorf("sct: unknown portfolio member %q (want random, fair, pct, delay, dfs or dpor)", name)
 		}
 		members = append(members, PortfolioMember{Name: name, Strategy: s})
 	}

@@ -30,6 +30,11 @@ type Progress struct {
 	// distinct-fingerprint counts.
 	Buggy    int64 `json:"buggy"`
 	Distinct int64 `json:"distinct"`
+	// Pruned and DistinctStates are the campaign-wide state-cache counters:
+	// iterations cut short at a revisited global state, and distinct hashed
+	// states seen. Both 0 (and omitted from JSON) when the cache is off.
+	Pruned         int64 `json:"pruned,omitempty"`
+	DistinctStates int64 `json:"distinct_states,omitempty"`
 	// Elapsed is wall-clock time since the run started, in nanoseconds when
 	// marshalled.
 	Elapsed time.Duration `json:"elapsed_ns"`
@@ -47,14 +52,18 @@ type ProgressFunc func(Progress)
 // workers either way.
 func ProgressText(w io.Writer) ProgressFunc {
 	return func(p Progress) {
+		pruned := ""
+		if p.Pruned > 0 {
+			pruned = fmt.Sprintf(", %d pruned", p.Pruned)
+		}
 		if p.Workers > 1 {
-			fmt.Fprintf(w, "sct: [w%d %s] %d/%d schedules, %d buggy, %d distinct, %s\n",
-				p.Worker, p.Strategy, p.Iterations, p.Budget, p.Buggy, p.Distinct,
+			fmt.Fprintf(w, "sct: [w%d %s] %d/%d schedules, %d buggy, %d distinct%s, %s\n",
+				p.Worker, p.Strategy, p.Iterations, p.Budget, p.Buggy, p.Distinct, pruned,
 				p.Elapsed.Round(time.Millisecond))
 			return
 		}
-		fmt.Fprintf(w, "sct: %d/%d schedules, %d buggy, %d distinct, %s\n",
-			p.Iterations, p.Budget, p.Buggy, p.Distinct, p.Elapsed.Round(time.Millisecond))
+		fmt.Fprintf(w, "sct: %d/%d schedules, %d buggy, %d distinct%s, %s\n",
+			p.Iterations, p.Budget, p.Buggy, p.Distinct, pruned, p.Elapsed.Round(time.Millisecond))
 	}
 }
 

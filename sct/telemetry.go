@@ -2,6 +2,7 @@ package sct
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/psharp-go/psharp"
@@ -31,6 +32,13 @@ type Telemetry struct {
 	mu     sync.Mutex
 	census map[string]int64 // bug kind -> buggy iteration count
 	faults psharp.FaultStats
+
+	// pruned and states mirror the run's state-cache counters (campaign-wide
+	// pruned iterations and distinct hashed states) at the last curve sample,
+	// so a live Snapshot reports them without reaching into engine internals.
+	// Both stay zero when the run has no state cache.
+	pruned atomic.Int64
+	states atomic.Int64
 
 	start time.Time
 	// base offsets every sample's elapsed time by the prior journaled runs'
@@ -106,8 +114,14 @@ func (t *Telemetry) finish(sh *shared) {
 }
 
 func (t *Telemetry) sample(elapsed time.Duration, force bool, sh *shared) {
+	states := int64(0)
+	if sh.cache != nil {
+		states = int64(sh.cache.size())
+	}
+	t.pruned.Store(sh.pruned.Load())
+	t.states.Store(states)
 	t.curve.Sample(elapsed, force,
-		sh.iterations.Load(), sh.distinct.Load(), t.coverage.Distinct())
+		sh.iterations.Load(), sh.distinct.Load(), t.coverage.Distinct(), states)
 }
 
 // GrowthPoint is one sample of the campaign growth curve.
@@ -116,6 +130,10 @@ type GrowthPoint struct {
 	Iterations         int64   `json:"iterations"`
 	DistinctSchedules  int64   `json:"distinct_schedules"`
 	CoveredTransitions int64   `json:"covered_transitions"`
+	// DistinctStates is the state cache's distinct-global-state count at the
+	// sample; 0 when the run has no cache (and for curve points restored from
+	// journal checkpoints, which predate or don't record the series).
+	DistinctStates int64 `json:"distinct_states,omitempty"`
 }
 
 // TelemetrySnapshot is the JSON-friendly view of a Telemetry accumulator.
@@ -132,6 +150,10 @@ type TelemetrySnapshot struct {
 	// Faults breaks down injected faults across the campaign; present only
 	// when fault injection was on and at least one fault fired.
 	Faults *FaultBreakdown `json:"faults,omitempty"`
+	// PrunedIterations and DistinctStates report the state-cache prune census
+	// as of the last growth-curve sample; both 0 when the cache was off.
+	PrunedIterations int64 `json:"pruned_iterations,omitempty"`
+	DistinctStates   int64 `json:"distinct_states,omitempty"`
 	// GrowthCurve samples campaign progress over wall-clock time.
 	GrowthCurve []GrowthPoint `json:"growth_curve,omitempty"`
 }
@@ -156,10 +178,16 @@ func (t *Telemetry) Snapshot() *TelemetrySnapshot {
 		s.Faults = newFaultBreakdown(t.faults)
 	}
 	t.mu.Unlock()
+	s.PrunedIterations = t.pruned.Load()
+	s.DistinctStates = t.states.Load()
 	for _, p := range t.curve.Points() {
 		gp := GrowthPoint{ElapsedMS: float64(p.Elapsed) / float64(time.Millisecond)}
-		if len(p.Values) == 3 {
+		// Journal-restored checkpoints carry 3 values; live samples carry 4.
+		if len(p.Values) >= 3 {
 			gp.Iterations, gp.DistinctSchedules, gp.CoveredTransitions = p.Values[0], p.Values[1], p.Values[2]
+		}
+		if len(p.Values) >= 4 {
+			gp.DistinctStates = p.Values[3]
 		}
 		s.GrowthCurve = append(s.GrowthCurve, gp)
 	}

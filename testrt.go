@@ -52,6 +52,14 @@ type TestConfig struct {
 	// recorded into it. The set is safe for concurrent use, so parallel
 	// exploration workers can share one and report campaign-wide coverage.
 	Coverage *obs.StateEventCoverage
+	// StateCache, if non-nil, is consulted at every scheduling decision
+	// with a hash of the global state (machine FSM states, queue contents,
+	// logic fields, monitor states and temperatures) and the decision
+	// prefix that reached it; when Visit returns true the iteration is cut
+	// short and reported with IterationResult.Pruned set. Only sound under
+	// depth-first strategies (see the StateCache docs); incompatible with
+	// Faults in this version.
+	StateCache StateCache
 	// Faults, if non-nil, enables fault-injection nondeterminism: the
 	// controller issues a ChoiceFault query once per scheduler pass (crash?)
 	// and once per machine-to-machine send (drop/duplicate/reorder?), and
@@ -73,6 +81,9 @@ type IterationResult struct {
 	// Interrupted reports that cfg.Interrupt abandoned the iteration before
 	// it finished; the other fields describe the partial schedule.
 	Interrupted bool
+	// Pruned reports that cfg.StateCache cut the iteration short at a
+	// revisited global state; the schedule prefix explored nothing new.
+	Pruned bool
 	// BoundReached reports that MaxSteps was hit before quiescence.
 	BoundReached bool
 	// SchedulingPoints is the number of scheduling decisions taken (the
@@ -163,6 +174,20 @@ type controller struct {
 	faults       FaultStats
 	crashScratch []MachineID
 
+	// Step observation and state hashing (see statehash.go). observing is
+	// true when either hook is active; stepObs is cfg.Strategy's
+	// StepObserver view (nil otherwise); hasher is non-nil only when
+	// cfg.StateCache is set. The step* fields accumulate the footprint of
+	// the step currently executing and are reset just before each resume,
+	// so environment-side setup activity never leaks into the first step.
+	observing    bool
+	stepObs      StepObserver
+	hasher       *stateHasher
+	pruned       bool
+	stepTarget   MachineID
+	stepCreated  MachineID
+	stepObserved bool
+
 	aborting atomic.Bool
 }
 
@@ -244,6 +269,18 @@ func (c *controller) onDequeue(m *machineInstance, env envelope) {
 // setDecider caches the per-iteration view of cfg.Strategy through the
 // decision API, avoiding the type assertion at every nondeterminism point.
 func (c *controller) setDecider() {
+	c.stepObs, _ = c.cfg.Strategy.(StepObserver)
+	if c.cfg.StateCache != nil {
+		if c.hasher == nil {
+			c.hasher = newStateHasher()
+		}
+		c.hasher.reset()
+	} else {
+		c.hasher = nil
+	}
+	c.observing = c.stepObs != nil || c.hasher != nil
+	c.pruned = false
+	c.stepTarget, c.stepCreated, c.stepObserved = MachineID{}, MachineID{}, false
 	if ds, ok := c.cfg.Strategy.(DecisionStrategy); ok {
 		c.decider = ds
 		return
@@ -258,7 +295,26 @@ func (c *controller) nextBool() bool {
 		panic(assertFailed{msg: fmt.Sprintf("strategy answered a bool choice with decision kind %d", d.Kind)})
 	}
 	c.trace.addBool(d.Bool)
+	if h := c.hasher; h != nil {
+		v := byte(0)
+		if d.Bool {
+			v = 1
+		}
+		h.prefix = fnvByte(fnvByte(h.prefix, 2), v)
+		c.mixChoice(uint64(v) | 0x100)
+	}
 	return d.Bool
+}
+
+// mixChoice folds a nondeterministic-choice result into the currently
+// running machine's mid-handler position hash: two continuations that drew
+// different values are different program positions.
+func (c *controller) mixChoice(v uint64) {
+	if c.current.Seq == 0 {
+		return
+	}
+	m := c.instances[c.current.Seq-1]
+	m.hprog = fnvUint64(m.hprog, v)
 }
 
 func (c *controller) nextInt(n int) int {
@@ -270,6 +326,10 @@ func (c *controller) nextInt(n int) int {
 		panic(assertFailed{msg: fmt.Sprintf("strategy returned %d for NextInt(%d)", d.Int, n)})
 	}
 	c.trace.addInt(d.Int)
+	if h := c.hasher; h != nil {
+		h.prefix = fnvUint64(fnvByte(h.prefix, 3), uint64(d.Int))
+		c.mixChoice(uint64(d.Int) | 0x200000000)
+	}
 	return d.Int
 }
 
@@ -320,6 +380,9 @@ func (c *controller) loop() {
 			}
 			break
 		}
+		if c.hasher != nil && c.checkStateCache() {
+			break
+		}
 		if c.cfg.Faults != nil {
 			crashed := c.scheduleFault()
 			if c.bug != nil {
@@ -347,6 +410,12 @@ func (c *controller) loop() {
 		c.trace.addSchedule(next)
 		c.current = next
 		c.steps++
+		if c.observing {
+			if h := c.hasher; h != nil {
+				h.prefix = fnvUint64(fnvByte(h.prefix, 1), next.Seq)
+			}
+			c.stepTarget, c.stepCreated, c.stepObserved = MachineID{}, MachineID{}, false
+		}
 		m := c.instances[next.Seq-1]
 		m.resume <- struct{}{}
 		msg := <-c.yield
@@ -368,6 +437,9 @@ func (c *controller) loop() {
 				// and the specification violation is the primary report.
 				c.bug = msg.bug
 			}
+		}
+		if c.observing {
+			c.noteStepEnd()
 		}
 		if c.cfg.LivenessTemperature > 0 && c.bug == nil {
 			c.updateTemperatures()
@@ -413,6 +485,84 @@ func (c *controller) updateTemperatures() {
 			return
 		}
 	}
+}
+
+// noteSend records a machine-to-machine send as part of the executing
+// step's footprint: the target's queue changed (dirty for hashing) and the
+// sender's continuation advanced past the send.
+func (c *controller) noteSend(sm *machineInstance, target MachineID, ev Event) {
+	c.stepTarget = target
+	if h := c.hasher; h != nil {
+		sm.hprog = fnvUint64(fnvUint64(sm.hprog, target.Seq), h.typeID(eventKey(ev)))
+		h.markDirtySeq(target.Seq)
+	}
+}
+
+// noteCreate records a machine creation in the executing step's footprint.
+// Environment-side creations during setup (creator nil) are pre-schedule
+// and not part of any step.
+func (c *controller) noteCreate(creator *machineInstance, id MachineID) {
+	if creator == nil {
+		return
+	}
+	c.stepCreated = id
+	if c.hasher != nil {
+		creator.hprog = fnvUint64(creator.hprog, id.Seq|0x8000000000000000)
+	}
+}
+
+// noteStepEnd finishes one scheduling step's observation bookkeeping: the
+// executed machine's component is stale (its state, queue or continuation
+// moved), and the strategy learns the step's footprint.
+func (c *controller) noteStepEnd() {
+	if h := c.hasher; h != nil {
+		h.markDirtySeq(c.current.Seq)
+	}
+	if c.stepObs != nil {
+		c.stepObs.ObserveStep(StepOp{
+			Machine:  c.current,
+			Target:   c.stepTarget,
+			Created:  c.stepCreated,
+			Observed: c.stepObserved,
+		})
+	}
+}
+
+// checkStateCache hashes the current global state and asks cfg.StateCache
+// whether it was already covered; a true answer prunes the iteration.
+func (c *controller) checkStateCache() bool {
+	if !c.cfg.StateCache.Visit(c.stateHash(), c.hasher.prefix, c.steps) {
+		return false
+	}
+	c.pruned = true
+	return true
+}
+
+// stateHash returns the hash of the global state at the current scheduling
+// point: the XOR of cached per-machine components (rehashing only the
+// machines dirtied since the last point) folded with every monitor's
+// freshly hashed state.
+func (c *controller) stateHash() uint64 {
+	h := c.hasher
+	for len(h.comps) < len(c.instances) {
+		// Machines created since the last point: give them a slot and
+		// hash them on this pass.
+		h.comps = append(h.comps, 0)
+		h.marked = append(h.marked, true)
+		h.dirty = append(h.dirty, len(h.comps)-1)
+	}
+	for _, idx := range h.dirty {
+		neu := h.hashMachine(c.instances[idx], c.statuses[idx])
+		h.agg ^= h.comps[idx] ^ neu
+		h.comps[idx] = neu
+		h.marked[idx] = false
+	}
+	h.dirty = h.dirty[:0]
+	s := h.agg
+	for _, mon := range c.rt.monitors {
+		s ^= h.hashMonitor(mon)
+	}
+	return s
 }
 
 // teardown unparks every live machine goroutine so it can observe the abort
